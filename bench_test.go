@@ -1,0 +1,175 @@
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation (§5). Each benchmark regenerates the corresponding
+// artifact at reproduction scale and prints the same rows/series the paper
+// reports. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Larger-scale versions of the same experiments are available via
+// cmd/experiments -scale standard.
+package fedtrans_test
+
+import (
+	"fmt"
+	"testing"
+
+	"fedtrans/internal/experiments"
+)
+
+func bench(b *testing.B, name string, run func(experiments.Scale) fmt.Stringer) {
+	b.Helper()
+	sc := experiments.Quick()
+	for i := 0; i < b.N; i++ {
+		out := run(sc)
+		if i == 0 {
+			b.StopTimer()
+			fmt.Printf("\n--- %s ---\n%s\n", name, out.String())
+			b.StartTimer()
+		}
+	}
+}
+
+// BenchmarkFigure1a regenerates Figure 1a: per-model inference-latency
+// distributions across 700+ simulated heterogeneous devices.
+func BenchmarkFigure1a(b *testing.B) {
+	bench(b, "Figure 1a (device latency distributions)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure1a(sc)
+	})
+}
+
+// BenchmarkFigure1b regenerates Figure 1b: the share of clients whose best
+// accuracy comes from each model complexity level.
+func BenchmarkFigure1b(b *testing.B) {
+	bench(b, "Figure 1b (best model per client)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure1b(sc, 5)
+	})
+}
+
+// BenchmarkFigure2 regenerates Figure 2: cost vs accuracy of existing
+// solutions against the cloud-ML upper bound.
+func BenchmarkFigure2(b *testing.B) {
+	bench(b, "Figure 2 (cost vs accuracy landscape)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure2(sc)
+	})
+}
+
+// BenchmarkTable1 regenerates Table 1: the large-to-small weight-sharing
+// ablation on FEMNIST and CIFAR-10 profiles.
+func BenchmarkTable1(b *testing.B) {
+	bench(b, "Table 1 (l2s ablation)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunTable1(sc)
+	})
+}
+
+// BenchmarkTable2 regenerates Table 2: the end-to-end comparison
+// (accuracy, IQR, cost, storage, network) across all four dataset profiles
+// and all four methods.
+func BenchmarkTable2(b *testing.B) {
+	bench(b, "Table 2 (end-to-end comparison)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunTable2(sc, nil)
+	})
+}
+
+// BenchmarkFigure6 regenerates Figure 6: per-client accuracy box plots for
+// every dataset/method pair (derived from the Table 2 runs).
+func BenchmarkFigure6(b *testing.B) {
+	bench(b, "Figure 6 (client accuracy distributions)", func(sc experiments.Scale) fmt.Stringer {
+		res := experiments.RunTable2(sc, []string{"femnist", "speech"})
+		return stringer(res.Figure6String())
+	})
+}
+
+// BenchmarkFigure7 regenerates Figure 7: cost-to-accuracy curves per
+// dataset/method pair (derived from the Table 2 runs).
+func BenchmarkFigure7(b *testing.B) {
+	bench(b, "Figure 7 (cost-to-accuracy curves)", func(sc experiments.Scale) fmt.Stringer {
+		res := experiments.RunTable2(sc, []string{"femnist", "cifar10"})
+		return stringer(res.Figure7String())
+	})
+}
+
+// BenchmarkFigure8 regenerates Figure 8: FedTrans composed with FedProx
+// and FedYogi.
+func BenchmarkFigure8(b *testing.B) {
+	bench(b, "Figure 8 (FedTrans + FL optimizers)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure8(sc)
+	})
+}
+
+// BenchmarkFigure9 regenerates Figure 9: the MACs-accuracy frontier of
+// FedTrans-transformed models vs hand-designed reference models.
+func BenchmarkFigure9(b *testing.B) {
+	bench(b, "Figure 9 (architecture frontier)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure9(sc)
+	})
+}
+
+// BenchmarkTable3 regenerates Table 3: the cumulative component ablation
+// (-l, -ls, -lsw, -lswd).
+func BenchmarkTable3(b *testing.B) {
+	bench(b, "Table 3 (component breakdown)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunTable3(sc)
+	})
+}
+
+// BenchmarkFigure10 regenerates Figure 10: the β and γ (DoC) sweeps.
+func BenchmarkFigure10(b *testing.B) {
+	bench(b, "Figure 10 (DoC parameter sweeps)", func(sc experiments.Scale) fmt.Stringer {
+		beta := experiments.RunFigure10Beta(sc)
+		gamma := experiments.RunFigure10Gamma(sc)
+		return stringer(beta.String() + "\n" + gamma.String())
+	})
+}
+
+// BenchmarkFigure11 regenerates Figure 11: widening and deepening degree
+// sweeps.
+func BenchmarkFigure11(b *testing.B) {
+	bench(b, "Figure 11 (transformation degree sweeps)", func(sc experiments.Scale) fmt.Stringer {
+		w := experiments.RunFigure11Widen(sc)
+		d := experiments.RunFigure11Deepen(sc)
+		return stringer(w.String() + "\n" + d.String())
+	})
+}
+
+// BenchmarkFigure12 regenerates Figure 12: the α (cell activeness
+// threshold) sweep.
+func BenchmarkFigure12(b *testing.B) {
+	bench(b, "Figure 12 (alpha sweep)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure12(sc)
+	})
+}
+
+// BenchmarkFigure13 regenerates Figure 13: the data-heterogeneity (h)
+// sweep.
+func BenchmarkFigure13(b *testing.B) {
+	bench(b, "Figure 13 (data heterogeneity sweep)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunFigure13(sc)
+	})
+}
+
+// BenchmarkTable4 regenerates Table 4: FedTrans on ViT-style attention
+// models.
+func BenchmarkTable4(b *testing.B) {
+	bench(b, "Table 4 (ViT generality)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunTable4(sc)
+	})
+}
+
+// BenchmarkTable5 regenerates Table 5: coordinator overhead accounting.
+func BenchmarkTable5(b *testing.B) {
+	bench(b, "Table 5 (overhead analysis)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunTable5(sc)
+	})
+}
+
+// BenchmarkTable6 regenerates Table 6: round completion time (straggler
+// mitigation) of FedTrans vs FedAvg.
+func BenchmarkTable6(b *testing.B) {
+	bench(b, "Table 6 (round completion time)", func(sc experiments.Scale) fmt.Stringer {
+		return experiments.RunTable6(sc)
+	})
+}
+
+type stringer string
+
+func (s stringer) String() string { return string(s) }

@@ -1,0 +1,67 @@
+// Command fedtrans runs one FedTrans training session from command-line
+// flags and prints the resulting model suite and accuracy/cost summary.
+//
+// Example:
+//
+//	go run ./cmd/fedtrans -profile cifar10 -clients 40 -rounds 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fedtrans"
+)
+
+func main() {
+	opts := fedtrans.DefaultOptions()
+	flag.StringVar(&opts.Profile, "profile", opts.Profile,
+		"dataset profile: femnist|cifar10|speech|openimage|vit")
+	flag.IntVar(&opts.Clients, "clients", opts.Clients, "number of federated clients")
+	flag.IntVar(&opts.Rounds, "rounds", opts.Rounds, "training round budget")
+	flag.IntVar(&opts.ClientsPerRound, "participants", opts.ClientsPerRound, "clients per round")
+	flag.Float64Var(&opts.Heterogeneity, "h", opts.Heterogeneity,
+		"Dirichlet heterogeneity (lower = more heterogeneous)")
+	flag.Float64Var(&opts.Alpha, "alpha", opts.Alpha, "cell activeness threshold")
+	flag.Float64Var(&opts.Beta, "beta", opts.Beta, "DoC transformation threshold")
+	flag.IntVar(&opts.Gamma, "gamma", opts.Gamma, "DoC slope window")
+	flag.IntVar(&opts.Delta, "delta", opts.Delta, "DoC slope step")
+	flag.Float64Var(&opts.WidenFactor, "widen", opts.WidenFactor, "widening degree")
+	flag.IntVar(&opts.DeepenCells, "deepen", opts.DeepenCells, "cells inserted per deepen")
+	flag.Float64Var(&opts.CapacitySpread, "spread", opts.CapacitySpread, "device capacity max/min ratio")
+	flag.BoolVar(&opts.AllowL2S, "l2s", opts.AllowL2S, "allow large-to-small weight sharing")
+	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
+	exportPath := flag.String("export", "", "write the largest trained model to this file")
+	flag.Parse()
+
+	session, err := fedtrans.NewSession(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("profile=%s clients=%d rounds=%d participants=%d disparity=%.1fx\n",
+		opts.Profile, opts.Clients, opts.Rounds, opts.ClientsPerRound, session.DeviceDisparity())
+	summary := session.Run()
+	fmt.Printf("\nmean accuracy : %.2f%%\n", summary.MeanAccuracy*100)
+	fmt.Printf("accuracy IQR  : %.2f%%\n", summary.AccuracyIQR*100)
+	fmt.Printf("train cost    : %.4g MACs\n", summary.TrainMACs)
+	fmt.Printf("network       : %.2f MB\n", float64(summary.NetworkBytes)/1e6)
+	fmt.Printf("storage       : %.3f MB\n", float64(summary.StorageBytes)/1e6)
+	fmt.Printf("rounds        : %d\n", summary.Rounds)
+	fmt.Printf("\nmodel suite (%d):\n", len(summary.Models))
+	for i, m := range summary.Models {
+		fmt.Printf("  M%-2d %-52s %10.0f MACs %8d params\n", i, m.Arch, m.MACs, m.Params)
+	}
+
+	if *exportPath != "" {
+		blob, err := session.ExportModel(len(summary.Models) - 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*exportPath, blob, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nexported largest model to %s (%d bytes)\n", *exportPath, len(blob))
+	}
+}

@@ -1,0 +1,87 @@
+package fedtrans
+
+import (
+	"fmt"
+
+	"fedtrans/internal/assign"
+	"fedtrans/internal/fl"
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+// ExportModel serializes the i-th model of the trained suite (creation
+// order, as reported by Models) into a self-contained blob that
+// LoadModel can deploy without the training session.
+func (s *Session) ExportModel(i int) ([]byte, error) {
+	suite := s.runtime.Suite()
+	if i < 0 || i >= len(suite) {
+		return nil, fmt.Errorf("fedtrans: model index %d out of range [0, %d)", i, len(suite))
+	}
+	return suite[i].MarshalBinary()
+}
+
+// Deployed is a loaded, inference-only model.
+type Deployed struct {
+	m *model.Model
+}
+
+// LoadModel deserializes a blob produced by Session.ExportModel.
+func LoadModel(blob []byte) (*Deployed, error) {
+	m, err := model.UnmarshalModel(blob)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployed{m: m}, nil
+}
+
+// Predict returns the predicted class for one flat feature vector.
+func (d *Deployed) Predict(features []float64) (int, error) {
+	wantDim := 1
+	for _, s := range d.m.InputShape {
+		wantDim *= s
+	}
+	if len(features) != wantDim {
+		return 0, fmt.Errorf("fedtrans: feature dim %d, model expects %d", len(features), wantDim)
+	}
+	x := tensor.FromSlice(append([]float64(nil), features...), 1, wantDim)
+	logits := d.m.Forward(x)
+	return logits.ArgMaxRow(0), nil
+}
+
+// PredictBatch classifies a batch of flat feature vectors.
+func (d *Deployed) PredictBatch(features [][]float64) ([]int, error) {
+	out := make([]int, len(features))
+	for i, f := range features {
+		y, err := d.Predict(f)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = y
+	}
+	return out, nil
+}
+
+// Info describes the deployed model.
+func (d *Deployed) Info() ModelInfo {
+	return ModelInfo{Arch: d.m.ArchString(), MACs: d.m.MACsPerSample(), Params: d.m.ParamCount()}
+}
+
+// Personalized fine-tunes each client's best compatible model on its own
+// local data for the given number of SGD steps and returns the resulting
+// per-client accuracies — the standard FL personalization pass. The
+// trained suite is not mutated. Call after Session.Run.
+func (s *Session) Personalized(steps int) []float64 {
+	rng := randFor(s.opts.Seed + 12345)
+	accs := make([]float64, len(s.dataset.Clients))
+	suite := s.runtime.Suite()
+	for c := range s.dataset.Clients {
+		compatible := assign.Compatible(suite, s.trace.Devices[c].CapacityMACs)
+		m := s.runtime.Manager().Best(c, compatible)
+		if m == nil {
+			continue
+		}
+		_, acc := fl.Personalize(m, &s.dataset.Clients[c], steps, s.opts.LearningRate, rng)
+		accs[c] = acc
+	}
+	return accs
+}

@@ -1,0 +1,59 @@
+package fedtrans_test
+
+import (
+	"fmt"
+	"log"
+
+	"fedtrans"
+)
+
+// Example demonstrates the one-call training API. (No deterministic
+// Output comment: training runs for a minute at default scale.)
+func Example() {
+	opts := fedtrans.DefaultOptions()
+	opts.Profile = "femnist"
+	opts.Rounds = 40
+	summary, err := fedtrans.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mean accuracy %.1f%% across %d models\n",
+		summary.MeanAccuracy*100, len(summary.Models))
+}
+
+// ExampleSession_ExportModel shows the train → export → deploy lifecycle.
+func ExampleSession_ExportModel() {
+	opts := fedtrans.DefaultOptions()
+	opts.Rounds = 40
+	session, err := fedtrans.NewSession(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	summary := session.Run()
+	blob, err := session.ExportModel(len(summary.Models) - 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deployed, err := fedtrans.LoadModel(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	class, err := deployed.Predict(make([]float64, 64))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("predicted class:", class)
+}
+
+// ExampleNewSession_heterogeneity shows how to stress data and device
+// heterogeneity (the paper's Figure 13 and Figure 1a axes).
+func ExampleNewSession_heterogeneity() {
+	opts := fedtrans.DefaultOptions()
+	opts.Heterogeneity = 0.5 // more skewed client label distributions
+	opts.CapacitySpread = 64 // wider device capability gap
+	session, err := fedtrans.NewSession(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("device disparity: %.0fx\n", session.DeviceDisparity())
+}

@@ -1,0 +1,26 @@
+// Command baselines compares FedTrans against the re-implemented
+// multi-model FL baselines (HeteroFL, SplitMix, FLuID) on one workload,
+// printing the Table 2-style accuracy / cost summary.
+//
+// Run with:
+//
+//	go run ./examples/baselines
+package main
+
+import (
+	"fmt"
+
+	"fedtrans/internal/experiments"
+)
+
+func main() {
+	sc := experiments.Scale{Clients: 32, Rounds: 60, ClientsPerRound: 8, Seed: 1}
+	fmt.Println("Running FedTrans + 3 baselines on the FEMNIST profile...")
+	fmt.Println("(the baselines receive the largest FedTrans-generated model,")
+	fmt.Println(" per the paper's Appendix A.1)")
+	res := experiments.RunTable2(sc, []string{"femnist"})
+	fmt.Println()
+	fmt.Println(res.String())
+	fmt.Println("Per-client accuracy distribution (Figure 6):")
+	fmt.Println(res.Figure6String())
+}

@@ -1,0 +1,64 @@
+// Command deploy demonstrates the full train → export → load → predict
+// lifecycle: it trains a FedTrans suite, exports the largest model to a
+// self-contained blob (the format a production coordinator would push to
+// devices), loads it back as an inference-only model, and classifies a
+// few samples.
+//
+// Run with:
+//
+//	go run ./examples/deploy
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"fedtrans"
+)
+
+func main() {
+	opts := fedtrans.DefaultOptions()
+	opts.Clients = 24
+	opts.Rounds = 50
+	opts.ClientsPerRound = 8
+
+	session, err := fedtrans.NewSession(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("training...")
+	summary := session.Run()
+	fmt.Printf("trained %d models, mean accuracy %.1f%%\n",
+		len(summary.Models), summary.MeanAccuracy*100)
+
+	// Export the largest suite member.
+	best := len(summary.Models) - 1
+	blob, err := session.ExportModel(best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exported model %d (%s): %d bytes on the wire\n",
+		best, summary.Models[best].Arch, len(blob))
+
+	// ...ship the blob to a device, then:
+	deployed, err := fedtrans.LoadModel(blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := deployed.Info()
+	fmt.Printf("loaded: %s (%d params, %.0f MACs/sample)\n\n", info.Arch, info.Params, info.MACs)
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 3; i++ {
+		features := make([]float64, 64)
+		for j := range features {
+			features[j] = rng.NormFloat64()
+		}
+		class, err := deployed.Predict(features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sample %d -> class %d\n", i, class)
+	}
+}

@@ -1,0 +1,54 @@
+// Command transform demonstrates the model-transformation machinery in
+// isolation: it builds a small dense model, widens and deepens its cells
+// with function-preserving weight inheritance, and verifies that the
+// transformed models produce (numerically) identical outputs before any
+// further training — the paper's warm-up property (§4.1).
+//
+// Run with:
+//
+//	go run ./examples/transform
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(42))
+	spec := model.Spec{Family: "dense", Input: []int{16}, Hidden: []int{8, 8}, Classes: 4}
+	parent := spec.Build(rng)
+
+	// A probe batch to compare function outputs.
+	x := tensor.New(5, 16)
+	x.RandNormal(rng, 1)
+	parentOut := parent.Forward(x)
+
+	fmt.Printf("parent : %-40s %6.0f MACs %5d params\n",
+		parent.ArchString(), parent.MACsPerSample(), parent.ParamCount())
+
+	// Widen cell 0 by 2x (Net2Wider duplication + outgoing compensation).
+	widened := parent.Derive(0)
+	widened.WidenCell(0, 2, rng)
+	wOut := widened.Forward(x)
+	fmt.Printf("widened: %-40s %6.0f MACs %5d params  function-preserved=%v\n",
+		widened.ArchString(), widened.MACsPerSample(), widened.ParamCount(),
+		tensor.Equal(parentOut, wOut, 1e-9))
+
+	// Deepen cell 1 (identity insertion).
+	deepened := parent.Derive(0)
+	deepened.DeepenCell(1)
+	dOut := deepened.Forward(x)
+	fmt.Printf("deepened: %-39s %6.0f MACs %5d params  function-preserved=%v\n",
+		deepened.ArchString(), deepened.MACsPerSample(), deepened.ParamCount(),
+		tensor.Equal(parentOut, dOut, 1e-9))
+
+	// Architectural similarity (§4.2) relates suite members.
+	fmt.Printf("\nsim(parent, widened) = %.3f\n", model.Sim(parent, widened))
+	fmt.Printf("sim(parent, deepened) = %.3f\n", model.Sim(parent, deepened))
+	fmt.Printf("sim(widened, deepened) = %.3f\n", model.Sim(widened, deepened))
+	fmt.Printf("sim(parent, parent)  = %.3f\n", model.Sim(parent, parent))
+}

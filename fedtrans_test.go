@@ -1,0 +1,197 @@
+package fedtrans
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultOptionsMatchPaper(t *testing.T) {
+	o := DefaultOptions()
+	if o.LocalSteps != 20 || o.BatchSize != 10 || o.LearningRate != 0.05 {
+		t.Errorf("local training defaults %+v do not match §5.1", o)
+	}
+	if o.Alpha != 0.9 {
+		t.Errorf("alpha default = %v, want 0.9", o.Alpha)
+	}
+	if o.WidenFactor != 2 || o.DeepenCells != 1 {
+		t.Errorf("transformation degrees = %v/%v", o.WidenFactor, o.DeepenCells)
+	}
+}
+
+func TestNewSessionValidation(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Profile = "mnist-unknown"
+	if _, err := NewSession(opts); err == nil {
+		t.Error("unknown profile must fail")
+	}
+	opts = DefaultOptions()
+	opts.Clients = 5
+	opts.ClientsPerRound = 10
+	if _, err := NewSession(opts); err == nil {
+		t.Error("participants > clients must fail")
+	}
+}
+
+func TestZeroOptionsFilled(t *testing.T) {
+	s, err := NewSession(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.opts.Profile != "femnist" || s.opts.Rounds != 120 {
+		t.Errorf("defaults not applied: %+v", s.opts)
+	}
+}
+
+func TestEndToEndRun(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clients = 16
+	opts.Rounds = 30
+	opts.ClientsPerRound = 6
+	sum, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanAccuracy < 2.0/16 {
+		t.Errorf("accuracy %.3f below 2x chance", sum.MeanAccuracy)
+	}
+	if len(sum.ClientAccuracy) != 16 {
+		t.Errorf("per-client accuracies = %d", len(sum.ClientAccuracy))
+	}
+	if len(sum.Models) == 0 {
+		t.Fatal("no models reported")
+	}
+	if !strings.Contains(sum.Models[0].Arch, "head(") {
+		t.Errorf("arch string %q malformed", sum.Models[0].Arch)
+	}
+	if sum.TrainMACs <= 0 || sum.NetworkBytes <= 0 || sum.StorageBytes <= 0 {
+		t.Errorf("cost summary incomplete: %+v", sum)
+	}
+	if sum.Rounds != 30 && sum.Rounds <= 0 {
+		t.Errorf("rounds = %d", sum.Rounds)
+	}
+}
+
+func TestSessionDisparity(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clients = 30
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DeviceDisparity() <= 1 {
+		t.Errorf("disparity = %v", s.DeviceDisparity())
+	}
+	if len(s.Models()) != 1 {
+		t.Errorf("pre-run suite should hold the initial model only")
+	}
+}
+
+func TestRunDeterminismAcrossProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two runs per profile")
+	}
+	for _, p := range []string{"femnist", "vit"} {
+		opts := DefaultOptions()
+		opts.Profile = p
+		opts.Clients = 10
+		opts.Rounds = 10
+		opts.ClientsPerRound = 4
+		a, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.MeanAccuracy != b.MeanAccuracy {
+			t.Errorf("%s: nondeterministic accuracy %v vs %v", p, a.MeanAccuracy, b.MeanAccuracy)
+		}
+	}
+}
+
+func TestMeanHelper(t *testing.T) {
+	if Mean([]float64{1, 3}) != 2 {
+		t.Error("Mean helper wrong")
+	}
+}
+
+func TestRunWithDropoutAndGuidedSelection(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clients = 14
+	opts.Rounds = 20
+	opts.ClientsPerRound = 6
+	opts.DropoutRate = 0.2
+	opts.GuidedSelection = true
+	sum, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.MeanAccuracy < 1.5/16 {
+		t.Errorf("accuracy %.3f collapsed under dropout+guided selection", sum.MeanAccuracy)
+	}
+}
+
+func TestExportAndDeploy(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clients = 12
+	opts.Rounds = 15
+	opts.ClientsPerRound = 5
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	blob, err := s.ExportModel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ExportModel(99); err == nil {
+		t.Error("out-of-range export must fail")
+	}
+	d, err := LoadModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := d.Info()
+	if info.Params <= 0 || info.MACs <= 0 {
+		t.Errorf("deployed info %+v", info)
+	}
+	features := make([]float64, 64)
+	y, err := d.Predict(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y < 0 || y >= 16 {
+		t.Errorf("prediction %d out of class range", y)
+	}
+	if _, err := d.Predict(make([]float64, 7)); err == nil {
+		t.Error("wrong feature dim must fail")
+	}
+	batch, err := d.PredictBatch([][]float64{features, features})
+	if err != nil || len(batch) != 2 {
+		t.Errorf("batch prediction: %v %v", batch, err)
+	}
+	if _, err := LoadModel([]byte("junk")); err == nil {
+		t.Error("junk blob must fail")
+	}
+}
+
+func TestPersonalizedPass(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clients = 12
+	opts.Rounds = 20
+	opts.ClientsPerRound = 5
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := s.Run()
+	pers := s.Personalized(25)
+	if len(pers) != opts.Clients {
+		t.Fatalf("personalized accs = %d", len(pers))
+	}
+	if Mean(pers) < sum.MeanAccuracy-0.1 {
+		t.Errorf("personalization hurt badly: %.3f vs %.3f", Mean(pers), sum.MeanAccuracy)
+	}
+}

@@ -1,0 +1,25 @@
+package fedtrans
+
+import (
+	"math/rand"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/model"
+)
+
+// initialSpec mirrors Appendix A.1's per-dataset initial models at
+// reproduction scale.
+func initialSpec(profile string, ds *data.Dataset) model.Spec {
+	switch profile {
+	case "cifar10":
+		return model.MobileNetLikeSpec(ds.InputShape[0], ds.InputShape[1], ds.InputShape[2], ds.Classes)
+	case "speech", "openimage":
+		return model.ResNetLikeSpec(ds.InputShape[0], ds.InputShape[1], ds.InputShape[2], ds.Classes)
+	case "vit":
+		return model.ViTLikeSpec(ds.InputShape[0], ds.InputShape[1], 8, ds.Classes)
+	default:
+		return model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+	}
+}
+
+func randFor(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

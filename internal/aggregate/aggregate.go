@@ -1,0 +1,276 @@
+// Package aggregate implements the paper's Model Aggregator (§4.3):
+// sample-weighted FedAvg within each model, plus soft inter-model weight
+// sharing (Eq. 5) that borrows updates from architecturally similar models
+// with a round-decaying factor η, cropping tensors to shape as in HeteroFL.
+// Sharing from larger (newer) models into smaller ones ("l2s") is disabled
+// by default, which Table 1 shows is critical for small-model accuracy.
+package aggregate
+
+import (
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+// Update is one client's round contribution for a specific model.
+type Update struct {
+	ModelID int
+	Weights []*tensor.Tensor
+	Samples int
+	Loss    float64
+}
+
+// FedAvg replaces dst's weights with the sample-weighted average of the
+// updates (all shaped exactly like dst). It returns the weighted mean
+// training loss and the total sample count; with no updates it leaves dst
+// unchanged and returns ok=false.
+func FedAvg(dst *model.Model, updates []Update) (meanLoss float64, samples int, ok bool) {
+	if len(updates) == 0 {
+		return 0, 0, false
+	}
+	params := dst.Params()
+	acc := make([][]float64, len(params))
+	for i, p := range params {
+		acc[i] = make([]float64, p.Len())
+	}
+	total := 0.0
+	lossSum := 0.0
+	for _, u := range updates {
+		w := float64(u.Samples)
+		if w <= 0 {
+			w = 1
+		}
+		total += w
+		lossSum += u.Loss * w
+		for i, t := range u.Weights {
+			for j, v := range t.Data {
+				acc[i][j] += v * w
+			}
+		}
+	}
+	inv := 1.0 / total
+	for i, p := range params {
+		for j := range p.Data {
+			p.Data[j] = acc[i][j] * inv
+		}
+	}
+	return lossSum * inv, int(total), true
+}
+
+// SoftConfig parameterizes inter-model soft aggregation.
+type SoftConfig struct {
+	// Eta is the per-round decay base of Eq. 5 (default 0.98, Table 7's
+	// decay factor). The cross-model contribution of model i to model j
+	// is weighted by eta^t * sim(Mi, Mj), shrinking as training matures.
+	Eta float64
+	// AllowL2S permits weight flow from larger/newer models to smaller
+	// ones. The paper disables this (Table 1: enabling it costs 15-23
+	// accuracy points).
+	AllowL2S bool
+	// DisableDecay freezes eta^t at 1 (the Table 3 "-d" ablation).
+	DisableDecay bool
+}
+
+// DefaultSoftConfig returns the paper defaults.
+func DefaultSoftConfig() SoftConfig { return SoftConfig{Eta: 0.98} }
+
+// snapshot captures one model's weights keyed by cell ancestry so
+// contributions can be aligned across architecturally different suite
+// members: cells that share weights through the transformation lineage
+// share an AncestorID regardless of their position (deepen insertions
+// shift positions but never ancestry).
+type snapshot struct {
+	cells map[int64][]*tensor.Tensor
+	head  []*tensor.Tensor
+}
+
+func snapshotOf(m *model.Model) snapshot {
+	s := snapshot{cells: make(map[int64][]*tensor.Tensor, len(m.Cells))}
+	for i := range m.Cells {
+		var ps []*tensor.Tensor
+		for _, p := range m.Cells[i].Cell.Params() {
+			ps = append(ps, p.Clone())
+		}
+		s.cells[m.Cells[i].AncestorID] = ps
+	}
+	for _, p := range m.Head.Params() {
+		s.head = append(s.head, p.Clone())
+	}
+	return s
+}
+
+// SoftAggregate applies Eq. 5 to the model suite in place: each model j's
+// weights become a similarity-weighted average over contributions from
+// models i ≤ j (suite order is creation order, so i ≤ j means equal or
+// smaller/earlier models unless AllowL2S is set, in which case all models
+// contribute). Contributor cells are matched to destination cells by
+// lineage (ancestor ID) — positions shift across deepen insertions — and
+// tensors are cropped to the destination shape as in HeteroFL. Cells with
+// no counterpart in a contributor keep the destination's own weights for
+// that contributor's share. All updates are computed from a snapshot so
+// suite ordering does not bias results.
+func SoftAggregate(suite []*model.Model, round int, cfg SoftConfig) {
+	if len(suite) < 2 {
+		return
+	}
+	if cfg.Eta <= 0 {
+		cfg.Eta = 0.98
+	}
+	decay := 1.0
+	if !cfg.DisableDecay {
+		decay = pow(cfg.Eta, round)
+	}
+	snaps := make([]snapshot, len(suite))
+	for i, m := range suite {
+		snaps[i] = snapshotOf(m)
+	}
+	for j, mj := range suite {
+		params := mj.Params()
+		acc := make([][]float64, len(params))
+		wsum := 0.0
+		for i := range acc {
+			acc[i] = make([]float64, params[i].Len())
+		}
+		for i, mi := range suite {
+			if !cfg.AllowL2S && i > j {
+				continue
+			}
+			sim := model.Sim(mi, mj)
+			if sim <= 0 {
+				continue
+			}
+			weight := sim
+			if i != j {
+				weight *= decay
+			}
+			wsum += weight
+			addAligned(acc, mj, snaps[i], weight)
+		}
+		if wsum <= 0 {
+			continue
+		}
+		inv := 1.0 / wsum
+		for i, p := range params {
+			for k := range p.Data {
+				p.Data[k] = acc[i][k] * inv
+			}
+		}
+	}
+}
+
+// addAligned accumulates weight×(contributor snapshot) into acc, walking
+// the destination model's cells and matching the contributor's cells by
+// ancestor ID. Unmatched or shape-incompatible tensors count the
+// destination's own weights so normalization stays consistent.
+func addAligned(acc [][]float64, dst *model.Model, src snapshot, weight float64) {
+	pi := 0
+	addOwn := func(d *tensor.Tensor) {
+		for j := range acc[pi] {
+			acc[pi][j] += d.Data[j] * weight
+		}
+	}
+	addFrom := func(s, d *tensor.Tensor) {
+		if sameShape(s, d) {
+			for j, v := range s.Data {
+				acc[pi][j] += v * weight
+			}
+			return
+		}
+		if s.Rank() != d.Rank() {
+			addOwn(d)
+			return
+		}
+		cropAdd(acc[pi], s, d, weight)
+	}
+	for ci := range dst.Cells {
+		dstParams := dst.Cells[ci].Cell.Params()
+		srcParams, ok := src.cells[dst.Cells[ci].AncestorID]
+		for k, d := range dstParams {
+			if ok && k < len(srcParams) {
+				addFrom(srcParams[k], d)
+			} else {
+				addOwn(d)
+			}
+			pi++
+		}
+	}
+	for k, d := range dst.Head.Params() {
+		if k < len(src.head) {
+			addFrom(src.head[k], d)
+		} else {
+			addOwn(d)
+		}
+		pi++
+	}
+}
+
+func sameShape(a, b *tensor.Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cropAdd adds weight*src into acc over the overlapping region of src and
+// dst shapes; outside the overlap the destination keeps its own value.
+func cropAdd(acc []float64, src, dst *tensor.Tensor, weight float64) {
+	overlap := make([]int, dst.Rank())
+	for i := range overlap {
+		overlap[i] = dst.Shape[i]
+		if src.Shape[i] < overlap[i] {
+			overlap[i] = src.Shape[i]
+		}
+	}
+	idx := make([]int, dst.Rank())
+	var walk func(axis int)
+	walk = func(axis int) {
+		if axis == len(idx) {
+			so, do := 0, 0
+			for i, v := range idx {
+				so = so*src.Shape[i] + v
+				do = do*dst.Shape[i] + v
+			}
+			acc[do] += src.Data[so] * weight
+			return
+		}
+		for v := 0; v < overlap[axis]; v++ {
+			idx[axis] = v
+			walk(axis + 1)
+		}
+	}
+	walk(0)
+	// Non-overlapping destination entries keep their own value.
+	var walkDst func(axis int, inOverlap bool)
+	walkDst = func(axis int, inOverlap bool) {
+		if axis == len(idx) {
+			if !inOverlap {
+				do := 0
+				for i, v := range idx {
+					do = do*dst.Shape[i] + v
+				}
+				acc[do] += dst.Data[do] * weight
+			}
+			return
+		}
+		for v := 0; v < dst.Shape[axis]; v++ {
+			idx[axis] = v
+			walkDst(axis+1, inOverlap && v < overlap[axis])
+		}
+	}
+	walkDst(0, true)
+}
+
+func pow(base float64, exp int) float64 {
+	out := 1.0
+	for i := 0; i < exp; i++ {
+		out *= base
+		if out < 1e-9 {
+			return 0
+		}
+	}
+	return out
+}

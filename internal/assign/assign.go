@@ -1,0 +1,168 @@
+// Package assign implements the paper's Client Manager (§4.2):
+// utility-based probabilistic model assignment (Eqs. 2–3) under hardware
+// compatibility constraints, and joint utility learning across
+// architecturally similar models (Eq. 4).
+package assign
+
+import (
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/model"
+)
+
+// Manager tracks per-client utility vectors over the model suite and
+// performs assignment.
+type Manager struct {
+	// utilities[c][modelID] — loss-based utility of each model for client
+	// c. Missing entries default to 0 (the paper's initialization).
+	utilities []map[int]float64
+	// Temperature scales utilities inside the softmax; 1 matches Eq. 3.
+	Temperature float64
+}
+
+// NewManager returns a Manager for n registered clients.
+func NewManager(n int) *Manager {
+	m := &Manager{utilities: make([]map[int]float64, n), Temperature: 1}
+	for i := range m.utilities {
+		m.utilities[i] = make(map[int]float64)
+	}
+	return m
+}
+
+// Compatible returns the suite models whose per-sample MACs do not exceed
+// the client's capacity, in suite order. The initial model (index 0) is
+// always considered compatible so every client can participate, matching
+// the paper's setup where the initial model complexity corresponds to the
+// least capable client.
+func Compatible(suite []*model.Model, capacityMACs float64) []*model.Model {
+	var out []*model.Model
+	for i, m := range suite {
+		if i == 0 || m.MACsPerSample() <= capacityMACs {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Sample picks a model for client c among its compatible models using the
+// softmax of utilities (Eqs. 2–3). It returns the chosen model.
+func (mg *Manager) Sample(c int, compatible []*model.Model, rng *rand.Rand) *model.Model {
+	if len(compatible) == 0 {
+		return nil
+	}
+	if len(compatible) == 1 {
+		return compatible[0]
+	}
+	u := mg.utilities[c]
+	probs := make([]float64, len(compatible))
+	maxU := math.Inf(-1)
+	for i, m := range compatible {
+		v := u[m.ID] / mg.temp()
+		probs[i] = v
+		if v > maxU {
+			maxU = v
+		}
+	}
+	sum := 0.0
+	for i := range probs {
+		probs[i] = math.Exp(probs[i] - maxU)
+		sum += probs[i]
+	}
+	x := rng.Float64() * sum
+	acc := 0.0
+	for i, p := range probs {
+		acc += p
+		if x <= acc {
+			return compatible[i]
+		}
+	}
+	return compatible[len(compatible)-1]
+}
+
+func (mg *Manager) temp() float64 {
+	if mg.Temperature <= 0 {
+		return 1
+	}
+	return mg.Temperature
+}
+
+// Best returns the compatible model with the highest utility for client c
+// (ties broken toward the earlier/smaller model). Used at evaluation time:
+// "we evaluate each client only on its compatible models and assign it the
+// model with the highest utility" (§5.1).
+func (mg *Manager) Best(c int, compatible []*model.Model) *model.Model {
+	if len(compatible) == 0 {
+		return nil
+	}
+	u := mg.utilities[c]
+	best := compatible[0]
+	bestU := u[best.ID]
+	for _, m := range compatible[1:] {
+		if u[m.ID] > bestU {
+			best, bestU = m, u[m.ID]
+		}
+	}
+	return best
+}
+
+// Utility returns client c's utility for a model ID (0 when unexplored).
+func (mg *Manager) Utility(c, modelID int) float64 { return mg.utilities[c][modelID] }
+
+// UpdateJoint applies Eq. 4 after client c trained model trained with the
+// given standardized loss: for every compatible model Mk,
+//
+//	U_k ← U_k − L · sim(Mk, M*)
+//
+// so similar models borrow utility information while a high loss lowers
+// utility. The standardized loss should be z-scored across the round (see
+// StandardizeLosses).
+func (mg *Manager) UpdateJoint(c int, trained *model.Model, stdLoss float64, compatible []*model.Model) {
+	u := mg.utilities[c]
+	for _, mk := range compatible {
+		sim := model.Sim(mk, trained)
+		if sim <= 0 {
+			continue
+		}
+		u[mk.ID] -= stdLoss * sim
+	}
+}
+
+// InheritUtilities copies each client's utility for the parent model into
+// the child model entry, reflecting the paper's Algorithm 1 line "copy the
+// parent model's utility" when a transformation spawns a new model.
+func (mg *Manager) InheritUtilities(parentID, childID int) {
+	for _, u := range mg.utilities {
+		if v, ok := u[parentID]; ok {
+			u[childID] = v
+		}
+	}
+}
+
+// StandardizeLosses z-scores raw per-update losses across a round; with a
+// single update (or zero variance) it returns zeros so utilities move only
+// on relative evidence.
+func StandardizeLosses(losses []float64) []float64 {
+	out := make([]float64, len(losses))
+	if len(losses) < 2 {
+		return out
+	}
+	mean := 0.0
+	for _, l := range losses {
+		mean += l
+	}
+	mean /= float64(len(losses))
+	varSum := 0.0
+	for _, l := range losses {
+		d := l - mean
+		varSum += d * d
+	}
+	std := math.Sqrt(varSum / float64(len(losses)))
+	if std < 1e-9 {
+		return out
+	}
+	for i, l := range losses {
+		out[i] = (l - mean) / std
+	}
+	return out
+}

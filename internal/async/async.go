@@ -1,0 +1,241 @@
+// Package async implements buffered asynchronous federated learning
+// (FedBuff-style; Nguyen et al., AISTATS 2022 — the asynchronous
+// scheduling work the paper's related-work section discusses for
+// straggler mitigation). It complements the synchronous runtime in
+// internal/fl with an event-driven simulator:
+//
+//   - every client trains at its own simulated speed (device trace);
+//   - the server aggregates as soon as K updates are buffered, weighting
+//     each update by a staleness discount 1/sqrt(1+s), where s counts the
+//     server versions that elapsed since the client downloaded;
+//   - a new client is dispatched immediately whenever one finishes, so
+//     concurrency stays constant and stragglers never block progress.
+//
+// The simulator advances virtual wall-clock time, enabling
+// time-to-accuracy comparisons against synchronous FedAvg.
+package async
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/fl"
+	"fedtrans/internal/metrics"
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+// Config parameterizes the asynchronous runtime.
+type Config struct {
+	// Concurrency is the number of clients training simultaneously.
+	Concurrency int
+	// BufferK is the number of buffered updates that triggers a server
+	// aggregation step (FedBuff's K; default 5).
+	BufferK int
+	// MaxServerSteps bounds the run (each step consumes BufferK updates).
+	MaxServerSteps int
+	// ServerLR scales the aggregated delta applied to the global model
+	// (default 1).
+	ServerLR float64
+	// Local configures client training.
+	Local fl.LocalConfig
+	// EvalEvery evaluates every this many server steps (default 5).
+	EvalEvery int
+	// Seed drives client sampling and local training.
+	Seed int64
+}
+
+// DefaultConfig returns FedBuff-style defaults at reproduction scale.
+func DefaultConfig() Config {
+	return Config{
+		Concurrency:    10,
+		BufferK:        5,
+		MaxServerSteps: 100,
+		ServerLR:       1,
+		Local:          fl.DefaultLocalConfig(),
+		EvalEvery:      5,
+		Seed:           1,
+	}
+}
+
+// Result summarizes an asynchronous run.
+type Result struct {
+	MeanAcc float64
+	// TimeCurve traces mean accuracy against simulated wall-clock seconds.
+	TimeCurve metrics.Series
+	// Costs aggregates training MACs and network bytes.
+	Costs metrics.Costs
+	// ServerSteps is the number of aggregation steps performed.
+	ServerSteps int
+	// MeanStaleness is the average staleness (in server versions) of
+	// applied updates.
+	MeanStaleness float64
+	// WallClock is the total simulated duration.
+	WallClock float64
+}
+
+// event is a client completion in the simulated timeline.
+type event struct {
+	at      float64
+	client  int
+	version int // server version when the client downloaded
+	weights []*tensor.Tensor
+	samples int
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Runtime is the asynchronous coordinator.
+type Runtime struct {
+	cfg    Config
+	ds     *data.Dataset
+	trace  *device.Trace
+	global *model.Model
+	rng    *rand.Rand
+}
+
+// New builds an asynchronous runtime around a single global model spec.
+func New(cfg Config, ds *data.Dataset, trace *device.Trace, spec model.Spec) *Runtime {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 10
+	}
+	if cfg.BufferK <= 0 {
+		cfg.BufferK = 5
+	}
+	if cfg.MaxServerSteps <= 0 {
+		cfg.MaxServerSteps = 100
+	}
+	if cfg.ServerLR <= 0 {
+		cfg.ServerLR = 1
+	}
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 5
+	}
+	if cfg.Local.Steps == 0 {
+		cfg.Local = fl.DefaultLocalConfig()
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Runtime{cfg: cfg, ds: ds, trace: trace, global: spec.Build(rng), rng: rng}
+}
+
+// Global exposes the global model.
+func (rt *Runtime) Global() *model.Model { return rt.global }
+
+// dispatch simulates handing the current global model to a random client
+// and schedules its completion event.
+func (rt *Runtime) dispatch(q *eventQueue, now float64, version int, res *Result) {
+	c := rt.rng.Intn(len(rt.ds.Clients))
+	crng := rand.New(rand.NewSource(rt.cfg.Seed + int64(version)*100_003 + int64(c)*7919))
+	lr := fl.TrainLocal(rt.global, &rt.ds.Clients[c], rt.cfg.Local, crng)
+	dur := rt.trace.TrainingTime(c, rt.global.MACsPerSample(),
+		rt.cfg.Local.Steps, rt.cfg.Local.BatchSize, rt.global.Bytes())
+	res.Costs.AddTraining(rt.global.MACsPerSample(), rt.cfg.Local.Steps, rt.cfg.Local.BatchSize)
+	res.Costs.AddTransfer(rt.global.Bytes())
+	heap.Push(q, event{
+		at: now + dur, client: c, version: version,
+		weights: lr.Weights, samples: lr.Samples,
+	})
+}
+
+// Run executes the asynchronous training simulation.
+//
+// Note: the simulation trains each client against the global weights at
+// dispatch time (captured by TrainLocal's clone), so staleness is
+// physically real — by the time the update is applied, the server has
+// moved on.
+func (rt *Runtime) Run() Result {
+	cfg := rt.cfg
+	res := Result{TimeCurve: metrics.Series{Name: "fedbuff"}}
+	res.Costs.ObserveStorage(rt.global.Bytes())
+
+	q := &eventQueue{}
+	heap.Init(q)
+	version := 0
+	now := 0.0
+	for i := 0; i < cfg.Concurrency; i++ {
+		rt.dispatch(q, now, version, &res)
+	}
+
+	type buffered struct {
+		weights   []*tensor.Tensor
+		samples   int
+		staleness int
+	}
+	var buffer []buffered
+	staleSum, staleCnt := 0.0, 0
+
+	for res.ServerSteps < cfg.MaxServerSteps && q.Len() > 0 {
+		e := heap.Pop(q).(event)
+		now = e.at
+		buffer = append(buffer, buffered{
+			weights: e.weights, samples: e.samples, staleness: version - e.version,
+		})
+		// Immediately dispatch a replacement at the current version.
+		rt.dispatch(q, now, version, &res)
+
+		if len(buffer) < cfg.BufferK {
+			continue
+		}
+		// Server step: staleness-discounted weighted average of deltas.
+		params := rt.global.Params()
+		delta := make([][]float64, len(params))
+		for i, p := range params {
+			delta[i] = make([]float64, p.Len())
+		}
+		wsum := 0.0
+		for _, b := range buffer {
+			w := float64(b.samples) / math.Sqrt(1+float64(b.staleness))
+			wsum += w
+			staleSum += float64(b.staleness)
+			staleCnt++
+			for i, p := range params {
+				for j := range p.Data {
+					delta[i][j] += (b.weights[i].Data[j] - p.Data[j]) * w
+				}
+			}
+		}
+		if wsum > 0 {
+			scale := cfg.ServerLR / wsum
+			for i, p := range params {
+				for j := range p.Data {
+					p.Data[j] += delta[i][j] * scale
+				}
+			}
+		}
+		buffer = buffer[:0]
+		version++
+		res.ServerSteps++
+		if res.ServerSteps%cfg.EvalEvery == 0 {
+			res.TimeCurve.Append(now, rt.meanAccuracy())
+		}
+	}
+	res.WallClock = now
+	res.MeanAcc = rt.meanAccuracy()
+	if staleCnt > 0 {
+		res.MeanStaleness = staleSum / float64(staleCnt)
+	}
+	return res
+}
+
+func (rt *Runtime) meanAccuracy() float64 {
+	s := 0.0
+	for c := range rt.ds.Clients {
+		s += fl.EvaluateOn(rt.global, &rt.ds.Clients[c])
+	}
+	return s / float64(len(rt.ds.Clients))
+}

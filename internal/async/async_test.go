@@ -1,0 +1,108 @@
+package async
+
+import (
+	"testing"
+
+	"fedtrans/internal/baselines"
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/model"
+)
+
+func setup(t testing.TB) (*data.Dataset, *device.Trace, model.Spec) {
+	t.Helper()
+	model.ResetIDs()
+	ds := data.Generate(data.Config{Profile: "femnist", Clients: 20, Seed: 5})
+	tr := device.NewTrace(device.TraceConfig{
+		N: 20, MinCapacityMACs: 2_000, MaxCapacityMACs: 64_000, Seed: 9,
+	})
+	spec := model.Spec{Family: "dense", Input: []int{ds.FeatureDim}, Hidden: []int{32}, Classes: ds.Classes}
+	return ds, tr, spec
+}
+
+func TestAsyncLearns(t *testing.T) {
+	ds, tr, spec := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxServerSteps = 60
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	t.Logf("fedbuff acc=%.3f staleness=%.2f wallclock=%.1fs steps=%d",
+		res.MeanAcc, res.MeanStaleness, res.WallClock, res.ServerSteps)
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("async training failed to learn: %.3f", res.MeanAcc)
+	}
+	if res.ServerSteps != 60 {
+		t.Errorf("server steps = %d, want 60", res.ServerSteps)
+	}
+}
+
+func TestAsyncStalenessObserved(t *testing.T) {
+	ds, tr, spec := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxServerSteps = 40
+	cfg.Concurrency = 15 // high concurrency guarantees staleness
+	cfg.BufferK = 3
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.MeanStaleness <= 0 {
+		t.Errorf("mean staleness = %v; async with concurrency 15 must observe stale updates", res.MeanStaleness)
+	}
+}
+
+func TestAsyncWallClockAdvances(t *testing.T) {
+	ds, tr, spec := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxServerSteps = 10
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.WallClock <= 0 {
+		t.Error("wall clock did not advance")
+	}
+	// The time curve must be monotone in time.
+	for i := 1; i < len(res.TimeCurve.X); i++ {
+		if res.TimeCurve.X[i] < res.TimeCurve.X[i-1] {
+			t.Fatal("time curve not monotone")
+		}
+	}
+}
+
+func TestAsyncDeterminism(t *testing.T) {
+	ds, tr, spec := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxServerSteps = 20
+	a := New(cfg, ds, tr, spec).Run()
+	model.ResetIDs()
+	ds2, tr2, spec2 := setup(t)
+	b := New(cfg, ds2, tr2, spec2).Run()
+	if a.MeanAcc != b.MeanAcc || a.WallClock != b.WallClock {
+		t.Errorf("nondeterministic async run: %.4f/%.1f vs %.4f/%.1f",
+			a.MeanAcc, a.WallClock, b.MeanAcc, b.WallClock)
+	}
+}
+
+func TestAsyncMitigatesStragglersInWallClock(t *testing.T) {
+	// Shape test (paper's related-work motivation): for the same number
+	// of aggregate updates, the async runtime's wall-clock should beat a
+	// synchronous schedule, whose every round waits for its slowest
+	// participant.
+	ds, tr, spec := setup(t)
+	cfg := DefaultConfig()
+	cfg.MaxServerSteps = 40
+	cfg.BufferK = 5
+	cfg.Concurrency = 10
+	res := New(cfg, ds, tr, spec).Run()
+
+	bcfg := baselines.DefaultConfig()
+	bcfg.Rounds = 20 // 20 rounds x 10 participants = 200 updates, same as async
+	bcfg.ClientsPerRound = 10
+	sync := baselines.RunFedAvg(bcfg, ds, tr, spec)
+	syncWall := 0.0
+	for _, rt := range sync.RoundTimes {
+		syncWall += rt
+	}
+	t.Logf("async wall=%.1fs sync wall=%.1fs", res.WallClock, syncWall)
+	if res.WallClock >= syncWall {
+		t.Errorf("async (%.1fs) should finish before sync (%.1fs) at equal update budget",
+			res.WallClock, syncWall)
+	}
+}

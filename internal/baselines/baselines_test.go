@@ -1,0 +1,178 @@
+package baselines
+
+import (
+	"testing"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/model"
+)
+
+func testWorkload(t testing.TB) (*data.Dataset, *device.Trace, model.Spec, Config) {
+	t.Helper()
+	model.ResetIDs()
+	ds := data.Generate(data.Config{Profile: "femnist", Clients: 24, Seed: 11})
+	trace := device.NewTrace(device.TraceConfig{
+		N: 24, MinCapacityMACs: 2_000, MaxCapacityMACs: 60_000, Seed: 5,
+	})
+	// "Largest model transformed by FedTrans" stand-in: a two-cell dense
+	// stack.
+	spec := model.Spec{Family: "dense", Input: []int{ds.FeatureDim}, Hidden: []int{64, 64}, Classes: ds.Classes}
+	cfg := DefaultConfig()
+	cfg.Rounds = 40
+	cfg.ClientsPerRound = 8
+	return ds, trace, spec, cfg
+}
+
+func TestHeteroFLLearns(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	h := NewHeteroFL(cfg, ds, trace, spec, 4)
+	if got := len(h.Levels()); got != 4 {
+		t.Fatalf("levels = %d, want 4", got)
+	}
+	// Level widths must halve.
+	for l := 1; l < 4; l++ {
+		if h.Levels()[l].MACsPerSample() >= h.Levels()[l-1].MACsPerSample() {
+			t.Errorf("level %d MACs not smaller than level %d", l, l-1)
+		}
+	}
+	res := h.Run()
+	t.Logf("heterofl meanAcc=%.3f PMACs=%.3g", res.MeanAcc, res.Costs.TrainMACs)
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("HeteroFL failed to learn: %.3f", res.MeanAcc)
+	}
+	if res.Costs.TrainMACs <= 0 {
+		t.Error("missing cost accounting")
+	}
+}
+
+func TestSplitMixLearns(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	s := NewSplitMix(cfg, ds, trace, spec, 4)
+	if len(s.Bases()) != 4 {
+		t.Fatalf("bases = %d, want 4", len(s.Bases()))
+	}
+	res := s.Run()
+	t.Logf("splitmix meanAcc=%.3f PMACs=%.3g", res.MeanAcc, res.Costs.TrainMACs)
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("SplitMix failed to learn: %.3f", res.MeanAcc)
+	}
+}
+
+func TestFLuIDLearns(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	f := NewFLuID(cfg, ds, trace, spec)
+	res := f.Run()
+	t.Logf("fluid meanAcc=%.3f PMACs=%.3g", res.MeanAcc, res.Costs.TrainMACs)
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("FLuID failed to learn: %.3f", res.MeanAcc)
+	}
+}
+
+func TestSingleModelBaselines(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	cfg.Rounds = 30
+	avg := RunFedAvg(cfg, ds, trace, spec)
+	prox := RunFedProx(cfg, ds, trace, spec, 0.1)
+	yogi := RunFedYogi(cfg, ds, trace, spec, 0.02)
+	t.Logf("fedavg=%.3f fedprox=%.3f fedyogi=%.3f", avg.MeanAcc, prox.MeanAcc, yogi.MeanAcc)
+	chance := 1.0 / float64(ds.Classes)
+	for name, r := range map[string]float64{"fedavg": avg.MeanAcc, "fedprox": prox.MeanAcc, "fedyogi": yogi.MeanAcc} {
+		if r < 2*chance {
+			t.Errorf("%s failed to learn: %.3f", name, r)
+		}
+	}
+}
+
+func TestCentralizedUpperBound(t *testing.T) {
+	ds, _, spec, cfg := testWorkload(t)
+	acc, macs := RunCentralized(cfg, ds, spec, 4)
+	t.Logf("centralized acc=%.3f macs=%.3g", acc, macs)
+	if acc < 3.0/float64(ds.Classes) {
+		t.Errorf("centralized training failed to learn: %.3f", acc)
+	}
+	if macs <= 0 {
+		t.Error("centralized MACs not counted")
+	}
+}
+
+func TestFedRolexLearns(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	f := NewFedRolex(cfg, ds, trace, spec, 4)
+	res := f.Run()
+	t.Logf("fedrolex meanAcc=%.3f PMACs=%.3g", res.MeanAcc, res.Costs.TrainMACs)
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("FedRolex failed to learn: %.3f", res.MeanAcc)
+	}
+}
+
+func TestFedRolexWindowRolls(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	f := NewFedRolex(cfg, ds, trace, spec, 4)
+	s0 := f.windowSets(0.5, 0)
+	s1 := f.windowSets(0.5, 1)
+	// The half-width window must shift by one unit between rounds.
+	found := false
+	for i := range s0 {
+		if s0[i] == nil {
+			continue
+		}
+		found = true
+		if len(s0[i]) != len(s1[i]) {
+			t.Fatalf("window size changed between rounds: %v vs %v", s0[i], s1[i])
+		}
+		same := true
+		for j := range s0[i] {
+			if s0[i][j] != s1[i][j] {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("cell %d window did not roll: %v", i, s0[i])
+		}
+	}
+	if !found {
+		t.Fatal("no windowed cells at ratio 0.5")
+	}
+}
+
+func TestFedRolexWindowWraps(t *testing.T) {
+	ds, trace, spec, cfg := testWorkload(t)
+	f := NewFedRolex(cfg, ds, trace, spec, 4)
+	n := 64 // hidden width of the test spec
+	sets := f.windowSets(0.5, n-1)
+	for _, set := range sets {
+		if set == nil {
+			continue
+		}
+		// Offset n-1 with width n/2 wraps: must contain both unit n-1 and
+		// unit 0.
+		has := map[int]bool{}
+		for _, u := range set {
+			has[u] = true
+		}
+		if !has[n-1] || !has[0] {
+			t.Errorf("wrapped window missing boundary units: %v", set)
+		}
+	}
+}
+
+func TestFedRolexExtractPreservesWindowFunction(t *testing.T) {
+	// The sub-model must compute exactly what the global model would with
+	// only the window units active — verified by scattering the sub-model
+	// back unchanged and checking the global is untouched.
+	ds, trace, spec, cfg := testWorkload(t)
+	f := NewFedRolex(cfg, ds, trace, spec, 4)
+	before := f.global.CopyWeights()
+	sets := f.windowSets(0.5, 3)
+	sub := f.extract(sets)
+	f.aggregateRolex([]rolexUpdate{{sub: sub, sets: sets}})
+	after := f.global.Params()
+	for i := range after {
+		for j := range after[i].Data {
+			if diff := after[i].Data[j] - before[i].Data[j]; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("scattering an untrained sub-model changed global param %d[%d]", i, j)
+			}
+		}
+	}
+}

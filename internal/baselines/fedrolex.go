@@ -1,0 +1,271 @@
+package baselines
+
+import (
+	"math/rand"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/fl"
+	"fedtrans/internal/metrics"
+	"fedtrans/internal/model"
+	"fedtrans/internal/nn"
+)
+
+// FedRolex implements rolling sub-model extraction (Alam et al., NeurIPS
+// 2022, cited in the paper's related work): like HeteroFL, clients train
+// width-reduced sub-models of a shared global model, but the extraction
+// window *rolls* cyclically over the hidden units each round so every
+// global parameter is trained evenly — fixing HeteroFL's bias toward the
+// top-left crop. Dense stacks only (the family used by the scaled-down
+// comparisons).
+type FedRolex struct {
+	cfg    Config
+	ds     *data.Dataset
+	trace  *device.Trace
+	global *model.Model
+	ratios []float64
+	rng    *rand.Rand
+}
+
+// NewFedRolex builds the global model and the per-level width ratios
+// (1, 1/2, 1/4, ...).
+func NewFedRolex(cfg Config, ds *data.Dataset, trace *device.Trace, largest model.Spec, numLevels int) *FedRolex {
+	if numLevels < 1 {
+		numLevels = 4
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &FedRolex{cfg: cfg, ds: ds, trace: trace, global: largest.Build(rng), rng: rng}
+	r := 1.0
+	for l := 0; l < numLevels; l++ {
+		f.ratios = append(f.ratios, r)
+		r /= 2
+	}
+	return f
+}
+
+// Global exposes the global model.
+func (f *FedRolex) Global() *model.Model { return f.global }
+
+// levelFor picks the largest ratio whose sub-model fits the capacity.
+func (f *FedRolex) levelFor(capacity float64) int {
+	full := f.global.MACsPerSample()
+	for l, r := range f.ratios {
+		// Dense MACs scale ~quadratically in interior widths; r^2 is a
+		// conservative estimate of the sub-model cost fraction.
+		if full*r*r <= capacity {
+			return l
+		}
+	}
+	return len(f.ratios) - 1
+}
+
+// windowSets returns, per dense cell, the cyclic window of kept units for
+// the given ratio at the given round (nil = full width).
+func (f *FedRolex) windowSets(ratio float64, round int) [][]int {
+	sets := make([][]int, len(f.global.Cells))
+	if ratio >= 1 {
+		return sets
+	}
+	for i := range f.global.Cells {
+		d, ok := f.global.Cells[i].Cell.(*nn.DenseCell)
+		if !ok {
+			continue
+		}
+		n := d.OutDim()
+		keep := int(float64(n)*ratio + 0.5)
+		if keep < 1 {
+			keep = 1
+		}
+		if keep >= n {
+			continue
+		}
+		off := round % n
+		set := make([]int, keep)
+		for j := range set {
+			set[j] = (off + j) % n
+		}
+		sortInts(set)
+		sets[i] = set
+	}
+	return sets
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// extract builds the sub-model for the given window sets.
+func (f *FedRolex) extract(sets [][]int) *model.Model {
+	sub := f.global.Clone()
+	var prev []int
+	for i := range sub.Cells {
+		d, ok := sub.Cells[i].Cell.(*nn.DenseCell)
+		if !ok {
+			prev = nil
+			continue
+		}
+		if prev != nil {
+			shrinkDenseIn(d, prev)
+		}
+		if sets[i] != nil {
+			shrinkDenseOut(d, sets[i])
+		}
+		prev = sets[i]
+	}
+	if prev != nil {
+		shrinkDenseIn(sub.Head, prev)
+	}
+	return sub
+}
+
+// rolexUpdate is one client's contribution: the trained sub-model plus the
+// window sets it was extracted with.
+type rolexUpdate struct {
+	sub  *model.Model
+	sets [][]int
+}
+
+// aggregateRolex averages every covered global coordinate across updates.
+func (f *FedRolex) aggregateRolex(updates []rolexUpdate) {
+	if len(updates) == 0 {
+		return
+	}
+	params := f.global.Params()
+	acc := make([][]float64, len(params))
+	cnt := make([][]float64, len(params))
+	for i, p := range params {
+		acc[i] = make([]float64, p.Len())
+		cnt[i] = make([]float64, p.Len())
+	}
+	for _, u := range updates {
+		f.scatter(u, acc, cnt)
+	}
+	for i, p := range params {
+		for j := range p.Data {
+			if cnt[i][j] > 0 {
+				p.Data[j] = acc[i][j] / cnt[i][j]
+			}
+		}
+	}
+}
+
+// scatter maps a sub-model's dense weights back to global coordinates.
+func (f *FedRolex) scatter(u rolexUpdate, acc, cnt [][]float64) {
+	pi := 0 // parameter tensor index, walked in Params() order
+	var prev []int
+	for i := range f.global.Cells {
+		gd, ok := f.global.Cells[i].Cell.(*nn.DenseCell)
+		if !ok {
+			prev = nil
+			continue
+		}
+		sd := u.sub.Cells[i].Cell.(*nn.DenseCell)
+		outSet := u.sets[i]
+		if outSet == nil {
+			outSet = identitySet(gd.OutDim())
+		}
+		inSet := prev
+		if inSet == nil {
+			inSet = identitySet(gd.InDim())
+		}
+		// W (in, out), then B (out).
+		gw, gb := acc[pi], acc[pi+1]
+		cw, cb := cnt[pi], cnt[pi+1]
+		gout := gd.OutDim()
+		for si, gi := range inSet {
+			for sj, gj := range outSet {
+				idx := gi*gout + gj
+				gw[idx] += sd.W.At(si, sj)
+				cw[idx]++
+			}
+		}
+		for sj, gj := range outSet {
+			gb[gj] += sd.B.Data[sj]
+			cb[gj]++
+		}
+		pi += 2
+		prev = u.sets[i]
+	}
+	// Head.
+	gh, sh := f.global.Head, u.sub.Head
+	inSet := prev
+	if inSet == nil {
+		inSet = identitySet(gh.InDim())
+	}
+	gw, gb := acc[pi], acc[pi+1]
+	cw, cb := cnt[pi], cnt[pi+1]
+	gout := gh.OutDim()
+	for si, gi := range inSet {
+		for k := 0; k < gout; k++ {
+			idx := gi*gout + k
+			gw[idx] += sh.W.At(si, k)
+			cw[idx]++
+		}
+	}
+	for k := 0; k < gout; k++ {
+		gb[k] += sh.B.Data[k]
+		cb[k]++
+	}
+}
+
+// Run executes FedRolex training.
+func (f *FedRolex) Run() fl.Result {
+	cfg := f.cfg
+	res := fl.Result{CostCurve: metrics.Series{Name: "fedrolex"}}
+	res.Costs.ObserveStorage(f.global.Bytes())
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 5
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		selected := fl.SelectClients(len(f.ds.Clients), cfg.ClientsPerRound, f.rng)
+		var updates []rolexUpdate
+		roundTime := 0.0
+		for _, c := range selected {
+			l := f.levelFor(f.trace.Devices[c].CapacityMACs)
+			sets := f.windowSets(f.ratios[l], round)
+			sub := f.extract(sets)
+			lr := fl.TrainLocal(sub, &f.ds.Clients[c], cfg.Local, f.rng)
+			sub.SetWeights(lr.Weights)
+			updates = append(updates, rolexUpdate{sub: sub, sets: sets})
+			res.Costs.AddTraining(sub.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
+			res.Costs.AddTransfer(sub.Bytes())
+			if t := f.trace.TrainingTime(c, sub.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, sub.Bytes()); t > roundTime {
+				roundTime = t
+			}
+		}
+		res.RoundTimes = append(res.RoundTimes, roundTime)
+		f.aggregateRolex(updates)
+		res.RoundsRun = round + 1
+		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
+			accs := f.evaluate(round)
+			res.CostCurve.Append(res.Costs.TrainMACs, metrics.Mean(accs))
+		}
+	}
+	accs := f.evaluate(cfg.Rounds)
+	res.ClientAcc = accs
+	res.MeanAcc = metrics.Mean(accs)
+	res.Box = metrics.Box(accs)
+	res.SuiteArch = []string{f.global.ArchString()}
+	res.SuiteMACs = []float64{f.global.MACsPerSample()}
+	return res
+}
+
+// evaluate gives each client its capacity-level sub-model at the current
+// window position.
+func (f *FedRolex) evaluate(round int) []float64 {
+	accs := make([]float64, len(f.ds.Clients))
+	for c := range f.ds.Clients {
+		l := f.levelFor(f.trace.Devices[c].CapacityMACs)
+		m := f.global
+		if f.ratios[l] < 1 {
+			m = f.extract(f.windowSets(f.ratios[l], round))
+		}
+		accs[c] = fl.EvaluateOn(m, &f.ds.Clients[c])
+	}
+	return accs
+}

@@ -1,0 +1,314 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/fl"
+	"fedtrans/internal/metrics"
+	"fedtrans/internal/model"
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+// FLuID implements invariant dropout (Wang et al., NeurIPS 2024): a single
+// global model whose straggler clients receive width-reduced submodels
+// built by dropping the hidden units whose weights changed least
+// ("invariant" neurons), so the dropped capacity hurts the model minimum.
+// Updated submodel weights merge back into the global model at the kept
+// unit positions only.
+//
+// The re-implementation supports dense stacks (the other families fall
+// back to training the full model), which matches how the paper compares
+// against it: on capacity-constrained width reduction of a shared model.
+type FLuID struct {
+	cfg    Config
+	ds     *data.Dataset
+	trace  *device.Trace
+	global *model.Model
+	// updateMag tracks the per-unit update magnitude EMA of every dense
+	// cell's output units, indexed by cell position.
+	updateMag [][]float64
+	rng       *rand.Rand
+}
+
+// NewFLuID builds the global model from the given (largest) spec.
+func NewFLuID(cfg Config, ds *data.Dataset, trace *device.Trace, largest model.Spec) *FLuID {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &FLuID{cfg: cfg, ds: ds, trace: trace, global: largest.Build(rng), rng: rng}
+	f.updateMag = make([][]float64, len(f.global.Cells))
+	for i := range f.global.Cells {
+		if d, ok := f.global.Cells[i].Cell.(*nn.DenseCell); ok {
+			f.updateMag[i] = make([]float64, d.OutDim())
+		}
+	}
+	return f
+}
+
+// Global exposes the global model.
+func (f *FLuID) Global() *model.Model { return f.global }
+
+// keepFractionFor converts capacity into the fraction of hidden units a
+// straggler keeps (1 when the full model fits).
+func (f *FLuID) keepFractionFor(capacity float64) float64 {
+	full := f.global.MACsPerSample()
+	if capacity >= full {
+		return 1
+	}
+	// Dense-stack MACs scale roughly quadratically in width for interior
+	// cells; use sqrt to map a MAC budget to a width fraction, floored so
+	// the sub-model keeps at least a tenth of the units.
+	frac := math.Sqrt(capacity / full)
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	return frac
+}
+
+// keepSets returns, per dense cell, the sorted indices of units a client
+// with the given keep fraction retains: the units with the largest update
+// magnitudes (ties broken by index), i.e. invariant units are dropped.
+func (f *FLuID) keepSets(frac float64) [][]int {
+	sets := make([][]int, len(f.global.Cells))
+	for i, mags := range f.updateMag {
+		if mags == nil {
+			continue
+		}
+		n := len(mags)
+		keep := int(float64(n)*frac + 0.5)
+		if keep < 1 {
+			keep = 1
+		}
+		if keep >= n {
+			continue // full width, no dropout for this cell
+		}
+		order := make([]int, n)
+		for j := range order {
+			order[j] = j
+		}
+		sort.SliceStable(order, func(a, b int) bool { return mags[order[a]] > mags[order[b]] })
+		set := append([]int(nil), order[:keep]...)
+		sort.Ints(set)
+		sets[i] = set
+	}
+	return sets
+}
+
+// subModel extracts the submodel keeping only the listed units per dense
+// cell (nil = all units). The head keeps all classes.
+func (f *FLuID) subModel(sets [][]int) *model.Model {
+	sub := f.global.Clone()
+	for i := range sub.Cells {
+		set := sets[i]
+		if set == nil {
+			continue
+		}
+		d := sub.Cells[i].Cell.(*nn.DenseCell)
+		// Shrink this cell's output and the next parameterized cell's
+		// input to the kept units.
+		shrinkDenseOut(d, set)
+		if i+1 < len(sub.Cells) {
+			if nd, ok := sub.Cells[i+1].Cell.(*nn.DenseCell); ok {
+				shrinkDenseIn(nd, set)
+				continue
+			}
+		}
+		shrinkDenseIn(sub.Head, set)
+	}
+	return sub
+}
+
+func shrinkDenseOut(d *nn.DenseCell, keep []int) {
+	in := d.InDim()
+	w := tensor.New(in, len(keep))
+	b := tensor.New(len(keep))
+	for j, src := range keep {
+		b.Data[j] = d.B.Data[src]
+		for i := 0; i < in; i++ {
+			w.Data[i*len(keep)+j] = d.W.At(i, src)
+		}
+	}
+	d.W, d.B = w, b
+	d.GW, d.GB = tensor.New(in, len(keep)), tensor.New(len(keep))
+}
+
+func shrinkDenseIn(d *nn.DenseCell, keep []int) {
+	out := d.OutDim()
+	w := tensor.New(len(keep), out)
+	for j, src := range keep {
+		for k := 0; k < out; k++ {
+			w.Data[j*out+k] = d.W.At(src, k)
+		}
+	}
+	d.W = w
+	d.GW = tensor.New(len(keep), out)
+}
+
+// mergeBack writes submodel weights into the global model at the kept
+// positions and refreshes the per-unit update-magnitude EMA (one bump per
+// unit using the mean absolute weight delta).
+func (f *FLuID) mergeBack(sub *model.Model, sets [][]int) {
+	var prevSet []int
+	for i := range f.global.Cells {
+		gd, ok := f.global.Cells[i].Cell.(*nn.DenseCell)
+		if !ok {
+			prevSet = nil
+			continue
+		}
+		sd := sub.Cells[i].Cell.(*nn.DenseCell)
+		outSet := sets[i]
+		if outSet == nil {
+			outSet = identitySet(gd.OutDim())
+		}
+		inSet := prevSet
+		if inSet == nil {
+			inSet = identitySet(gd.InDim())
+		}
+		for sj, gj := range outSet {
+			sumAbs := math.Abs(sd.B.Data[sj] - gd.B.Data[gj])
+			gd.B.Data[gj] = sd.B.Data[sj]
+			for si, gi := range inSet {
+				nv := sd.W.At(si, sj)
+				sumAbs += math.Abs(nv - gd.W.At(gi, gj))
+				gd.W.Set(gi, gj, nv)
+			}
+			f.bumpMag(i, gj, sumAbs/float64(len(inSet)+1))
+		}
+		prevSet = outSet
+	}
+	// Head merge: input units follow the last cell's kept set.
+	inSet := prevSet
+	if inSet == nil {
+		inSet = identitySet(f.global.Head.InDim())
+	}
+	gh, sh := f.global.Head, sub.Head
+	for k := 0; k < gh.OutDim(); k++ {
+		gh.B.Data[k] = sh.B.Data[k]
+		for si, gi := range inSet {
+			gh.W.Set(gi, k, sh.W.At(si, k))
+		}
+	}
+}
+
+func (f *FLuID) bumpMag(cell, unit int, meanAbsDelta float64) {
+	const ema = 0.8
+	m := f.updateMag[cell]
+	if m == nil {
+		return
+	}
+	m[unit] = ema*m[unit] + (1-ema)*meanAbsDelta
+}
+
+func identitySet(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// Run executes FLuID training. Aggregation follows the paper: the global
+// model averages full-model updates; straggler submodels merge back into
+// their kept coordinates. For simplicity each round applies updates
+// sequentially in selection order (equivalent to small-client FedAvg with
+// immediate merging, which preserves the comparison's cost and accuracy
+// structure).
+func (f *FLuID) Run() fl.Result {
+	cfg := f.cfg
+	res := fl.Result{CostCurve: metrics.Series{Name: "fluid"}}
+	res.Costs.ObserveStorage(f.global.Bytes())
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = 5
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		selected := fl.SelectClients(len(f.ds.Clients), cfg.ClientsPerRound, f.rng)
+		roundTime := 0.0
+		type fullUpd struct {
+			weights []*tensor.Tensor
+			samples int
+		}
+		var fullUpdates []fullUpd
+		for _, c := range selected {
+			frac := f.keepFractionFor(f.trace.Devices[c].CapacityMACs)
+			if frac >= 1 {
+				lr := fl.TrainLocal(f.global, &f.ds.Clients[c], cfg.Local, f.rng)
+				fullUpdates = append(fullUpdates, fullUpd{weights: lr.Weights, samples: lr.Samples})
+				res.Costs.AddTraining(f.global.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
+				res.Costs.AddTransfer(f.global.Bytes())
+				if t := f.trace.TrainingTime(c, f.global.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, f.global.Bytes()); t > roundTime {
+					roundTime = t
+				}
+				continue
+			}
+			sets := f.keepSets(frac)
+			sub := f.subModel(sets)
+			lr := fl.TrainLocal(sub, &f.ds.Clients[c], cfg.Local, f.rng)
+			sub.SetWeights(lr.Weights)
+			f.mergeBack(sub, sets)
+			res.Costs.AddTraining(sub.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
+			res.Costs.AddTransfer(sub.Bytes())
+			if t := f.trace.TrainingTime(c, sub.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, sub.Bytes()); t > roundTime {
+				roundTime = t
+			}
+		}
+		// Average full-model updates (with current global as one voter so
+		// straggler merges are not erased).
+		if len(fullUpdates) > 0 {
+			params := f.global.Params()
+			acc := make([][]float64, len(params))
+			for i, p := range params {
+				acc[i] = make([]float64, p.Len())
+				copy(acc[i], p.Data)
+			}
+			total := 1.0
+			for _, u := range fullUpdates {
+				w := float64(u.samples)
+				if w <= 0 {
+					w = 1
+				}
+				total += w
+				for i := range params {
+					for j, v := range u.weights[i].Data {
+						acc[i][j] += v * w
+					}
+				}
+			}
+			for i, p := range params {
+				for j := range p.Data {
+					p.Data[j] = acc[i][j] / total
+				}
+			}
+		}
+		res.RoundTimes = append(res.RoundTimes, roundTime)
+		res.RoundsRun = round + 1
+		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
+			accs := f.evaluate()
+			res.CostCurve.Append(res.Costs.TrainMACs, metrics.Mean(accs))
+		}
+	}
+	accs := f.evaluate()
+	res.ClientAcc = accs
+	res.MeanAcc = metrics.Mean(accs)
+	res.Box = metrics.Box(accs)
+	res.SuiteArch = []string{f.global.ArchString()}
+	res.SuiteMACs = []float64{f.global.MACsPerSample()}
+	return res
+}
+
+// evaluate gives each client the submodel its capacity affords.
+func (f *FLuID) evaluate() []float64 {
+	accs := make([]float64, len(f.ds.Clients))
+	for c := range f.ds.Clients {
+		frac := f.keepFractionFor(f.trace.Devices[c].CapacityMACs)
+		m := f.global
+		if frac < 1 {
+			m = f.subModel(f.keepSets(frac))
+		}
+		accs[c] = fl.EvaluateOn(m, &f.ds.Clients[c])
+	}
+	return accs
+}

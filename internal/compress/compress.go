@@ -1,0 +1,224 @@
+// Package compress implements lossy update compression for the FL uplink:
+// linear 8-bit quantization with per-tensor scale, and top-k
+// sparsification. Real deployments use these to cut the network volume
+// that Table 2 accounts for; the package lets the harness study the
+// cost/accuracy trade-off of compressed uploads.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+
+	"fedtrans/internal/tensor"
+)
+
+// QuantizedTensor is an 8-bit linear quantization of a tensor:
+// value ≈ Min + code × (Max−Min)/255.
+type QuantizedTensor struct {
+	Shape    []int
+	Min, Max float64
+	Codes    []uint8
+}
+
+// Quantize compresses a tensor to 8-bit codes.
+func Quantize(t *tensor.Tensor) QuantizedTensor {
+	q := QuantizedTensor{
+		Shape: append([]int(nil), t.Shape...),
+		Codes: make([]uint8, t.Len()),
+	}
+	if t.Len() == 0 {
+		return q
+	}
+	q.Min, q.Max = t.Data[0], t.Data[0]
+	for _, v := range t.Data {
+		if v < q.Min {
+			q.Min = v
+		}
+		if v > q.Max {
+			q.Max = v
+		}
+	}
+	span := q.Max - q.Min
+	if span <= 0 {
+		return q // all codes zero, Dequantize yields Min everywhere
+	}
+	inv := 255.0 / span
+	for i, v := range t.Data {
+		c := math.Round((v - q.Min) * inv)
+		if c < 0 {
+			c = 0
+		}
+		if c > 255 {
+			c = 255
+		}
+		q.Codes[i] = uint8(c)
+	}
+	return q
+}
+
+// Dequantize reconstructs the tensor.
+func (q QuantizedTensor) Dequantize() *tensor.Tensor {
+	t := tensor.New(q.Shape...)
+	step := (q.Max - q.Min) / 255.0
+	for i, c := range q.Codes {
+		t.Data[i] = q.Min + float64(c)*step
+	}
+	return t
+}
+
+// Bytes returns the wire size of the quantized tensor (codes + two
+// float64 bounds + shape framing).
+func (q QuantizedTensor) Bytes() int {
+	return len(q.Codes) + 16 + 4*len(q.Shape) + 4
+}
+
+// MaxError returns the worst-case reconstruction error for the
+// quantization of t: half a quantization step.
+func MaxError(t *tensor.Tensor) float64 {
+	if t.Len() == 0 {
+		return 0
+	}
+	min, max := t.Data[0], t.Data[0]
+	for _, v := range t.Data {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return (max - min) / 255.0 / 2
+}
+
+// QuantizeAll compresses a full weight list and reports the compressed
+// byte volume.
+func QuantizeAll(ts []*tensor.Tensor) ([]QuantizedTensor, int) {
+	out := make([]QuantizedTensor, len(ts))
+	bytes := 0
+	for i, t := range ts {
+		out[i] = Quantize(t)
+		bytes += out[i].Bytes()
+	}
+	return out, bytes
+}
+
+// DequantizeAll reconstructs a weight list.
+func DequantizeAll(qs []QuantizedTensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(qs))
+	for i := range qs {
+		out[i] = qs[i].Dequantize()
+	}
+	return out
+}
+
+// SparseDelta is a top-k sparsified weight delta: only the k
+// largest-magnitude entries are kept.
+type SparseDelta struct {
+	Shape   []int
+	Indices []uint32
+	Values  []float64
+}
+
+// ErrBadSparse reports an inconsistent sparse delta.
+var ErrBadSparse = errors.New("compress: indices/values length mismatch")
+
+// TopK sparsifies delta = new − old, keeping the k largest |entries|.
+func TopK(oldW, newW *tensor.Tensor, k int) SparseDelta {
+	n := oldW.Len()
+	if k > n {
+		k = n
+	}
+	type iv struct {
+		i int
+		v float64
+	}
+	all := make([]iv, n)
+	for i := range all {
+		all[i] = iv{i, newW.Data[i] - oldW.Data[i]}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		return math.Abs(all[a].v) > math.Abs(all[b].v)
+	})
+	sd := SparseDelta{Shape: append([]int(nil), oldW.Shape...)}
+	for _, e := range all[:k] {
+		if e.v == 0 {
+			break
+		}
+		sd.Indices = append(sd.Indices, uint32(e.i))
+		sd.Values = append(sd.Values, e.v)
+	}
+	return sd
+}
+
+// Apply adds the sparse delta onto w in place.
+func (s SparseDelta) Apply(w *tensor.Tensor) error {
+	if len(s.Indices) != len(s.Values) {
+		return ErrBadSparse
+	}
+	for i, idx := range s.Indices {
+		if int(idx) >= w.Len() {
+			return errors.New("compress: sparse index out of range")
+		}
+		w.Data[idx] += s.Values[i]
+	}
+	return nil
+}
+
+// Bytes returns the wire size of the sparse delta (4-byte index + 4-byte
+// float32 value per entry, plus framing).
+func (s SparseDelta) Bytes() int {
+	return 8*len(s.Indices) + 4*len(s.Shape) + 8
+}
+
+// CompressionRatio returns dense-bytes / sparse-bytes for a delta of the
+// given element count at the given k.
+func CompressionRatio(elems, k int) float64 {
+	if k <= 0 {
+		return math.Inf(1)
+	}
+	return float64(4*elems) / float64(8*k)
+}
+
+// Marshal serializes a quantized tensor (used by tests and tooling to
+// verify wire sizes; big-endian framing matching internal/codec style).
+func (q QuantizedTensor) Marshal() []byte {
+	out := make([]byte, 0, q.Bytes())
+	out = binary.BigEndian.AppendUint32(out, uint32(len(q.Shape)))
+	for _, d := range q.Shape {
+		out = binary.BigEndian.AppendUint32(out, uint32(d))
+	}
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(q.Min))
+	out = binary.BigEndian.AppendUint64(out, math.Float64bits(q.Max))
+	return append(out, q.Codes...)
+}
+
+// UnmarshalQuantized parses a blob produced by Marshal.
+func UnmarshalQuantized(b []byte) (QuantizedTensor, error) {
+	var q QuantizedTensor
+	if len(b) < 4 {
+		return q, errors.New("compress: truncated header")
+	}
+	rank := binary.BigEndian.Uint32(b)
+	off := 4
+	if rank > 8 || len(b) < off+int(rank)*4+16 {
+		return q, errors.New("compress: truncated shape")
+	}
+	elems := 1
+	for i := uint32(0); i < rank; i++ {
+		d := int(binary.BigEndian.Uint32(b[off:]))
+		q.Shape = append(q.Shape, d)
+		elems *= d
+		off += 4
+	}
+	q.Min = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+	off += 8
+	q.Max = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+	off += 8
+	if len(b)-off != elems {
+		return q, errors.New("compress: code count mismatch")
+	}
+	q.Codes = append(q.Codes, b[off:]...)
+	return q, nil
+}

@@ -1,0 +1,201 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedtrans/internal/model"
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+func randTensor(seed int64, n int) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(n)
+	t.RandNormal(rng, 1)
+	return t
+}
+
+func TestQuantizeRoundTripWithinStep(t *testing.T) {
+	f := func(seed int64) bool {
+		tt := randTensor(seed, 64)
+		q := Quantize(tt)
+		back := q.Dequantize()
+		bound := MaxError(tt) + 1e-12
+		for i := range tt.Data {
+			if math.Abs(tt.Data[i]-back.Data[i]) > bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantizeConstantTensor(t *testing.T) {
+	tt := tensor.New(10)
+	tt.Fill(3.5)
+	q := Quantize(tt)
+	back := q.Dequantize()
+	for _, v := range back.Data {
+		if v != 3.5 {
+			t.Fatalf("constant tensor reconstructed as %v", v)
+		}
+	}
+}
+
+func TestQuantizePreservesExtremes(t *testing.T) {
+	tt := tensor.FromSlice([]float64{-2, 0, 5}, 3)
+	q := Quantize(tt)
+	back := q.Dequantize()
+	if back.Data[0] != -2 || back.Data[2] != 5 {
+		t.Errorf("extremes not exact: %v", back.Data)
+	}
+}
+
+func TestQuantizeBytesSaving(t *testing.T) {
+	tt := randTensor(1, 1000)
+	q := Quantize(tt)
+	dense := 4 * tt.Len() // float32 wire
+	if q.Bytes() >= dense {
+		t.Errorf("quantized %d bytes not smaller than dense %d", q.Bytes(), dense)
+	}
+	// Roughly 4x saving minus framing.
+	if float64(dense)/float64(q.Bytes()) < 3 {
+		t.Errorf("compression ratio %.2f too low", float64(dense)/float64(q.Bytes()))
+	}
+}
+
+func TestQuantizeMarshalRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tt := tensor.New(3, 4)
+	tt.RandNormal(rng, 2)
+	q := Quantize(tt)
+	blob := q.Marshal()
+	if len(blob) != q.Bytes() {
+		t.Errorf("marshal size %d != Bytes() %d", len(blob), q.Bytes())
+	}
+	back, err := UnmarshalQuantized(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Min != q.Min || back.Max != q.Max || len(back.Codes) != len(q.Codes) {
+		t.Fatal("header lost in round trip")
+	}
+	for i := range q.Codes {
+		if back.Codes[i] != q.Codes[i] {
+			t.Fatal("codes corrupted")
+		}
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalQuantized(nil); err == nil {
+		t.Error("nil blob must fail")
+	}
+	if _, err := UnmarshalQuantized([]byte{0, 0, 0, 9}); err == nil {
+		t.Error("rank 9 must fail")
+	}
+	tt := randTensor(3, 8)
+	blob := Quantize(tt).Marshal()
+	if _, err := UnmarshalQuantized(blob[:len(blob)-1]); err == nil {
+		t.Error("truncated codes must fail")
+	}
+}
+
+func TestQuantizedTrainingStillConverges(t *testing.T) {
+	// End-to-end sanity: simulate quantized uploads around local training
+	// and check the model still learns.
+	model.ResetIDs()
+	rng := rand.New(rand.NewSource(4))
+	m := model.Spec{Family: "dense", Input: []int{8}, Hidden: []int{16}, Classes: 4}.Build(rng)
+	x := tensor.New(32, 8)
+	x.RandNormal(rng, 1)
+	y := make([]int, 32)
+	for i := range y {
+		y[i] = i % 4
+	}
+	opt := nn.NewSGD(0.1)
+	first, last := 0.0, 0.0
+	for step := 0; step < 50; step++ {
+		loss := m.TrainStep(x, y, opt)
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+		// Round-trip the weights through quantization every 10 steps,
+		// simulating a compressed upload+download.
+		if step%10 == 9 {
+			qs, _ := QuantizeAll(m.Params())
+			m.SetWeights(DequantizeAll(qs))
+		}
+	}
+	if last >= first*0.8 {
+		t.Errorf("quantized training stalled: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestTopKKeepsLargest(t *testing.T) {
+	oldW := tensor.FromSlice([]float64{0, 0, 0, 0}, 4)
+	newW := tensor.FromSlice([]float64{0.1, -5, 0.2, 3}, 4)
+	sd := TopK(oldW, newW, 2)
+	if len(sd.Values) != 2 {
+		t.Fatalf("kept %d, want 2", len(sd.Values))
+	}
+	kept := map[uint32]float64{}
+	for i, idx := range sd.Indices {
+		kept[idx] = sd.Values[i]
+	}
+	if kept[1] != -5 || kept[3] != 3 {
+		t.Errorf("TopK kept %v", kept)
+	}
+}
+
+func TestTopKApplyReconstructs(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	oldW := tensor.New(20)
+	oldW.RandNormal(rng, 1)
+	newW := oldW.Clone()
+	newW.Data[3] += 10
+	newW.Data[7] -= 8
+	sd := TopK(oldW, newW, 2)
+	w := oldW.Clone()
+	if err := sd.Apply(w); err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(w, newW, 1e-12) {
+		t.Error("top-2 delta with 2 changed entries must reconstruct exactly")
+	}
+}
+
+func TestTopKZeroDeltaEmpty(t *testing.T) {
+	w := randTensor(6, 10)
+	sd := TopK(w, w.Clone(), 5)
+	if len(sd.Values) != 0 {
+		t.Errorf("zero delta kept %d values", len(sd.Values))
+	}
+}
+
+func TestSparseDeltaValidation(t *testing.T) {
+	sd := SparseDelta{Indices: []uint32{0, 1}, Values: []float64{1}}
+	if err := sd.Apply(tensor.New(4)); err != ErrBadSparse {
+		t.Errorf("err = %v, want ErrBadSparse", err)
+	}
+	sd2 := SparseDelta{Indices: []uint32{99}, Values: []float64{1}}
+	if err := sd2.Apply(tensor.New(4)); err == nil {
+		t.Error("out-of-range index must fail")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	if r := CompressionRatio(1000, 50); r != 10 {
+		t.Errorf("ratio = %v, want 10", r)
+	}
+	if !math.IsInf(CompressionRatio(10, 0), 1) {
+		t.Error("k=0 ratio should be +Inf")
+	}
+}

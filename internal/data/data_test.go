@@ -1,0 +1,194 @@
+package data
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateProfiles(t *testing.T) {
+	for _, p := range []string{"femnist", "cifar10", "speech", "openimage", "vit"} {
+		ds := Generate(Config{Profile: p, Clients: 8, Seed: 1})
+		if len(ds.Clients) != 8 {
+			t.Fatalf("%s: clients = %d", p, len(ds.Clients))
+		}
+		wantDim := 1
+		for _, s := range ds.InputShape {
+			wantDim *= s
+		}
+		if ds.FeatureDim != wantDim {
+			t.Errorf("%s: FeatureDim %d != prod(InputShape) %d", p, ds.FeatureDim, wantDim)
+		}
+		for i, c := range ds.Clients {
+			if c.TrainX.Shape[1] != ds.FeatureDim {
+				t.Fatalf("%s client %d: train dim %d", p, i, c.TrainX.Shape[1])
+			}
+			if len(c.TrainY) != c.TrainX.Shape[0] || len(c.TestY) != c.TestX.Shape[0] {
+				t.Fatalf("%s client %d: X/Y size mismatch", p, i)
+			}
+			for _, y := range c.TrainY {
+				if y < 0 || y >= ds.Classes {
+					t.Fatalf("%s client %d: label %d out of range", p, i, y)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownProfilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Generate(Config{Profile: "imagenet", Clients: 2})
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a := Generate(Config{Profile: "femnist", Clients: 5, Seed: 9})
+	b := Generate(Config{Profile: "femnist", Clients: 5, Seed: 9})
+	for i := range a.Clients {
+		for j := range a.Clients[i].TrainX.Data {
+			if a.Clients[i].TrainX.Data[j] != b.Clients[i].TrainX.Data[j] {
+				t.Fatal("same seed must reproduce the dataset")
+			}
+		}
+	}
+}
+
+func TestSampleCountsWithinBounds(t *testing.T) {
+	ds := Generate(Config{Profile: "femnist", Clients: 40, MinSamples: 10, MaxSamples: 50, Seed: 2})
+	for i, c := range ds.Clients {
+		n := len(c.TrainY)
+		if n < 10 || n > 50 {
+			t.Errorf("client %d has %d samples, want [10, 50]", i, n)
+		}
+	}
+}
+
+func TestComplexityLevelsSpread(t *testing.T) {
+	ds := Generate(Config{Profile: "femnist", Clients: 60, MaxComplexity: 3, Seed: 3})
+	seen := map[int]bool{}
+	for _, c := range ds.Clients {
+		if c.Complexity < 0 || c.Complexity > 3 {
+			t.Fatalf("complexity %d out of range", c.Complexity)
+		}
+		seen[c.Complexity] = true
+	}
+	if len(seen) < 3 {
+		t.Errorf("complexity levels not spread: %v", seen)
+	}
+}
+
+// labelEntropy measures the skew of a client's label distribution.
+func labelEntropy(y []int, classes int) float64 {
+	counts := make([]float64, classes)
+	for _, v := range y {
+		counts[v]++
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := c / float64(len(y))
+		h -= p * math.Log(p)
+	}
+	return h
+}
+
+func TestDirichletHeterogeneityControlsSkew(t *testing.T) {
+	skewed := Generate(Config{Profile: "femnist", Clients: 30, Heterogeneity: 0.2, Seed: 4})
+	uniform := Generate(Config{Profile: "femnist", Clients: 30, Heterogeneity: 100, Seed: 4})
+	hs, hu := 0.0, 0.0
+	for i := range skewed.Clients {
+		hs += labelEntropy(skewed.Clients[i].TrainY, skewed.Classes)
+		hu += labelEntropy(uniform.Clients[i].TrainY, uniform.Classes)
+	}
+	if hs >= hu {
+		t.Errorf("low h should give lower label entropy: h=0.2 -> %.3f, h=100 -> %.3f", hs, hu)
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRand(seed)
+		for _, h := range []float64{0.1, 1, 10} {
+			p := dirichlet(7, h, r)
+			sum := 0.0
+			for _, v := range p {
+				if v < 0 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGammaSamplePositive(t *testing.T) {
+	r := newRand(5)
+	for i := 0; i < 200; i++ {
+		for _, a := range []float64{0.1, 0.5, 1, 3} {
+			if g := gammaSample(a, r); g <= 0 || math.IsNaN(g) {
+				t.Fatalf("gamma(%v) sample = %v", a, g)
+			}
+		}
+	}
+}
+
+func TestCentralizedPoolsEverything(t *testing.T) {
+	ds := Generate(Config{Profile: "femnist", Clients: 6, Seed: 6})
+	x, y := ds.Centralized(1)
+	want := 0
+	classSum := make([]int, ds.Classes)
+	for _, c := range ds.Clients {
+		want += len(c.TrainY)
+		for _, v := range c.TrainY {
+			classSum[v]++
+		}
+	}
+	if x.Shape[0] != want || len(y) != want {
+		t.Fatalf("pooled %d, want %d", x.Shape[0], want)
+	}
+	got := make([]int, ds.Classes)
+	for _, v := range y {
+		got[v]++
+	}
+	for i := range got {
+		if got[i] != classSum[i] {
+			t.Fatal("shuffling lost or duplicated labels")
+		}
+	}
+}
+
+func TestBatchExtracts(t *testing.T) {
+	ds := Generate(Config{Profile: "femnist", Clients: 1, Seed: 7})
+	c := ds.Clients[0]
+	bx, by := Batch(c.TrainX, c.TrainY, []int{0, 2})
+	if bx.Shape[0] != 2 || len(by) != 2 {
+		t.Fatal("batch size wrong")
+	}
+	for j := 0; j < ds.FeatureDim; j++ {
+		if bx.At(1, j) != c.TrainX.At(2, j) {
+			t.Fatal("batch row 1 should copy sample 2")
+		}
+	}
+	if by[1] != c.TrainY[2] {
+		t.Fatal("batch label mismatch")
+	}
+}
+
+func TestClassesOverride(t *testing.T) {
+	ds := Generate(Config{Profile: "femnist", Clients: 3, Classes: 5, Seed: 8})
+	if ds.Classes != 5 {
+		t.Errorf("Classes = %d, want 5", ds.Classes)
+	}
+}

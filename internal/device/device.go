@@ -1,0 +1,132 @@
+// Package device simulates the client hardware heterogeneity the paper
+// samples from FedScale's 500k-device traces: per-client compute speed
+// (MACs/s), network bandwidth, and the derived model-complexity capacity
+// that constrains model assignment. The paper reports a >29× disparity
+// between the most and least capable devices; the synthetic trace
+// reproduces that spread with a log-normal distribution.
+package device
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Device describes one simulated client device.
+type Device struct {
+	// ComputeMACsPerSec is the sustained multiply-accumulate throughput.
+	ComputeMACsPerSec float64
+	// BandwidthBytesPerSec is the up/down link throughput.
+	BandwidthBytesPerSec float64
+	// CapacityMACs is the largest per-sample model complexity (forward
+	// MACs) the device accepts for training and deployment; Client
+	// Manager only assigns models with MACs ≤ CapacityMACs.
+	CapacityMACs float64
+}
+
+// TraceConfig parameterizes synthetic trace generation.
+type TraceConfig struct {
+	// N is the number of devices.
+	N int
+	// MinCapacityMACs and MaxCapacityMACs bound device capacity; they are
+	// typically set to the initial and maximum model complexities so the
+	// trace spans the whole model suite (§5.1).
+	MinCapacityMACs float64
+	MaxCapacityMACs float64
+	// Sigma is the log-normal shape parameter (default 0.8, giving a
+	// heavy-tailed spread ≥29× between extremes for N in the hundreds).
+	Sigma float64
+	// Seed drives the trace RNG.
+	Seed int64
+}
+
+// Trace is a reproducible set of simulated devices.
+type Trace struct {
+	Devices []Device
+}
+
+// NewTrace samples a synthetic device trace.
+func NewTrace(cfg TraceConfig) *Trace {
+	if cfg.Sigma <= 0 {
+		cfg.Sigma = 0.8
+	}
+	if cfg.MinCapacityMACs <= 0 {
+		cfg.MinCapacityMACs = 1e3
+	}
+	if cfg.MaxCapacityMACs <= cfg.MinCapacityMACs {
+		cfg.MaxCapacityMACs = cfg.MinCapacityMACs * 32
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Devices: make([]Device, cfg.N)}
+	logMin := math.Log(cfg.MinCapacityMACs)
+	logMax := math.Log(cfg.MaxCapacityMACs)
+	for i := range tr.Devices {
+		// Capacity: log-uniform base with log-normal jitter, clamped to
+		// the configured range so every device can run at least the
+		// initial model.
+		u := rng.Float64()
+		logCap := logMin + u*(logMax-logMin) + rng.NormFloat64()*cfg.Sigma*0.25
+		if logCap < logMin {
+			logCap = logMin
+		}
+		if logCap > logMax {
+			logCap = logMax
+		}
+		capMACs := math.Exp(logCap)
+		// Compute speed correlates with capacity (big phones are fast);
+		// 1 MFLOP-class spread around capacity/10ms.
+		speed := capMACs / 0.01 * math.Exp(rng.NormFloat64()*cfg.Sigma*0.5)
+		bw := 1e5 * math.Exp(rng.NormFloat64()*cfg.Sigma) // ~100 KB/s median
+		tr.Devices[i] = Device{
+			ComputeMACsPerSec:    speed,
+			BandwidthBytesPerSec: bw,
+			CapacityMACs:         capMACs,
+		}
+	}
+	return tr
+}
+
+// Disparity returns the max/min capacity ratio across the trace.
+func (t *Trace) Disparity() float64 {
+	if len(t.Devices) == 0 {
+		return 0
+	}
+	min, max := t.Devices[0].CapacityMACs, t.Devices[0].CapacityMACs
+	for _, d := range t.Devices[1:] {
+		if d.CapacityMACs < min {
+			min = d.CapacityMACs
+		}
+		if d.CapacityMACs > max {
+			max = d.CapacityMACs
+		}
+	}
+	return max / min
+}
+
+// TrainingTime returns the simulated wall-clock seconds for device i to
+// train a model of the given per-sample forward MACs for steps×batch
+// samples and to transfer modelBytes both ways. Backward is costed at 2×
+// forward, the convention used throughout the repository.
+func (t *Trace) TrainingTime(i int, macsPerSample float64, steps, batch int, modelBytes int64) float64 {
+	d := t.Devices[i]
+	compute := 3 * macsPerSample * float64(steps*batch) / d.ComputeMACsPerSec
+	network := 2 * float64(modelBytes) / d.BandwidthBytesPerSec
+	return compute + network
+}
+
+// InferenceLatency returns the simulated per-sample inference latency in
+// milliseconds for device i and a model of the given forward MACs.
+func (t *Trace) InferenceLatency(i int, macsPerSample float64) float64 {
+	return macsPerSample / t.Devices[i].ComputeMACsPerSec * 1000
+}
+
+// CapacityQuantile returns the q-quantile (0..1) of device capacities.
+func (t *Trace) CapacityQuantile(q float64) float64 {
+	caps := make([]float64, len(t.Devices))
+	for i, d := range t.Devices {
+		caps[i] = d.CapacityMACs
+	}
+	sort.Float64s(caps)
+	idx := int(q * float64(len(caps)-1))
+	return caps[idx]
+}

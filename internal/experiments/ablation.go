@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedtrans/internal/fl"
+	"fedtrans/internal/metrics"
+)
+
+// Table1Row is one (variant, dataset) row of Table 1.
+type Table1Row struct {
+	Variant  string
+	Dataset  string
+	Accuracy float64 // percent
+}
+
+// Table1Result reproduces the l2s ablation (Table 1): enabling weight
+// sharing from large models into small models should hurt accuracy.
+type Table1Result struct{ Rows []Table1Row }
+
+// RunTable1 runs FedTrans with and without large-to-small weight sharing
+// on the femnist and cifar10 profiles.
+func RunTable1(sc Scale) Table1Result {
+	var out Table1Result
+	for _, p := range []string{"femnist", "cifar10"} {
+		for _, l2s := range []bool{false, true} {
+			w := NewWorkload(p, sc, 1)
+			cfg := fedTransConfig(sc)
+			cfg.Soft.AllowL2S = l2s
+			res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
+			name := "FedTrans"
+			if l2s {
+				name = "FedTrans (l2s)"
+			}
+			out.Rows = append(out.Rows, Table1Row{Variant: name, Dataset: w.Name, Accuracy: res.MeanAcc * 100})
+		}
+	}
+	return out
+}
+
+// String renders Table 1.
+func (t Table1Result) String() string {
+	tab := &metrics.Table{Header: []string{"Breakdown", "Dataset", "Avg. Accu.(%)"}}
+	for _, r := range t.Rows {
+		tab.AddRow(r.Variant, r.Dataset, metrics.F(r.Accuracy, 1))
+	}
+	return tab.String()
+}
+
+// Table3Row is one component-removal row of Table 3.
+type Table3Row struct {
+	Variant  string
+	Accuracy float64 // percent
+	CostMACs float64
+}
+
+// Table3Result reproduces the component breakdown (Table 3): cumulative
+// removal of layer selection (l), soft aggregation (s), warmup (w), and
+// decayed weight sharing (d).
+type Table3Result struct{ Rows []Table3Row }
+
+// RunTable3 runs the cumulative ablation chain on the femnist profile.
+func RunTable3(sc Scale) Table3Result {
+	variants := []struct {
+		name                               string
+		randomSel, noSoft, noWarm, noDecay bool
+	}{
+		{"FedTrans", false, false, false, false},
+		{"FedTrans-l", true, false, false, false},
+		{"FedTrans-ls", true, true, false, false},
+		{"FedTrans-lsw", true, true, true, false},
+		{"FedTrans-lswd", true, true, true, true},
+	}
+	var out Table3Result
+	for _, v := range variants {
+		w := NewWorkload("femnist", sc, 1)
+		cfg := fedTransConfig(sc)
+		cfg.Transform.RandomCellSelection = v.randomSel
+		cfg.DisableSoftAgg = v.noSoft
+		cfg.Transform.DisableWarmup = v.noWarm
+		cfg.Soft.DisableDecay = v.noDecay
+		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
+		out.Rows = append(out.Rows, Table3Row{
+			Variant: v.name, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs,
+		})
+	}
+	return out
+}
+
+// String renders Table 3.
+func (t Table3Result) String() string {
+	tab := &metrics.Table{Header: []string{"Breakdown", "Accu.(%)", "Costs(MACs)"}}
+	for _, r := range t.Rows {
+		tab.AddRow(r.Variant, metrics.F(r.Accuracy, 2), fmt.Sprintf("%.3g", r.CostMACs))
+	}
+	return tab.String()
+}
+
+// SweepPoint is one parameter-sweep sample: (value, accuracy%, cost MACs).
+type SweepPoint struct {
+	Value    float64
+	Accuracy float64
+	CostMACs float64
+}
+
+// SweepResult is a generic parameter sweep (Figures 10-13).
+type SweepResult struct {
+	Param  string
+	Points []SweepPoint
+}
+
+// String renders the sweep.
+func (s SweepResult) String() string {
+	tab := &metrics.Table{Header: []string{s.Param, "Avg accu.(%)", "Cost(MACs)"}}
+	for _, p := range s.Points {
+		tab.AddRow(fmt.Sprintf("%g", p.Value), metrics.F(p.Accuracy, 2), fmt.Sprintf("%.3g", p.CostMACs))
+	}
+	return tab.String()
+}
+
+func runSweep(sc Scale, param string, values []float64, mutate func(*fl.Config, float64), hetero float64) SweepResult {
+	out := SweepResult{Param: param}
+	for _, v := range values {
+		w := NewWorkload("femnist", sc, hetero)
+		cfg := fedTransConfig(sc)
+		mutate(&cfg, v)
+		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
+		out.Points = append(out.Points, SweepPoint{Value: v, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs})
+	}
+	return out
+}
+
+// RunFigure10Beta sweeps the DoC transformation threshold β (Figure 10a).
+func RunFigure10Beta(sc Scale) SweepResult {
+	return runSweep(sc, "beta", []float64{0.001, 0.003, 0.01, 0.03},
+		func(c *fl.Config, v float64) { c.Transform.Beta = v }, 1)
+}
+
+// RunFigure10Gamma sweeps the DoC slope-window γ (Figure 10b).
+func RunFigure10Gamma(sc Scale) SweepResult {
+	return runSweep(sc, "gamma", []float64{3, 5, 8, 12},
+		func(c *fl.Config, v float64) { c.Transform.Gamma = int(v) }, 1)
+}
+
+// RunFigure11Widen sweeps the widening degree (Figure 11 left).
+func RunFigure11Widen(sc Scale) SweepResult {
+	return runSweep(sc, "widen", []float64{1.1, 1.5, 2, 3, 6},
+		func(c *fl.Config, v float64) { c.Transform.WidenFactor = v }, 1)
+}
+
+// RunFigure11Deepen sweeps the deepening degree (Figure 11 right).
+func RunFigure11Deepen(sc Scale) SweepResult {
+	return runSweep(sc, "deepen", []float64{1, 2, 3},
+		func(c *fl.Config, v float64) { c.Transform.DeepenCells = int(v) }, 1)
+}
+
+// RunFigure12 sweeps the layer-activeness threshold α (Figure 12).
+func RunFigure12(sc Scale) SweepResult {
+	return runSweep(sc, "alpha", []float64{0.7, 0.8, 0.9, 0.95, 0.99},
+		func(c *fl.Config, v float64) { c.Transform.Alpha = v }, 1)
+}
+
+// RunFigure13 sweeps the Dirichlet data-heterogeneity level h
+// (Figure 13); lower h = more heterogeneous.
+func RunFigure13(sc Scale) SweepResult {
+	out := SweepResult{Param: "h"}
+	for _, h := range []float64{0.5, 1, 50, 100} {
+		w := NewWorkload("femnist", sc, h)
+		cfg := fedTransConfig(sc)
+		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
+		out.Points = append(out.Points, SweepPoint{Value: h, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs})
+	}
+	return out
+}

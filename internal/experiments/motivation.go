@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"fedtrans/internal/baselines"
+	"fedtrans/internal/device"
+	"fedtrans/internal/metrics"
+	"fedtrans/internal/model"
+)
+
+// Figure1aRow summarizes the inference-latency distribution of one model
+// complexity across the simulated device population.
+type Figure1aRow struct {
+	Model         string
+	MACs          float64
+	P10, P50, P90 float64 // latency ms
+}
+
+// Figure1aResult reproduces Figure 1a: heterogeneous device capabilities
+// imply widely different latency distributions per model complexity, with
+// overlap between adjacent complexities.
+type Figure1aResult struct {
+	Devices   int
+	Disparity float64
+	Rows      []Figure1aRow
+}
+
+// RunFigure1a simulates 700+ devices (the paper's AI-Benchmark population)
+// and measures per-model inference latency distributions for three models
+// of increasing complexity (MobileNet-V2 / MobileNet-V3 / EfficientNet-B4
+// analogues).
+func RunFigure1a(sc Scale) Figure1aResult {
+	tr := device.NewTrace(device.TraceConfig{
+		N: 720, MinCapacityMACs: 5e3, MaxCapacityMACs: 5e3 * 32, Seed: sc.Seed,
+	})
+	models := []struct {
+		name string
+		macs float64
+	}{
+		{"MobileNetV2-like", 6e3},
+		{"MobileNetV3-like", 12e3},
+		{"EfficientNetB4-like", 48e3},
+	}
+	out := Figure1aResult{Devices: len(tr.Devices), Disparity: tr.Disparity()}
+	for _, m := range models {
+		lat := make([]float64, len(tr.Devices))
+		for i := range tr.Devices {
+			lat[i] = tr.InferenceLatency(i, m.macs)
+		}
+		sort.Float64s(lat)
+		q := func(f float64) float64 { return lat[int(f*float64(len(lat)-1))] }
+		out.Rows = append(out.Rows, Figure1aRow{
+			Model: m.name, MACs: m.macs, P10: q(0.1), P50: q(0.5), P90: q(0.9),
+		})
+	}
+	return out
+}
+
+// String renders the latency distribution rows.
+func (f Figure1aResult) String() string {
+	tab := &metrics.Table{Header: []string{"Model", "MACs", "p10(ms)", "p50(ms)", "p90(ms)"}}
+	for _, r := range f.Rows {
+		tab.AddRow(r.Model, fmt.Sprintf("%.3g", r.MACs),
+			metrics.F(r.P10, 2), metrics.F(r.P50, 2), metrics.F(r.P90, 2))
+	}
+	return fmt.Sprintf("devices=%d capacity-disparity=%.1fx\n%s", f.Devices, f.Disparity, tab.String())
+}
+
+// Figure1bResult reproduces Figure 1b: the percentage of clients whose
+// best accuracy comes from each model complexity level — no single level
+// wins for a majority.
+type Figure1bResult struct {
+	// Share[i] is the percentage of clients for which complexity level i
+	// is the best.
+	Share []float64
+	// MaxShare is the largest single level's share.
+	MaxShare float64
+	Levels   int
+}
+
+// RunFigure1b trains `levels` models of doubling complexity independently
+// with FedAvg on the femnist profile and reports, per client, which model
+// gives the best test accuracy (ties to the smaller model).
+func RunFigure1b(sc Scale, levels int) Figure1bResult {
+	if levels <= 0 {
+		levels = 5
+	}
+	w := NewWorkload("femnist", sc, 1)
+	cfg := baselineConfig(sc)
+	bestAcc := make([]float64, len(w.Dataset.Clients))
+	bestLevel := make([]int, len(w.Dataset.Clients))
+	for i := range bestAcc {
+		bestAcc[i] = -1
+	}
+	hidden := 8
+	for l := 0; l < levels; l++ {
+		spec := model.Spec{
+			Family: "dense", Input: []int{w.Dataset.FeatureDim},
+			Hidden: []int{hidden}, Classes: w.Dataset.Classes,
+		}
+		if l >= 3 {
+			spec.Hidden = []int{hidden, hidden}
+		}
+		cfg.Seed = sc.Seed + int64(l)
+		res := baselines.RunFedAvg(cfg, w.Dataset, w.Trace, spec)
+		for c, acc := range res.ClientAcc {
+			if acc > bestAcc[c] {
+				bestAcc[c] = acc
+				bestLevel[c] = l
+			}
+		}
+		hidden *= 2
+	}
+	out := Figure1bResult{Share: make([]float64, levels), Levels: levels}
+	for _, l := range bestLevel {
+		out.Share[l] += 100.0 / float64(len(bestLevel))
+	}
+	for _, s := range out.Share {
+		if s > out.MaxShare {
+			out.MaxShare = s
+		}
+	}
+	return out
+}
+
+// String renders the best-model-per-client histogram.
+func (f Figure1bResult) String() string {
+	tab := &metrics.Table{Header: []string{"Complexity level", "Clients best (%)"}}
+	for i, s := range f.Share {
+		tab.AddRow(fmt.Sprintf("%d", i), metrics.F(s, 1))
+	}
+	return tab.String()
+}
+
+// Figure2Point is one method's (cost, accuracy) position in Figure 2.
+type Figure2Point struct {
+	Method   string
+	CostMACs float64
+	Accuracy float64 // percent
+}
+
+// Figure2Result reproduces Figure 2: existing solutions trade off poorly
+// between cost and accuracy; the centralized cloud bound dominates.
+type Figure2Result struct {
+	Points []Figure2Point
+}
+
+// RunFigure2 runs all methods plus the cloud upper bound on the femnist
+// profile.
+func RunFigure2(sc Scale) Figure2Result {
+	w := NewWorkload("femnist", sc, 1)
+	largest, ft := LargestSpec(w, sc)
+	cfg := baselineConfig(sc)
+	var out Figure2Result
+	add := func(name string, cost, acc float64) {
+		out.Points = append(out.Points, Figure2Point{Method: name, CostMACs: cost, Accuracy: acc * 100})
+	}
+	add("FedTrans", ft.Costs.TrainMACs, ft.MeanAcc)
+	avg := baselines.RunFedAvg(cfg, w.Dataset, w.Trace, largest)
+	add("Global (FedAvg)", avg.Costs.TrainMACs, avg.MeanAcc)
+	h := baselines.NewHeteroFL(cfg, w.Dataset, w.Trace, largest, 4).Run()
+	add("HeteroFL", h.Costs.TrainMACs, h.MeanAcc)
+	s := baselines.NewSplitMix(cfg, w.Dataset, w.Trace, largest, 4).Run()
+	add("SplitMix", s.Costs.TrainMACs, s.MeanAcc)
+	fd := baselines.NewFLuID(cfg, w.Dataset, w.Trace, largest).Run()
+	add("FLuID", fd.Costs.TrainMACs, fd.MeanAcc)
+	cacc, cmacs := baselines.RunCentralized(cfg, w.Dataset, largest, 6)
+	add("Cloud ML (bound)", cmacs, cacc)
+	return out
+}
+
+// String renders the scatter points.
+func (f Figure2Result) String() string {
+	tab := &metrics.Table{Header: []string{"Method", "Cost(MACs)", "Accu.(%)"}}
+	for _, p := range f.Points {
+		tab.AddRow(p.Method, fmt.Sprintf("%.3g", p.CostMACs), metrics.F(p.Accuracy, 2))
+	}
+	return tab.String()
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedtrans/internal/fl"
+	"fedtrans/internal/metrics"
+)
+
+// Repeated summarizes a metric across multiple seeds, matching the
+// paper's protocol of reporting the mean over 3 runs.
+type Repeated struct {
+	Name       string
+	Mean, Std  float64
+	PerSeed    []float64
+	CostMean   float64
+	CostPerRun []float64
+}
+
+// String renders mean ± std.
+func (r Repeated) String() string {
+	return fmt.Sprintf("%s: %.2f ± %.2f (n=%d, mean cost %.3g MACs)",
+		r.Name, r.Mean, r.Std, len(r.PerSeed), r.CostMean)
+}
+
+// RepeatFedTrans runs FedTrans on fresh workloads across n seeds and
+// aggregates mean accuracy (percent) and cost.
+func RepeatFedTrans(profile string, sc Scale, n int) Repeated {
+	if n <= 0 {
+		n = 3
+	}
+	out := Repeated{Name: "FedTrans/" + profile}
+	for i := 0; i < n; i++ {
+		s := sc
+		s.Seed = sc.Seed + int64(i)*1000
+		w := NewWorkload(profile, s, 1)
+		res := fl.New(fedTransConfig(s), w.Dataset, w.Trace, w.Initial).Run()
+		out.PerSeed = append(out.PerSeed, res.MeanAcc*100)
+		out.CostPerRun = append(out.CostPerRun, res.Costs.TrainMACs)
+	}
+	out.Mean = metrics.Mean(out.PerSeed)
+	out.Std = metrics.Std(out.PerSeed)
+	out.CostMean = metrics.Mean(out.CostPerRun)
+	return out
+}

@@ -1,0 +1,461 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/device"
+	"fedtrans/internal/model"
+	"fedtrans/internal/selection"
+	"fedtrans/internal/tensor"
+)
+
+func TestSelectClients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	got := SelectClients(10, 4, rng)
+	if len(got) != 4 {
+		t.Fatalf("selected %d, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if c < 0 || c >= 10 {
+			t.Fatalf("client %d out of range", c)
+		}
+		if seen[c] {
+			t.Fatal("duplicate client selected")
+		}
+		seen[c] = true
+	}
+	all := SelectClients(3, 10, rng)
+	if len(all) != 3 {
+		t.Errorf("n > total should select all, got %d", len(all))
+	}
+}
+
+func TestTrainLocalDoesNotMutateServerModel(t *testing.T) {
+	ds, _, spec := smokeSetup(t, 4)
+	rng := rand.New(rand.NewSource(2))
+	m := spec.Build(rng)
+	before := m.CopyWeights()
+	res := TrainLocal(m, &ds.Clients[0], DefaultLocalConfig(), rng)
+	after := m.Params()
+	for i := range after {
+		if !tensor.Equal(before[i], after[i], 0) {
+			t.Fatal("TrainLocal mutated the server model")
+		}
+	}
+	if res.Samples != len(ds.Clients[0].TrainY) {
+		t.Errorf("samples = %d", res.Samples)
+	}
+	if res.Loss <= 0 {
+		t.Errorf("loss = %v", res.Loss)
+	}
+	// Returned weights must differ from the server weights (training
+	// happened).
+	moved := false
+	for i := range res.Weights {
+		if !tensor.Equal(before[i], res.Weights[i], 1e-12) {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Error("local training produced identical weights")
+	}
+}
+
+func TestTrainLocalProxStaysCloser(t *testing.T) {
+	ds, _, spec := smokeSetup(t, 4)
+	rng := rand.New(rand.NewSource(3))
+	m := spec.Build(rng)
+	cfg := DefaultLocalConfig()
+	plain := TrainLocal(m, &ds.Clients[0], cfg, rand.New(rand.NewSource(7)))
+	cfg.ProxMu = 5
+	prox := TrainLocal(m, &ds.Clients[0], cfg, rand.New(rand.NewSource(7)))
+	base := m.CopyWeights()
+	dPlain, dProx := 0.0, 0.0
+	for i := range base {
+		for j := range base[i].Data {
+			dp := plain.Weights[i].Data[j] - base[i].Data[j]
+			dx := prox.Weights[i].Data[j] - base[i].Data[j]
+			dPlain += dp * dp
+			dProx += dx * dx
+		}
+	}
+	if dProx >= dPlain {
+		t.Errorf("FedProx should stay closer to the anchor: plain %.4g vs prox %.4g", dPlain, dProx)
+	}
+}
+
+func TestRuntimeDeterminism(t *testing.T) {
+	run := func() Result {
+		ds, tr, spec := smokeSetup(t, 12)
+		cfg := DefaultConfig()
+		cfg.Rounds = 12
+		cfg.ClientsPerRound = 4
+		cfg.ConvergePatience = 0
+		return New(cfg, ds, tr, spec).Run()
+	}
+	a := run()
+	b := run()
+	if a.MeanAcc != b.MeanAcc {
+		t.Errorf("same seed, different accuracy: %v vs %v", a.MeanAcc, b.MeanAcc)
+	}
+	if a.Costs.TrainMACs != b.Costs.TrainMACs {
+		t.Errorf("same seed, different cost: %v vs %v", a.Costs.TrainMACs, b.Costs.TrainMACs)
+	}
+}
+
+func TestRuntimeDisableTransformKeepsSingleModel(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 10)
+	cfg := DefaultConfig()
+	cfg.Rounds = 15
+	cfg.ClientsPerRound = 4
+	cfg.DisableTransform = true
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if len(res.SuiteArch) != 1 {
+		t.Errorf("suite = %v, want single model", res.SuiteArch)
+	}
+}
+
+func TestRuntimeRespectsMaxModels(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 12)
+	cfg := DefaultConfig()
+	cfg.Rounds = 60
+	cfg.ClientsPerRound = 6
+	cfg.Transform.Gamma = 2
+	cfg.Transform.Delta = 2
+	cfg.Transform.Beta = 0.2 // transform eagerly
+	cfg.Transform.MaxModels = 3
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if len(res.SuiteArch) > 3 {
+		t.Errorf("suite size %d exceeds MaxModels=3", len(res.SuiteArch))
+	}
+}
+
+func TestRuntimeCapacityBoundsSuite(t *testing.T) {
+	ds, _, spec := smokeSetup(t, 10)
+	// Trace where max capacity is barely above the initial model: no room
+	// to grow.
+	base := spec.Build(rand.New(rand.NewSource(0))).MACsPerSample()
+	tr := device.NewTrace(device.TraceConfig{
+		N: 10, MinCapacityMACs: base, MaxCapacityMACs: base * 1.01, Seed: 1,
+	})
+	cfg := DefaultConfig()
+	cfg.Rounds = 40
+	cfg.ClientsPerRound = 5
+	cfg.Transform.Gamma = 2
+	cfg.Transform.Delta = 2
+	cfg.Transform.Beta = 0.5
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	for _, macs := range res.SuiteMACs {
+		if macs > base*1.01 {
+			t.Errorf("model with %.0f MACs exceeds max capacity %.0f", macs, base*1.01)
+		}
+	}
+}
+
+func TestRuntimeConvergenceStopsEarly(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 10)
+	cfg := DefaultConfig()
+	cfg.Rounds = 200
+	cfg.ClientsPerRound = 5
+	cfg.EvalEvery = 2
+	cfg.ConvergePatience = 3
+	cfg.ConvergeDelta = 0.5 // absurdly strict improvement requirement
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.RoundsRun >= 200 {
+		t.Errorf("convergence rule never fired: ran %d rounds", res.RoundsRun)
+	}
+}
+
+func TestEvaluateAllUsesCompatibleModels(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 10)
+	cfg := DefaultConfig()
+	cfg.Rounds = 20
+	cfg.ClientsPerRound = 5
+	cfg.Transform.Gamma = 2
+	cfg.Transform.Delta = 2
+	cfg.Transform.Beta = 0.2
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	_, bestMACs := rt.EvaluateAll()
+	for c, macs := range bestMACs {
+		capacity := tr.Devices[c].CapacityMACs
+		initial := rt.Suite()[0].MACsPerSample()
+		if macs > capacity && macs != initial {
+			t.Errorf("client %d assigned %.0f MACs > capacity %.0f", c, macs, capacity)
+		}
+	}
+}
+
+func TestRuntimeYogiRuns(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 10)
+	cfg := DefaultConfig()
+	cfg.Rounds = 15
+	cfg.ClientsPerRound = 4
+	cfg.ServerYogi = true
+	cfg.DisableTransform = true
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.MeanAcc <= 1.0/float64(ds.Classes)/2 {
+		t.Errorf("Yogi run collapsed: %.3f", res.MeanAcc)
+	}
+}
+
+func TestRuntimeSuiteLineage(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 12)
+	cfg := DefaultConfig()
+	cfg.Rounds = 40
+	cfg.ClientsPerRound = 6
+	cfg.Transform.Gamma = 2
+	cfg.Transform.Delta = 2
+	cfg.Transform.Beta = 0.2
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	suite := rt.Suite()
+	if len(suite) < 2 {
+		t.Skip("no transformation at this scale")
+	}
+	for i := 1; i < len(suite); i++ {
+		if suite[i].ParentID != suite[i-1].ID {
+			t.Errorf("model %d parent = %d, want %d (chain lineage)",
+				suite[i].ID, suite[i].ParentID, suite[i-1].ID)
+		}
+		if model.Sim(suite[i-1], suite[i]) <= 0 {
+			t.Error("adjacent suite members must be similar")
+		}
+	}
+}
+
+func TestRuntimeSurvivesClientDropout(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 16)
+	cfg := DefaultConfig()
+	cfg.Rounds = 40
+	cfg.ClientsPerRound = 8
+	cfg.DropoutRate = 0.3
+	cfg.Transform.Gamma = 3
+	cfg.Transform.Delta = 3
+	cfg.Transform.Beta = 0.05
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.Dropouts == 0 {
+		t.Fatal("failure injection never fired")
+	}
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("training collapsed under 30%% dropout: acc %.3f", res.MeanAcc)
+	}
+}
+
+func TestRuntimeDropoutAll(t *testing.T) {
+	// Even with every participant failing, the run must terminate cleanly
+	// with the initial model intact.
+	ds, tr, spec := smokeSetup(t, 8)
+	cfg := DefaultConfig()
+	cfg.Rounds = 5
+	cfg.ClientsPerRound = 4
+	cfg.DropoutRate = 1.0
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.Dropouts != 5*4 {
+		t.Errorf("dropouts = %d, want 20", res.Dropouts)
+	}
+	if len(res.SuiteArch) != 1 {
+		t.Errorf("suite grew with zero updates: %v", res.SuiteArch)
+	}
+	if res.Costs.TrainMACs != 0 {
+		t.Errorf("training cost %v without any training", res.Costs.TrainMACs)
+	}
+}
+
+func TestRuntimeWithOortSelector(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 16)
+	cfg := DefaultConfig()
+	cfg.Rounds = 25
+	cfg.ClientsPerRound = 6
+	cfg.Selector = selection.NewOort()
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("Oort-selected training collapsed: %.3f", res.MeanAcc)
+	}
+}
+
+func TestRuntimeQuantizedUploads(t *testing.T) {
+	run := func(quantize bool) Result {
+		ds, tr, spec := smokeSetup(t, 14)
+		cfg := DefaultConfig()
+		cfg.Rounds = 25
+		cfg.ClientsPerRound = 6
+		cfg.QuantizeUploads = quantize
+		cfg.ConvergePatience = 0
+		return New(cfg, ds, tr, spec).Run()
+	}
+	dense := run(false)
+	quant := run(true)
+	if quant.Costs.NetworkBytes >= dense.Costs.NetworkBytes {
+		t.Errorf("quantized network %d not below dense %d",
+			quant.Costs.NetworkBytes, dense.Costs.NetworkBytes)
+	}
+	if quant.MeanAcc < dense.MeanAcc-0.15 {
+		t.Errorf("quantization cost too much accuracy: %.3f vs %.3f",
+			quant.MeanAcc, dense.MeanAcc)
+	}
+}
+
+func TestRoundLogConsistency(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 12)
+	cfg := DefaultConfig()
+	cfg.Rounds = 20
+	cfg.ClientsPerRound = 5
+	cfg.RecordLog = true
+	cfg.Transform.Gamma = 3
+	cfg.Transform.Delta = 3
+	cfg.Transform.Beta = 0.05
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	if len(res.Log) != res.RoundsRun {
+		t.Fatalf("log entries %d != rounds %d", len(res.Log), res.RoundsRun)
+	}
+	transforms := 0
+	for i, l := range res.Log {
+		if l.Round != i {
+			t.Fatalf("log %d has round %d", i, l.Round)
+		}
+		sum := 0
+		for _, n := range l.UpdatesPerModel {
+			sum += n
+		}
+		if sum != l.Updates {
+			t.Errorf("round %d: per-model sum %d != updates %d", i, sum, l.Updates)
+		}
+		if l.Updates+l.Dropouts != cfg.ClientsPerRound {
+			t.Errorf("round %d: updates %d + dropouts %d != participants %d",
+				i, l.Updates, l.Dropouts, cfg.ClientsPerRound)
+		}
+		if l.Transformed {
+			transforms++
+		}
+		if i > 0 && l.SuiteSize < res.Log[i-1].SuiteSize {
+			t.Error("suite size shrank")
+		}
+	}
+	if int64(transforms) != res.Overhead.Transforms {
+		t.Errorf("logged transforms %d != counter %d", transforms, res.Overhead.Transforms)
+	}
+}
+
+func TestPersonalizeImprovesLocalFit(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 14)
+	cfg := DefaultConfig()
+	cfg.Rounds = 25
+	cfg.ClientsPerRound = 6
+	cfg.DisableTransform = true
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	global := rt.Suite()[0]
+	improved, total := 0, 0
+	rng := rand.New(rand.NewSource(42))
+	for c := range ds.Clients {
+		base := EvaluateOn(global, &ds.Clients[c])
+		_, acc := Personalize(global, &ds.Clients[c], 30, 0.05, rng)
+		total++
+		if acc >= base {
+			improved++
+		}
+	}
+	// Personalization should help (or at least not hurt) most clients on
+	// non-IID data.
+	if improved*2 < total {
+		t.Errorf("personalization helped only %d/%d clients", improved, total)
+	}
+}
+
+func TestPersonalizeDoesNotMutateServer(t *testing.T) {
+	ds, _, spec := smokeSetup(t, 4)
+	rng := rand.New(rand.NewSource(1))
+	m := spec.Build(rng)
+	before := m.CopyWeights()
+	Personalize(m, &ds.Clients[0], 10, 0.1, rng)
+	for i, p := range m.Params() {
+		if !tensor.Equal(before[i], p, 0) {
+			t.Fatal("Personalize mutated the server model")
+		}
+	}
+}
+
+func TestClipAndNoiseClipsNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	anchor := []*tensor.Tensor{tensor.New(4)}
+	weights := []*tensor.Tensor{tensor.FromSlice([]float64{3, 0, 4, 0}, 4)} // delta norm 5
+	got := ClipAndNoise(weights, anchor, 1, 0, rng)
+	if got != 5 {
+		t.Errorf("pre-clip norm = %v, want 5", got)
+	}
+	// Post-clip delta norm must be 1.
+	sq := 0.0
+	for _, v := range weights[0].Data {
+		sq += v * v
+	}
+	if diff := sq - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("post-clip norm^2 = %v, want 1", sq)
+	}
+}
+
+func TestClipAndNoiseAddsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	anchor := []*tensor.Tensor{tensor.New(100)}
+	weights := []*tensor.Tensor{tensor.New(100)}
+	ClipAndNoise(weights, anchor, 0, 0.5, rng)
+	nonzero := 0
+	for _, v := range weights[0].Data {
+		if v != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 90 {
+		t.Errorf("noise applied to only %d/100 entries", nonzero)
+	}
+}
+
+func TestClipAndNoiseNoopWhenDisabled(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	anchor := []*tensor.Tensor{tensor.New(3)}
+	weights := []*tensor.Tensor{tensor.FromSlice([]float64{1, 2, 3}, 3)}
+	before := weights[0].Clone()
+	ClipAndNoise(weights, anchor, 0, 0, rng)
+	if !tensor.Equal(before, weights[0], 0) {
+		t.Error("disabled clip+noise must be a no-op")
+	}
+}
+
+func TestRuntimeWithDPPostProcessing(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 12)
+	cfg := DefaultConfig()
+	cfg.Rounds = 25
+	cfg.ClientsPerRound = 6
+	cfg.ClipNorm = 2
+	cfg.NoiseStd = 0.005
+	cfg.DisableTransform = true
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	res := rt.Run()
+	// Clipped + lightly noised training must still learn.
+	if res.MeanAcc < 2.0/float64(ds.Classes) {
+		t.Errorf("DP-processed training collapsed: %.3f", res.MeanAcc)
+	}
+}

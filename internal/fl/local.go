@@ -1,0 +1,96 @@
+// Package fl implements the federated-learning runtime: client local
+// training, the FedTrans coordinator of Algorithm 1, and the round-level
+// accounting (training MACs, network bytes, storage, round completion
+// time) that the evaluation reports.
+package fl
+
+import (
+	"math/rand"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/model"
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+// LocalConfig parameterizes client local training (§5.1: 20 local steps,
+// batch size 10, learning rate 0.05).
+type LocalConfig struct {
+	Steps     int
+	BatchSize int
+	LR        float64
+	// ProxMu enables the FedProx proximal term anchored at the downloaded
+	// weights.
+	ProxMu float64
+}
+
+// DefaultLocalConfig returns the paper's local-training defaults.
+func DefaultLocalConfig() LocalConfig {
+	return LocalConfig{Steps: 20, BatchSize: 10, LR: 0.05}
+}
+
+// LocalResult is what a client returns to the coordinator after local
+// training: updated weights, the mean training loss, and the sample count.
+// As the appendix notes, the coordinator can derive the round gradient
+// from (old weights − new weights), so no separate gradient upload is
+// simulated.
+type LocalResult struct {
+	Weights []*tensor.Tensor
+	Loss    float64
+	Samples int
+}
+
+// TrainLocal clones the given model, runs local SGD on the client's data,
+// and returns the result. The input model is not mutated.
+func TrainLocal(m *model.Model, cl *data.Client, cfg LocalConfig, rng *rand.Rand) LocalResult {
+	local := m.Clone()
+	opt := nn.NewSGD(cfg.LR)
+	if cfg.ProxMu > 0 {
+		opt.ProxMu = cfg.ProxMu
+		for _, p := range local.Params() {
+			opt.SetProxAnchor(p, p.Data)
+		}
+	}
+	n := len(cl.TrainY)
+	lossSum := 0.0
+	steps := cfg.Steps
+	if steps < 1 {
+		steps = 1
+	}
+	for s := 0; s < steps; s++ {
+		bs := cfg.BatchSize
+		if bs > n {
+			bs = n
+		}
+		idx := make([]int, bs)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		bx, by := data.Batch(cl.TrainX, cl.TrainY, idx)
+		lossSum += local.TrainStep(bx, by, opt)
+	}
+	return LocalResult{
+		Weights: local.CopyWeights(),
+		Loss:    lossSum / float64(steps),
+		Samples: n,
+	}
+}
+
+// EvaluateOn returns the model's accuracy on the client's test split.
+func EvaluateOn(m *model.Model, cl *data.Client) float64 {
+	acc, _ := m.Evaluate(cl.TestX, cl.TestY)
+	return acc
+}
+
+// SelectClients samples n distinct client indices from [0, total).
+func SelectClients(total, n int, rng *rand.Rand) []int {
+	if n >= total {
+		out := make([]int, total)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	perm := rng.Perm(total)
+	return perm[:n]
+}

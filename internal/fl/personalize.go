@@ -1,0 +1,69 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/model"
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+// Personalize fine-tunes a copy of the model on one client's local data
+// and returns the personalized model plus its test accuracy — the common
+// FL personalization step the paper's related work surveys (Collins et
+// al., Ditto, ...). The server model is not mutated.
+func Personalize(m *model.Model, cl *data.Client, steps int, lr float64, rng *rand.Rand) (*model.Model, float64) {
+	local := m.Clone()
+	opt := nn.NewSGD(lr)
+	n := len(cl.TrainY)
+	if steps < 1 {
+		steps = 1
+	}
+	batch := 10
+	if batch > n {
+		batch = n
+	}
+	for s := 0; s < steps; s++ {
+		idx := make([]int, batch)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		bx, by := data.Batch(cl.TrainX, cl.TrainY, idx)
+		local.TrainStep(bx, by, opt)
+	}
+	acc, _ := local.Evaluate(cl.TestX, cl.TestY)
+	return local, acc
+}
+
+// ClipAndNoise applies DP-SGD-style post-processing to a client update:
+// the update delta (weights − anchor) is L2-clipped to clipNorm and
+// Gaussian noise with the given standard deviation is added. With
+// clipNorm <= 0 no clipping occurs; with noiseStd <= 0 no noise is added.
+// It returns the effective delta norm before clipping.
+func ClipAndNoise(weights, anchor []*tensor.Tensor, clipNorm, noiseStd float64, rng *rand.Rand) float64 {
+	// Compute the global delta norm.
+	var sq float64
+	for i, w := range weights {
+		for j := range w.Data {
+			d := w.Data[j] - anchor[i].Data[j]
+			sq += d * d
+		}
+	}
+	norm := math.Sqrt(sq)
+	scale := 1.0
+	if clipNorm > 0 && norm > clipNorm {
+		scale = clipNorm / norm
+	}
+	for i, w := range weights {
+		for j := range w.Data {
+			d := (w.Data[j] - anchor[i].Data[j]) * scale
+			if noiseStd > 0 {
+				d += rng.NormFloat64() * noiseStd
+			}
+			w.Data[j] = anchor[i].Data[j] + d
+		}
+	}
+	return norm
+}

@@ -1,0 +1,467 @@
+package fl
+
+import (
+	"math/rand"
+	"sync"
+
+	"fedtrans/internal/aggregate"
+	"fedtrans/internal/assign"
+	"fedtrans/internal/compress"
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/metrics"
+	"fedtrans/internal/model"
+	"fedtrans/internal/selection"
+	"fedtrans/internal/transform"
+)
+
+// Config collects all FedTrans runtime parameters (Algorithm 1 + Table 7).
+type Config struct {
+	// Rounds is the maximum number of training rounds.
+	Rounds int
+	// ClientsPerRound is the per-round participant count N.
+	ClientsPerRound int
+	// Local configures client training.
+	Local LocalConfig
+	// Transform configures the Model Transformer.
+	Transform transform.Config
+	// Soft configures inter-model aggregation.
+	Soft aggregate.SoftConfig
+	// DisableSoftAgg turns off inter-model weight sharing entirely (the
+	// Table 3 "-s" ablation).
+	DisableSoftAgg bool
+	// DisableTransform freezes the suite at the initial model, reducing
+	// FedTrans to conventional single-model training (§3).
+	DisableTransform bool
+	// EvalEvery evaluates all clients every this many rounds (default 5).
+	EvalEvery int
+	// ConvergePatience/ConvergeDelta implement the appendix stopping rule:
+	// training completes when accuracy has not improved by more than
+	// ConvergeDelta over ConvergePatience consecutive evaluations.
+	ConvergePatience int
+	ConvergeDelta    float64
+	// ClipNorm, when positive, L2-clips each client's update delta before
+	// aggregation; NoiseStd adds Gaussian noise to the clipped delta
+	// (DP-SGD-style central privacy post-processing).
+	ClipNorm float64
+	// NoiseStd is the Gaussian noise standard deviation added to clipped
+	// client deltas.
+	NoiseStd float64
+	// RecordLog collects a RoundLog entry per round into Result.Log.
+	RecordLog bool
+	// QuantizeUploads compresses client updates to 8-bit codes on the
+	// uplink (internal/compress), cutting network volume at a small
+	// accuracy cost.
+	QuantizeUploads bool
+	// DropoutRate is the probability that a selected participant fails
+	// mid-round (device churn): it downloads the model but never returns
+	// an update. 0 disables failure injection.
+	DropoutRate float64
+	// ServerYogi applies the FedYogi server optimizer to per-model
+	// aggregates (used in the Figure 8 experiment).
+	ServerYogi bool
+	// YogiLR is the server Yogi learning rate (default 0.02).
+	YogiLR float64
+	// Selector picks each round's participants; nil means uniform random
+	// (the paper's setup). An Oort-style guided selector is available in
+	// internal/selection.
+	Selector selection.Selector
+	// Seed drives client selection, assignment sampling, and local
+	// batching.
+	Seed int64
+}
+
+// DefaultConfig returns paper-default parameters at reproduction scale.
+func DefaultConfig() Config {
+	return Config{
+		Rounds:           120,
+		ClientsPerRound:  10,
+		Local:            DefaultLocalConfig(),
+		Transform:        transform.DefaultConfig(),
+		Soft:             aggregate.DefaultSoftConfig(),
+		EvalEvery:        5,
+		ConvergePatience: 10,
+		ConvergeDelta:    0.01,
+		YogiLR:           0.02,
+		Seed:             1,
+	}
+}
+
+// RoundLog is one round's structured trace record, collected when
+// Config.RecordLog is set — the observability hook for debugging
+// transformation timing and assignment balance.
+type RoundLog struct {
+	Round     int
+	Updates   int
+	Dropouts  int
+	MeanLoss  float64
+	RoundTime float64
+	// UpdatesPerModel maps model ID to the number of client updates it
+	// received this round.
+	UpdatesPerModel map[int]int
+	// Transformed reports whether a new model was spawned after this
+	// round.
+	Transformed bool
+	// SuiteSize is the model count after the round.
+	SuiteSize int
+}
+
+// Overhead counts the coordinator-side bookkeeping operations of Table 5.
+type Overhead struct {
+	UtilityUpdates int64
+	DoCUpdates     int64
+	Transforms     int64
+}
+
+// Result summarizes one training run.
+type Result struct {
+	// ClientAcc is each client's final accuracy on its best compatible
+	// model.
+	ClientAcc []float64
+	// MeanAcc is the average of ClientAcc (the paper's headline metric).
+	MeanAcc float64
+	// Box summarizes the ClientAcc distribution (Figure 6).
+	Box metrics.BoxStats
+	// Costs aggregates MACs / network / storage (Table 2).
+	Costs metrics.Costs
+	// CostCurve traces mean accuracy against cumulative training MACs
+	// (Figure 7).
+	CostCurve metrics.Series
+	// RoundTimes holds the simulated completion time of every round
+	// (Table 6); a round completes when its slowest participant finishes.
+	RoundTimes []float64
+	// SuiteArch describes every model trained, in creation order.
+	SuiteArch []string
+	// SuiteMACs is each model's per-sample forward MACs.
+	SuiteMACs []float64
+	// RoundsRun is the number of rounds actually executed.
+	RoundsRun int
+	// Overhead reports coordinator bookkeeping volumes (Table 5).
+	Overhead Overhead
+	// BestModelMACs records, per client, the complexity of its assigned
+	// model at final evaluation.
+	BestModelMACs []float64
+	// Dropouts counts participants that failed mid-round (when
+	// Config.DropoutRate is set).
+	Dropouts int
+	// Log holds per-round trace records when Config.RecordLog is set.
+	Log []RoundLog
+}
+
+// Runtime executes FedTrans (Algorithm 1) over a dataset and device trace.
+type Runtime struct {
+	cfg   Config
+	ds    *data.Dataset
+	trace *device.Trace
+
+	suite     []*model.Model
+	mgr       *assign.Manager
+	doc       *transform.DoCTracker
+	act       map[int]*transform.ActivenessTracker
+	rng       *rand.Rand
+	serverOpt *yogiOpt
+
+	maxCapacity float64
+}
+
+// New builds a runtime from an initial model spec. The device trace must
+// have at least as many devices as the dataset has clients.
+func New(cfg Config, ds *data.Dataset, trace *device.Trace, initial model.Spec) *Runtime {
+	if cfg.EvalEvery <= 0 {
+		cfg.EvalEvery = 5
+	}
+	if cfg.Local.Steps == 0 {
+		cfg.Local = DefaultLocalConfig()
+	}
+	if cfg.Selector == nil {
+		cfg.Selector = selection.Random{}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	m0 := initial.Build(rng)
+	rt := &Runtime{
+		cfg:   cfg,
+		ds:    ds,
+		trace: trace,
+		suite: []*model.Model{m0},
+		mgr:   assign.NewManager(len(ds.Clients)),
+		doc:   transform.NewDoCTracker(cfg.Transform.Gamma, cfg.Transform.Delta),
+		act:   map[int]*transform.ActivenessTracker{m0.ID: transform.NewActivenessTracker(cfg.Transform.ActWindow)},
+		rng:   rng,
+	}
+	for _, d := range trace.Devices {
+		if d.CapacityMACs > rt.maxCapacity {
+			rt.maxCapacity = d.CapacityMACs
+		}
+	}
+	return rt
+}
+
+// Suite returns the current model suite (creation order).
+func (rt *Runtime) Suite() []*model.Model { return rt.suite }
+
+// Manager exposes the Client Manager (used by evaluation helpers).
+func (rt *Runtime) Manager() *assign.Manager { return rt.mgr }
+
+func (rt *Runtime) storageBytes() int64 {
+	var b int64
+	for _, m := range rt.suite {
+		b += m.Bytes()
+	}
+	return b
+}
+
+// Run executes the full training loop and returns the result summary.
+func (rt *Runtime) Run() Result {
+	cfg := rt.cfg
+	res := Result{CostCurve: metrics.Series{Name: "fedtrans"}}
+	res.Costs.ObserveStorage(rt.storageBytes())
+
+	bestAcc := 0.0
+	stall := 0
+	for round := 0; round < cfg.Rounds; round++ {
+		dropoutsBefore := res.Dropouts
+		roundLoss, roundTime, perModel := rt.runRound(round, &res)
+		res.RoundTimes = append(res.RoundTimes, roundTime)
+		rt.doc.Observe(roundLoss)
+		res.Overhead.DoCUpdates++
+		res.RoundsRun = round + 1
+
+		// Model transformation (§4.1).
+		transformed := false
+		if !cfg.DisableTransform {
+			if doc, ok := rt.doc.DoC(); ok && doc <= cfg.Transform.Beta {
+				if rt.tryTransform(round) {
+					transformed = true
+					res.Overhead.Transforms++
+					res.Costs.ObserveStorage(rt.storageBytes())
+				}
+			}
+		}
+		if cfg.RecordLog {
+			updates := 0
+			for _, n := range perModel {
+				updates += n
+			}
+			res.Log = append(res.Log, RoundLog{
+				Round: round, Updates: updates,
+				Dropouts: res.Dropouts - dropoutsBefore,
+				MeanLoss: roundLoss, RoundTime: roundTime,
+				UpdatesPerModel: perModel,
+				Transformed:     transformed,
+				SuiteSize:       len(rt.suite),
+			})
+		}
+
+		// Periodic evaluation and the appendix convergence rule.
+		if (round+1)%cfg.EvalEvery == 0 || round == cfg.Rounds-1 {
+			accs, _ := rt.EvaluateAll()
+			mean := metrics.Mean(accs)
+			res.CostCurve.Append(res.Costs.TrainMACs, mean)
+			if cfg.ConvergePatience > 0 {
+				if mean > bestAcc+cfg.ConvergeDelta {
+					bestAcc = mean
+					stall = 0
+				} else {
+					stall++
+					if stall >= cfg.ConvergePatience {
+						break
+					}
+				}
+			}
+		}
+	}
+
+	accs, bestMACs := rt.EvaluateAll()
+	res.ClientAcc = accs
+	res.BestModelMACs = bestMACs
+	res.MeanAcc = metrics.Mean(accs)
+	res.Box = metrics.Box(accs)
+	for _, m := range rt.suite {
+		res.SuiteArch = append(res.SuiteArch, m.ArchString())
+		res.SuiteMACs = append(res.SuiteMACs, m.MACsPerSample())
+	}
+	return res
+}
+
+// runRound executes one FL round and returns the weighted mean training
+// loss, the simulated round completion time, and the per-model update
+// counts.
+func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]int) {
+	cfg := rt.cfg
+	selected := cfg.Selector.Select(round, len(rt.ds.Clients), cfg.ClientsPerRound, rt.rng)
+
+	type pending struct {
+		client int
+		m      *model.Model
+		res    LocalResult
+	}
+	// Model assignment is sequential (it consumes the round RNG in a
+	// deterministic order); local training runs in parallel with
+	// per-client derived RNGs so results are reproducible regardless of
+	// scheduling.
+	updates := make([]pending, 0, len(selected))
+	for _, c := range selected {
+		compatible := assign.Compatible(rt.suite, rt.trace.Devices[c].CapacityMACs)
+		m := rt.mgr.Sample(c, compatible, rt.rng)
+		if m == nil {
+			continue
+		}
+		if cfg.DropoutRate > 0 && rt.rng.Float64() < cfg.DropoutRate {
+			// The client received the model but drops out before
+			// uploading: count the download, skip training.
+			res.Costs.NetworkBytes += m.Bytes()
+			res.Dropouts++
+			continue
+		}
+		updates = append(updates, pending{client: c, m: m})
+	}
+	var wg sync.WaitGroup
+	for i := range updates {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			u := &updates[i]
+			crng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919))
+			u.res = TrainLocal(u.m, &rt.ds.Clients[u.client], cfg.Local, crng)
+		}(i)
+	}
+	wg.Wait()
+	roundTime := 0.0
+	for i := range updates {
+		u := &updates[i]
+		m := u.m
+		if cfg.ClipNorm > 0 || cfg.NoiseStd > 0 {
+			ClipAndNoise(u.res.Weights, m.Params(), cfg.ClipNorm, cfg.NoiseStd, rt.rng)
+		}
+		res.Costs.AddTraining(m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
+		if cfg.QuantizeUploads {
+			qs, upBytes := compress.QuantizeAll(u.res.Weights)
+			u.res.Weights = compress.DequantizeAll(qs)
+			res.Costs.NetworkBytes += m.Bytes() + int64(upBytes)
+		} else {
+			res.Costs.AddTransfer(m.Bytes())
+		}
+		t := rt.trace.TrainingTime(u.client, m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, m.Bytes())
+		if t > roundTime {
+			roundTime = t
+		}
+		cfg.Selector.Feedback(u.client, u.res.Loss, t)
+	}
+
+	// Per-model FedAvg (+ optional Yogi server step) and activeness.
+	perModel := make(map[int]int)
+	for _, u := range updates {
+		perModel[u.m.ID]++
+	}
+	lossSum, lossWeight := 0.0, 0.0
+	for _, m := range rt.suite {
+		var batch []aggregate.Update
+		for _, u := range updates {
+			if u.m.ID == m.ID {
+				batch = append(batch, aggregate.Update{
+					ModelID: m.ID, Weights: u.res.Weights,
+					Samples: u.res.Samples, Loss: u.res.Loss,
+				})
+			}
+		}
+		if len(batch) == 0 {
+			continue
+		}
+		prev := m.CopyWeights()
+		meanLoss, n, _ := aggregate.FedAvg(m, batch)
+		if cfg.ServerYogi {
+			if rt.serverOpt == nil {
+				rt.serverOpt = newYogiOpt(rt.yogiLR())
+			}
+			rt.serverOpt.apply(m, prev)
+		}
+		lossSum += meanLoss * float64(n)
+		lossWeight += float64(n)
+		tracker := rt.act[m.ID]
+		if tracker == nil {
+			tracker = transform.NewActivenessTracker(cfg.Transform.ActWindow)
+			rt.act[m.ID] = tracker
+		}
+		scale := cfg.Local.LR * float64(cfg.Local.Steps)
+		tracker.Observe(m, m.CellDeltaActiveness(prev, scale))
+	}
+
+	// Joint utility learning (Eq. 4) with round-standardized losses.
+	losses := make([]float64, len(updates))
+	for i, u := range updates {
+		losses[i] = u.res.Loss
+	}
+	std := assign.StandardizeLosses(losses)
+	for i, u := range updates {
+		compatible := assign.Compatible(rt.suite, rt.trace.Devices[u.client].CapacityMACs)
+		rt.mgr.UpdateJoint(u.client, u.m, std[i], compatible)
+		res.Overhead.UtilityUpdates += int64(len(compatible))
+	}
+
+	// Soft inter-model aggregation (Eq. 5).
+	if !cfg.DisableSoftAgg && len(rt.suite) > 1 {
+		aggregate.SoftAggregate(rt.suite, round, cfg.Soft)
+	}
+
+	if lossWeight == 0 {
+		return 0, roundTime, perModel
+	}
+	return lossSum / lossWeight, roundTime, perModel
+}
+
+// tryTransform derives a new model from the current largest model,
+// respecting the trace's maximum capacity and the MaxModels cap. Returns
+// whether a model was added.
+func (rt *Runtime) tryTransform(round int) bool {
+	cfg := rt.cfg
+	if cfg.Transform.MaxModels > 0 && len(rt.suite) >= cfg.Transform.MaxModels {
+		return false
+	}
+	parent := rt.suite[len(rt.suite)-1]
+	if parent.MACsPerSample() >= rt.maxCapacity {
+		return false
+	}
+	tracker := rt.act[parent.ID]
+	if tracker == nil {
+		return false
+	}
+	act := tracker.Mean(parent)
+	selected := transform.SelectCells(parent, act, cfg.Transform, rt.rng)
+	if len(selected) == 0 {
+		return false
+	}
+	child := transform.Apply(parent, selected, cfg.Transform, round, rt.rng)
+	if child.MACsPerSample() > rt.maxCapacity {
+		return false
+	}
+	rt.suite = append(rt.suite, child)
+	rt.mgr.InheritUtilities(parent.ID, child.ID)
+	rt.act[child.ID] = transform.NewActivenessTracker(cfg.Transform.ActWindow)
+	rt.doc.Reset()
+	return true
+}
+
+// EvaluateAll evaluates every client on its best-utility compatible model
+// and returns per-client accuracies and the MACs of each client's chosen
+// model.
+func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
+	accs = make([]float64, len(rt.ds.Clients))
+	bestMACs = make([]float64, len(rt.ds.Clients))
+	for c := range rt.ds.Clients {
+		compatible := assign.Compatible(rt.suite, rt.trace.Devices[c].CapacityMACs)
+		m := rt.mgr.Best(c, compatible)
+		if m == nil {
+			continue
+		}
+		accs[c] = EvaluateOn(m, &rt.ds.Clients[c])
+		bestMACs[c] = m.MACsPerSample()
+	}
+	return accs, bestMACs
+}
+
+func (rt *Runtime) yogiLR() float64 {
+	if rt.cfg.YogiLR <= 0 {
+		return 0.02
+	}
+	return rt.cfg.YogiLR
+}

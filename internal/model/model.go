@@ -1,0 +1,347 @@
+// Package model defines the transformable multi-cell model FedTrans trains:
+// a stack of nn.Cells plus a classifier head, with MAC/parameter/byte
+// accounting, model-level widen/deepen operations that preserve the
+// network function, lineage tracking, and the architectural-similarity
+// metric of §4.2.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync/atomic"
+
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+func sqrtf(x float64) float64 { return math.Sqrt(x) }
+
+var nextCellID int64
+
+func newCellID() int64 { return atomic.AddInt64(&nextCellID, 1) }
+
+// CellSlot wraps a Cell with identity and lineage metadata used by the
+// similarity metric: AncestorID groups cells that share weights through
+// transformation; InheritedFrac is the fraction of the cell's parameters
+// inherited from its ancestor (1 for unchanged, #param(l')/#param(l) for
+// widened, 0 for freshly inserted identity cells).
+type CellSlot struct {
+	Cell          nn.Cell
+	ID            int64
+	AncestorID    int64
+	InheritedFrac float64
+	// WidenedLast records whether the most recent transformation applied
+	// to this cell was a widen, driving the paper's widen/deepen
+	// alternation (Figure 5).
+	WidenedLast bool
+}
+
+// Model is a stack of cells plus a dense classifier head. InputShape is
+// the per-sample shape the flat feature vector is reshaped to before the
+// first cell (e.g. [C,H,W] for convolutional stacks, [T,D] for attention
+// stacks, [D] for dense stacks).
+type Model struct {
+	ID         int
+	ParentID   int // -1 for the initial model
+	BornRound  int
+	Cells      []CellSlot
+	Head       *nn.DenseCell
+	InputShape []int
+	Classes    int
+}
+
+// NumCells returns the number of transformable cells.
+func (m *Model) NumCells() int { return len(m.Cells) }
+
+// Clone deep-copies the model (same ID and lineage metadata).
+func (m *Model) Clone() *Model {
+	c := &Model{
+		ID: m.ID, ParentID: m.ParentID, BornRound: m.BornRound,
+		Head:       m.Head.Clone().(*nn.DenseCell),
+		InputShape: append([]int(nil), m.InputShape...),
+		Classes:    m.Classes,
+	}
+	c.Cells = make([]CellSlot, len(m.Cells))
+	for i, s := range m.Cells {
+		c.Cells[i] = CellSlot{
+			Cell: s.Cell.Clone(), ID: s.ID, AncestorID: s.AncestorID,
+			InheritedFrac: s.InheritedFrac, WidenedLast: s.WidenedLast,
+		}
+	}
+	return c
+}
+
+// reshapeInput converts a flat (batch, features) tensor into the model's
+// expected input rank.
+func (m *Model) reshapeInput(x *tensor.Tensor) *tensor.Tensor {
+	if len(m.InputShape) <= 1 {
+		return x
+	}
+	shape := append([]int{x.Shape[0]}, m.InputShape...)
+	return x.Reshape(shape...)
+}
+
+// Forward runs the full model on a flat (batch, features) input and
+// returns class logits (batch, classes).
+func (m *Model) Forward(x *tensor.Tensor) *tensor.Tensor {
+	h := m.reshapeInput(x)
+	for i := range m.Cells {
+		h = m.Cells[i].Cell.Forward(h)
+	}
+	return m.Head.Forward(h)
+}
+
+// Backward propagates the logits gradient through head and cells,
+// accumulating parameter gradients.
+func (m *Model) Backward(gradLogits *tensor.Tensor) {
+	g := m.Head.Backward(gradLogits)
+	for i := len(m.Cells) - 1; i >= 0; i-- {
+		g = m.Cells[i].Cell.Backward(g)
+	}
+}
+
+// ZeroGrads zeroes every gradient tensor in the model.
+func (m *Model) ZeroGrads() {
+	for i := range m.Cells {
+		nn.ZeroGrads(m.Cells[i].Cell)
+	}
+	nn.ZeroGrads(m.Head)
+}
+
+// TrainStep performs one SGD step on a batch and returns the loss.
+func (m *Model) TrainStep(x *tensor.Tensor, y []int, opt *nn.SGD) float64 {
+	m.ZeroGrads()
+	logits := m.Forward(x)
+	loss, grad := nn.SoftmaxCrossEntropy(logits, y)
+	m.Backward(grad)
+	opt.Step(m.Params(), m.Grads())
+	return loss
+}
+
+// Evaluate returns accuracy and mean loss on a dataset given as a flat
+// feature tensor and labels.
+func (m *Model) Evaluate(x *tensor.Tensor, y []int) (acc, loss float64) {
+	logits := m.Forward(x)
+	loss, _ = nn.SoftmaxCrossEntropy(logits, y)
+	return nn.Accuracy(logits, y), loss
+}
+
+// Params returns all trainable tensors (cells then head).
+func (m *Model) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for i := range m.Cells {
+		out = append(out, m.Cells[i].Cell.Params()...)
+	}
+	return append(out, m.Head.Params()...)
+}
+
+// Grads returns gradient tensors aligned with Params.
+func (m *Model) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for i := range m.Cells {
+		out = append(out, m.Cells[i].Cell.Grads()...)
+	}
+	return append(out, m.Head.Grads()...)
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (m *Model) ParamCount() int64 {
+	var n int64
+	for i := range m.Cells {
+		n += nn.ParamCount(m.Cells[i].Cell)
+	}
+	return n + nn.ParamCount(m.Head)
+}
+
+// Bytes returns the serialized model size (float32 on the wire, matching
+// typical FL deployments).
+func (m *Model) Bytes() int64 { return m.ParamCount() * 4 }
+
+// MACsPerSample returns the forward multiply-accumulate count for one
+// sample.
+func (m *Model) MACsPerSample() float64 {
+	s := 0.0
+	for i := range m.Cells {
+		s += m.Cells[i].Cell.MACsPerSample()
+	}
+	return s + m.Head.MACsPerSample()
+}
+
+// SetWeights copies weights from src tensors into the model parameters.
+// Shapes must match exactly.
+func (m *Model) SetWeights(src []*tensor.Tensor) {
+	dst := m.Params()
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("model: SetWeights arity mismatch %d != %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		if dst[i].Len() != src[i].Len() {
+			panic(fmt.Sprintf("model: SetWeights size mismatch at %d", i))
+		}
+		copy(dst[i].Data, src[i].Data)
+	}
+}
+
+// CopyWeights returns a deep copy of the parameter tensors.
+func (m *Model) CopyWeights() []*tensor.Tensor {
+	ps := m.Params()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.Clone()
+	}
+	return out
+}
+
+// CellActiveness returns the normalized gradient activeness ‖∇w‖/‖w‖ for
+// each cell (the paper's transformation signal). Cells without parameters
+// report zero.
+func (m *Model) CellActiveness() []float64 {
+	out := make([]float64, len(m.Cells))
+	for i := range m.Cells {
+		wn := nn.WeightNorm(m.Cells[i].Cell)
+		if wn == 0 {
+			continue
+		}
+		out[i] = nn.GradNorm(m.Cells[i].Cell) / wn
+	}
+	return out
+}
+
+// CellDeltaActiveness computes per-cell activeness from a weight delta:
+// given the previous round's weights (aligned with Params order) it treats
+// (prev − current)/scale as the aggregate round gradient and returns
+// ‖g_cell‖/‖w_cell‖ for each cell. This matches the paper's setting where
+// the coordinator only sees aggregate round updates, not per-step
+// gradients.
+func (m *Model) CellDeltaActiveness(prev []*tensor.Tensor, scale float64) []float64 {
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]float64, len(m.Cells))
+	idx := 0
+	for i := range m.Cells {
+		ps := m.Cells[i].Cell.Params()
+		gSq, wSq := 0.0, 0.0
+		for _, p := range ps {
+			pv := prev[idx]
+			idx++
+			for j := range p.Data {
+				d := (pv.Data[j] - p.Data[j]) / scale
+				gSq += d * d
+				wSq += p.Data[j] * p.Data[j]
+			}
+		}
+		if wSq > 0 {
+			out[i] = sqrtf(gSq) / sqrtf(wSq)
+		}
+	}
+	return out
+}
+
+// nextInputWidener scans forward from cell index i+1, skipping
+// width-transparent cells, and returns the first cell that can absorb an
+// input widening (or the head).
+func (m *Model) nextInputWidener(i int) nn.InputWidener {
+	for j := i + 1; j < len(m.Cells); j++ {
+		c := m.Cells[j].Cell
+		if _, transparent := c.(nn.WidthTransparent); transparent {
+			continue
+		}
+		if iw, ok := c.(nn.InputWidener); ok {
+			return iw
+		}
+		return nil
+	}
+	return m.Head
+}
+
+// CanWiden reports whether cell i can be widened in this model.
+func (m *Model) CanWiden(i int) bool {
+	c := m.Cells[i].Cell
+	if _, ok := c.(nn.SelfWidener); ok {
+		return true
+	}
+	if _, ok := c.(nn.OutputWidener); ok {
+		return m.nextInputWidener(i) != nil
+	}
+	return false
+}
+
+// WidenCell widens cell i by the given factor using function-preserving
+// Net2Wider weight duplication, compensating the next parameterized cell
+// (or head). Lineage is updated: the widened cell keeps its ancestor ID
+// with InheritedFrac multiplied by oldParams/newParams.
+func (m *Model) WidenCell(i int, factor float64, rng *rand.Rand) {
+	slot := &m.Cells[i]
+	if sw, ok := slot.Cell.(nn.SelfWidener); ok {
+		if _, also := slot.Cell.(nn.OutputWidener); !also {
+			before := nn.ParamCount(slot.Cell)
+			sw.WidenSelf(factor, rng)
+			after := nn.ParamCount(slot.Cell)
+			slot.InheritedFrac *= float64(before) / float64(after)
+			slot.WidenedLast = true
+			return
+		}
+	}
+	ow, ok := slot.Cell.(nn.OutputWidener)
+	if !ok {
+		panic(fmt.Sprintf("model: cell %d (%s) is not widenable", i, slot.Cell.Kind()))
+	}
+	next := m.nextInputWidener(i)
+	if next == nil {
+		panic(fmt.Sprintf("model: no input-widenable successor for cell %d", i))
+	}
+	oldN := ow.OutUnits()
+	newN := int(float64(oldN)*factor + 0.5)
+	if newN <= oldN {
+		newN = oldN + 1
+	}
+	mapping, counts := nn.WidenMapping(oldN, newN, rng)
+	before := nn.ParamCount(slot.Cell)
+	ow.WidenOutput(mapping)
+	next.WidenInput(mapping, counts)
+	after := nn.ParamCount(slot.Cell)
+	slot.InheritedFrac *= float64(before) / float64(after)
+	slot.WidenedLast = true
+}
+
+// DeepenCell inserts an identity-initialized cell of the same kind right
+// after cell i (the paper's deepen operation). The inserted cell gets a
+// fresh ancestor ID and InheritedFrac 0.
+func (m *Model) DeepenCell(i int) {
+	ins, ok := m.Cells[i].Cell.(nn.IdentityInserter)
+	if !ok {
+		panic(fmt.Sprintf("model: cell %d (%s) cannot be deepened", i, m.Cells[i].Cell.Kind()))
+	}
+	id := newCellID()
+	slot := CellSlot{Cell: ins.IdentityLike(), ID: id, AncestorID: id, InheritedFrac: 0}
+	m.Cells = append(m.Cells, CellSlot{})
+	copy(m.Cells[i+2:], m.Cells[i+1:])
+	m.Cells[i+1] = slot
+	m.Cells[i].WidenedLast = false
+}
+
+// ArchString renders a compact architecture description such as
+// "dense(64)->dense(64)->head(62)".
+func (m *Model) ArchString() string {
+	s := ""
+	for i := range m.Cells {
+		if i > 0 {
+			s += "->"
+		}
+		switch c := m.Cells[i].Cell.(type) {
+		case *nn.DenseCell:
+			s += fmt.Sprintf("dense(%d)", c.OutDim())
+		case *nn.Conv2DCell:
+			s += fmt.Sprintf("conv(%dx%d,%d)", c.K(), c.K(), c.OutCh())
+		case *nn.AttentionCell:
+			s += fmt.Sprintf("attn(d=%d,ff=%d)", c.Dim(), c.FF())
+		case *nn.ResidualDenseCell:
+			s += fmt.Sprintf("res(d=%d,h=%d)", c.Dim(), c.Hidden())
+		default:
+			s += c.Kind()
+		}
+	}
+	return s + fmt.Sprintf("->head(%d)", m.Classes)
+}

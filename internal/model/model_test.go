@@ -1,0 +1,438 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+func denseModel(t *testing.T, hidden ...int) *Model {
+	t.Helper()
+	ResetIDs()
+	rng := rand.New(rand.NewSource(1))
+	return Spec{Family: "dense", Input: []int{8}, Hidden: hidden, Classes: 4}.Build(rng)
+}
+
+func probe(rng *rand.Rand, n, d int) *tensor.Tensor {
+	x := tensor.New(n, d)
+	x.RandNormal(rng, 1)
+	return x
+}
+
+func TestBuildFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		spec     Spec
+		features int
+	}{
+		{Spec{Family: "dense", Input: []int{8}, Hidden: []int{6, 6}, Classes: 3}, 8},
+		{Spec{Family: "conv", Input: []int{2, 6, 6}, Hidden: []int{3, 4}, Classes: 3}, 72},
+		{Spec{Family: "attention", Input: []int{4, 6}, Hidden: []int{8}, Classes: 3}, 24},
+	}
+	for _, c := range cases {
+		ResetIDs()
+		m := c.spec.Build(rng)
+		x := probe(rng, 2, c.features)
+		out := m.Forward(x)
+		if out.Shape[0] != 2 || out.Shape[1] != 3 {
+			t.Errorf("%s: logits shape %v", c.spec.Family, out.Shape)
+		}
+		if m.MACsPerSample() <= 0 || m.ParamCount() <= 0 || m.Bytes() != m.ParamCount()*4 {
+			t.Errorf("%s: accounting broken", c.spec.Family)
+		}
+	}
+}
+
+func TestBuildUnknownFamilyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Spec{Family: "mystery", Input: []int{4}, Hidden: []int{2}, Classes: 2}.Build(rand.New(rand.NewSource(1)))
+}
+
+func TestTrainStepReducesLoss(t *testing.T) {
+	m := denseModel(t, 16)
+	rng := rand.New(rand.NewSource(2))
+	x := probe(rng, 16, 8)
+	y := make([]int, 16)
+	for i := range y {
+		y[i] = i % 4
+	}
+	opt := nn.NewSGD(0.1)
+	first := m.TrainStep(x, y, opt)
+	var last float64
+	for i := 0; i < 60; i++ {
+		last = m.TrainStep(x, y, opt)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: first %.4f last %.4f", first, last)
+	}
+	acc, _ := m.Evaluate(x, y)
+	if acc < 0.5 {
+		t.Errorf("memorization accuracy %.2f too low", acc)
+	}
+}
+
+func TestCloneIsDeepAndEquivalent(t *testing.T) {
+	m := denseModel(t, 6, 6)
+	rng := rand.New(rand.NewSource(3))
+	x := probe(rng, 3, 8)
+	c := m.Clone()
+	if !tensor.Equal(m.Forward(x), c.Forward(x), 1e-12) {
+		t.Error("clone computes different function")
+	}
+	c.Params()[0].Data[0] += 100
+	if tensor.Equal(m.Forward(x), c.Forward(x), 1e-6) {
+		t.Error("clone shares parameter storage")
+	}
+	if c.ID != m.ID {
+		t.Error("Clone must preserve ID (Derive changes it)")
+	}
+}
+
+func TestDeriveLineage(t *testing.T) {
+	m := denseModel(t, 6)
+	child := m.Derive(17)
+	if child.ID == m.ID {
+		t.Error("Derive must assign a fresh ID")
+	}
+	if child.ParentID != m.ID {
+		t.Errorf("ParentID = %d, want %d", child.ParentID, m.ID)
+	}
+	if child.BornRound != 17 {
+		t.Errorf("BornRound = %d", child.BornRound)
+	}
+	for i := range child.Cells {
+		if child.Cells[i].AncestorID != m.Cells[i].AncestorID {
+			t.Error("Derive must preserve ancestor IDs")
+		}
+	}
+}
+
+func TestWidenCellPreservesFunctionDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < 10; iter++ {
+		m := denseModel(t, 5, 7)
+		x := probe(rng, 4, 8)
+		want := m.Forward(x)
+		ci := rng.Intn(2)
+		m.WidenCell(ci, 2, rng)
+		got := m.Forward(x)
+		if !tensor.Equal(want, got, 1e-9) {
+			t.Fatalf("iter %d: widen cell %d changed the function", iter, ci)
+		}
+	}
+}
+
+func TestWidenLastConvCellThroughGAP(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(5))
+	m := Spec{Family: "conv", Input: []int{1, 6, 6}, Hidden: []int{3}, Classes: 3}.Build(rng)
+	x := probe(rng, 2, 36)
+	want := m.Forward(x)
+	m.WidenCell(0, 2, rng) // widening passes through GAP to the head
+	got := m.Forward(x)
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("conv widen through GAP changed the function")
+	}
+}
+
+func TestWidenAttentionCell(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(6))
+	m := Spec{Family: "attention", Input: []int{3, 4}, Hidden: []int{6}, Classes: 2}.Build(rng)
+	x := probe(rng, 2, 12)
+	want := m.Forward(x)
+	if !m.CanWiden(0) {
+		t.Fatal("attention cell must be widenable (self)")
+	}
+	m.WidenCell(0, 2, rng)
+	got := m.Forward(x)
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("attention widen changed the function")
+	}
+}
+
+func TestDeepenCellPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := denseModel(t, 6)
+	x := probe(rng, 3, 8)
+	want := m.Forward(x)
+	m.DeepenCell(0)
+	if m.NumCells() != 2 {
+		t.Fatalf("cells = %d, want 2", m.NumCells())
+	}
+	got := m.Forward(x)
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("deepen changed the function")
+	}
+	// Inserted cell must carry zero inherited fraction and a fresh
+	// ancestor.
+	ins := m.Cells[1]
+	if ins.InheritedFrac != 0 {
+		t.Errorf("inserted InheritedFrac = %v", ins.InheritedFrac)
+	}
+	if ins.AncestorID == m.Cells[0].AncestorID {
+		t.Error("inserted cell shares ancestor")
+	}
+}
+
+func TestWidenUpdatesInheritedFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := denseModel(t, 6, 6)
+	before := m.Cells[0].InheritedFrac
+	m.WidenCell(0, 2, rng)
+	after := m.Cells[0].InheritedFrac
+	if after >= before {
+		t.Errorf("InheritedFrac must shrink after widening: %v -> %v", before, after)
+	}
+	if !m.Cells[0].WidenedLast {
+		t.Error("WidenedLast flag not set")
+	}
+	m.DeepenCell(0)
+	if m.Cells[0].WidenedLast {
+		t.Error("deepen must clear WidenedLast on the parent cell")
+	}
+}
+
+func TestTrainAfterTransformStillLearns(t *testing.T) {
+	m := denseModel(t, 8)
+	rng := rand.New(rand.NewSource(9))
+	x := probe(rng, 20, 8)
+	y := make([]int, 20)
+	for i := range y {
+		y[i] = i % 4
+	}
+	opt := nn.NewSGD(0.1)
+	for i := 0; i < 10; i++ {
+		m.TrainStep(x, y, opt)
+	}
+	m.WidenCell(0, 2, rng)
+	m.DeepenCell(0)
+	opt2 := nn.NewSGD(0.1)
+	first := m.TrainStep(x, y, opt2)
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = m.TrainStep(x, y, opt2)
+	}
+	if last >= first {
+		t.Errorf("transformed model stopped learning: %.4f -> %.4f", first, last)
+	}
+}
+
+func TestCellDeltaActiveness(t *testing.T) {
+	m := denseModel(t, 6, 6)
+	prev := m.CopyWeights()
+	// Perturb only cell 1's weights.
+	cell1Params := m.Cells[1].Cell.Params()
+	cell1Params[0].Data[0] += 1
+	act := m.CellDeltaActiveness(prev, 1)
+	if act[0] != 0 {
+		t.Errorf("cell 0 activeness = %v, want 0", act[0])
+	}
+	if act[1] <= 0 {
+		t.Errorf("cell 1 activeness = %v, want > 0", act[1])
+	}
+}
+
+func TestSetWeightsRoundTrip(t *testing.T) {
+	m := denseModel(t, 5)
+	w := m.CopyWeights()
+	for _, p := range m.Params() {
+		p.Fill(0)
+	}
+	m.SetWeights(w)
+	rng := rand.New(rand.NewSource(10))
+	x := probe(rng, 2, 8)
+	m2 := denseModel(t, 5) // same seed path -> same init
+	if !tensor.Equal(m.Forward(x), m2.Forward(x), 1e-12) {
+		t.Error("SetWeights(CopyWeights()) is not the identity")
+	}
+}
+
+func TestSetWeightsPanicsOnArity(t *testing.T) {
+	m := denseModel(t, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.SetWeights(m.CopyWeights()[:1])
+}
+
+func TestArchString(t *testing.T) {
+	m := denseModel(t, 6, 7)
+	s := m.ArchString()
+	if !strings.Contains(s, "dense(6)") || !strings.Contains(s, "dense(7)") || !strings.Contains(s, "head(4)") {
+		t.Errorf("ArchString = %q", s)
+	}
+}
+
+func TestSpecLikeRoundTrip(t *testing.T) {
+	m := denseModel(t, 6, 7)
+	rng := rand.New(rand.NewSource(11))
+	m.WidenCell(0, 2, rng)
+	spec := m.SpecLike()
+	if spec.Family != "dense" || len(spec.Hidden) != 2 || spec.Hidden[0] != 12 || spec.Hidden[1] != 7 {
+		t.Errorf("SpecLike = %+v", spec)
+	}
+	rebuilt := spec.Build(rng)
+	if rebuilt.ParamCount() != m.ParamCount() {
+		t.Errorf("rebuilt params %d != %d", rebuilt.ParamCount(), m.ParamCount())
+	}
+}
+
+func TestSpecScaled(t *testing.T) {
+	s := Spec{Family: "dense", Input: []int{8}, Hidden: []int{10, 20}, Classes: 4}
+	half := s.Scaled(0.5)
+	if half.Hidden[0] != 5 || half.Hidden[1] != 10 {
+		t.Errorf("Scaled(0.5) = %v", half.Hidden)
+	}
+	tiny := s.Scaled(0.01)
+	if tiny.Hidden[0] != 1 {
+		t.Errorf("Scaled must floor at 1, got %v", tiny.Hidden)
+	}
+}
+
+func TestMACsGrowWithTransformation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	m := denseModel(t, 8)
+	m0 := m.MACsPerSample()
+	m.WidenCell(0, 2, rng)
+	m1 := m.MACsPerSample()
+	m.DeepenCell(0)
+	m2 := m.MACsPerSample()
+	if !(m0 < m1 && m1 < m2) {
+		t.Errorf("MACs not monotone under growth: %v %v %v", m0, m1, m2)
+	}
+}
+
+func TestSimProperties(t *testing.T) {
+	m := denseModel(t, 6, 6)
+	if got := Sim(m, m); got != 1 {
+		t.Errorf("Sim(m,m) = %v, want 1", got)
+	}
+	if Sim(nil, m) != 0 || Sim(m, nil) != 0 {
+		t.Error("Sim with nil must be 0")
+	}
+	rng := rand.New(rand.NewSource(13))
+	child := m.Derive(0)
+	child.WidenCell(0, 2, rng)
+	s1 := Sim(m, child)
+	if s1 <= 0 || s1 >= 1 {
+		t.Errorf("parent/child sim = %v, want in (0,1)", s1)
+	}
+	if math.Abs(Sim(child, m)-s1) > 1e-12 {
+		t.Error("Sim must be symmetric for widen-only lineage")
+	}
+	grand := child.Derive(1)
+	grand.WidenCell(1, 2, rng)
+	grand.DeepenCell(0)
+	s2 := Sim(m, grand)
+	if s2 >= s1 {
+		t.Errorf("similarity should decay along the lineage: %v -> %v", s1, s2)
+	}
+}
+
+func TestSimUnrelatedModels(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(14))
+	a := Spec{Family: "dense", Input: []int{8}, Hidden: []int{6}, Classes: 4}.Build(rng)
+	b := Spec{Family: "dense", Input: []int{8}, Hidden: []int{6}, Classes: 4}.Build(rng)
+	if got := Sim(a, b); got != 0 {
+		t.Errorf("independently built models share no lineage; sim = %v", got)
+	}
+}
+
+func TestNamedSpecConstructors(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(15))
+	for _, s := range []Spec{
+		NASBenchLikeSpec(64, 16),
+		ResNetLikeSpec(1, 12, 12, 12),
+		MobileNetLikeSpec(3, 8, 8, 10),
+		ViTLikeSpec(8, 8, 8, 16),
+	} {
+		m := s.Build(rng)
+		if m.MACsPerSample() <= 0 {
+			t.Errorf("%s spec produced degenerate model", s.Family)
+		}
+	}
+}
+
+func TestResidualFamilyModel(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(20))
+	spec := Spec{Family: "residual", Input: []int{8}, Hidden: []int{6, 6}, Classes: 4}
+	m := spec.Build(rng)
+	x := probe(rng, 3, 8)
+	out := m.Forward(x)
+	if out.Shape[1] != 4 {
+		t.Fatalf("logits shape %v", out.Shape)
+	}
+	// Widen (self) and deepen must both preserve the function.
+	want := m.Forward(x)
+	m.WidenCell(0, 2, rng)
+	m.DeepenCell(1)
+	got := m.Forward(x)
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("residual transformation changed the function")
+	}
+	// SpecLike round-trips the family.
+	back := m.SpecLike()
+	if back.Family != "residual" || len(back.Hidden) != 3 {
+		t.Errorf("SpecLike = %+v", back)
+	}
+	if !strings.Contains(m.ArchString(), "res(") {
+		t.Errorf("ArchString = %q", m.ArchString())
+	}
+}
+
+// TestRandomTransformationChainsPreserveFunction is the core warm-up
+// property at model scope: any sequence of widen/deepen operations must
+// leave the computed function unchanged (within fp tolerance).
+func TestRandomTransformationChainsPreserveFunction(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		ResetIDs()
+		rng := rand.New(rand.NewSource(seed))
+		var spec Spec
+		var features int
+		switch seed % 3 {
+		case 0:
+			spec = Spec{Family: "dense", Input: []int{6}, Hidden: []int{5, 4}, Classes: 3}
+			features = 6
+		case 1:
+			spec = Spec{Family: "conv", Input: []int{1, 5, 5}, Hidden: []int{3}, Classes: 3}
+			features = 25
+		default:
+			spec = Spec{Family: "residual", Input: []int{6}, Hidden: []int{5}, Classes: 3}
+			features = 6
+		}
+		m := spec.Build(rng)
+		x := probe(rng, 2, features)
+		want := m.Forward(x)
+		ops := 3 + rng.Intn(3)
+		for op := 0; op < ops; op++ {
+			i := rng.Intn(m.NumCells())
+			if rng.Intn(2) == 0 && m.CanWiden(i) {
+				m.WidenCell(i, 1+rng.Float64()*2, rng)
+			} else {
+				switch m.Cells[i].Cell.Kind() {
+				case "dense", "conv2d", "attention", "residual":
+					m.DeepenCell(i)
+				}
+			}
+		}
+		got := m.Forward(x)
+		if !tensor.Equal(want, got, 1e-8) {
+			t.Fatalf("seed %d (%s): %d-op transformation chain changed the function",
+				seed, spec.Family, ops)
+		}
+	}
+}

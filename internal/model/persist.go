@@ -1,0 +1,203 @@
+package model
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"fedtrans/internal/codec"
+	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
+)
+
+// persistHeader is the JSON architecture header that precedes the weight
+// blob in a serialized model. Lineage metadata (ancestor IDs, inherited
+// fractions) is deliberately not persisted: a loaded model is a fresh
+// architecture root, matching how a deployed model leaves the training
+// suite.
+type persistHeader struct {
+	Version int        `json:"version"`
+	Input   []int      `json:"input"`
+	Classes int        `json:"classes"`
+	Tokens  int        `json:"tokens,omitempty"` // attention sequence length
+	Cells   []cellMeta `json:"cells"`
+}
+
+type cellMeta struct {
+	Kind   string `json:"kind"`
+	Stride int    `json:"stride,omitempty"` // conv2d only
+}
+
+// paramsPerKind maps cell kinds to their parameter-tensor counts in
+// Params() order.
+var paramsPerKind = map[string]int{
+	"dense":      2,
+	"conv2d":     2,
+	"attention":  8,
+	"residual":   4,
+	"gap":        0,
+	"meantokens": 0,
+}
+
+// ErrCorruptModel reports an unreadable serialized model.
+var ErrCorruptModel = errors.New("model: corrupt serialized model")
+
+// MarshalBinary serializes the model: a length-prefixed JSON architecture
+// header followed by the codec weight blob (cells in order, then head).
+func (m *Model) MarshalBinary() ([]byte, error) {
+	h := persistHeader{
+		Version: 1,
+		Input:   append([]int(nil), m.InputShape...),
+		Classes: m.Classes,
+	}
+	for i := range m.Cells {
+		cm := cellMeta{Kind: m.Cells[i].Cell.Kind()}
+		switch c := m.Cells[i].Cell.(type) {
+		case *nn.Conv2DCell:
+			cm.Stride = c.Stride
+		case *nn.AttentionCell:
+			if len(m.InputShape) == 2 {
+				h.Tokens = m.InputShape[0]
+			}
+		}
+		if _, ok := paramsPerKind[cm.Kind]; !ok {
+			return nil, fmt.Errorf("model: cannot serialize cell kind %q", cm.Kind)
+		}
+		h.Cells = append(h.Cells, cm)
+	}
+	hdr, err := json.Marshal(h)
+	if err != nil {
+		return nil, err
+	}
+	blob := codec.Encode(m.Params())
+	out := make([]byte, 0, 4+len(hdr)+len(blob))
+	out = binary.BigEndian.AppendUint32(out, uint32(len(hdr)))
+	out = append(out, hdr...)
+	return append(out, blob...), nil
+}
+
+// UnmarshalModel reconstructs a model serialized by MarshalBinary. The
+// loaded model computes exactly the same function (up to float32 wire
+// precision) and starts a fresh lineage.
+func UnmarshalModel(b []byte) (*Model, error) {
+	if len(b) < 4 {
+		return nil, ErrCorruptModel
+	}
+	hlen := int(binary.BigEndian.Uint32(b))
+	if hlen <= 0 || 4+hlen > len(b) {
+		return nil, ErrCorruptModel
+	}
+	var h persistHeader
+	if err := json.Unmarshal(b[4:4+hlen], &h); err != nil {
+		return nil, fmt.Errorf("model: bad header: %w", err)
+	}
+	if h.Version != 1 {
+		return nil, fmt.Errorf("model: unsupported version %d", h.Version)
+	}
+	weights, err := codec.Decode(b[4+hlen:])
+	if err != nil {
+		return nil, fmt.Errorf("model: bad weights: %w", err)
+	}
+	want := 2 // head
+	for _, cm := range h.Cells {
+		n, ok := paramsPerKind[cm.Kind]
+		if !ok {
+			return nil, fmt.Errorf("model: unknown cell kind %q", cm.Kind)
+		}
+		want += n
+	}
+	if len(weights) != want {
+		return nil, fmt.Errorf("%w: %d weight tensors, want %d", ErrCorruptModel, len(weights), want)
+	}
+
+	m := &Model{
+		ID:         int(nextModelIDInc()),
+		ParentID:   -1,
+		InputShape: append([]int(nil), h.Input...),
+		Classes:    h.Classes,
+	}
+	rng := rand.New(rand.NewSource(1)) // placeholder init; overwritten below
+	idx := 0
+	take := func(n int) []*tensor.Tensor {
+		out := weights[idx : idx+n]
+		idx += n
+		return out
+	}
+	// Track spatial size through conv stacks so MACs accounting is exact
+	// immediately after load.
+	spatialH, spatialW := 0, 0
+	if len(h.Input) == 3 {
+		spatialH, spatialW = h.Input[1], h.Input[2]
+	}
+	for _, cm := range h.Cells {
+		var cell nn.Cell
+		switch cm.Kind {
+		case "dense":
+			ws := take(2)
+			if ws[0].Rank() != 2 {
+				return nil, ErrCorruptModel
+			}
+			d := nn.NewDenseCell(ws[0].Shape[0], ws[0].Shape[1], true, rng)
+			d.W, d.B = ws[0], ws[1]
+			d.GW, d.GB = tensor.New(ws[0].Shape...), tensor.New(ws[1].Shape...)
+			cell = d
+		case "conv2d":
+			ws := take(2)
+			if ws[0].Rank() != 4 {
+				return nil, ErrCorruptModel
+			}
+			stride := cm.Stride
+			if stride == 0 {
+				stride = 1
+			}
+			c := nn.NewConv2DCell(ws[0].Shape[1], ws[0].Shape[0], ws[0].Shape[2], stride, true, rng)
+			c.W, c.B = ws[0], ws[1]
+			c.GW, c.GB = tensor.New(ws[0].Shape...), tensor.New(ws[1].Shape...)
+			if spatialH > 0 {
+				c.SetSpatial(spatialH, spatialW)
+				if stride == 2 {
+					spatialH = (spatialH + 1) / 2
+					spatialW = (spatialW + 1) / 2
+				}
+			}
+			cell = c
+		case "attention":
+			ws := take(8)
+			if ws[0].Rank() != 2 || ws[4].Rank() != 2 {
+				return nil, ErrCorruptModel
+			}
+			tokens := h.Tokens
+			if tokens == 0 && len(h.Input) == 2 {
+				tokens = h.Input[0]
+			}
+			a := nn.NewAttentionCell(ws[0].Shape[0], ws[4].Shape[1], tokens, rng)
+			a.Wq, a.Wk, a.Wv, a.Wo = ws[0], ws[1], ws[2], ws[3]
+			a.W1, a.B1, a.W2, a.B2 = ws[4], ws[5], ws[6], ws[7]
+			cell = a.Clone() // Clone re-allocates gradient buffers
+		case "residual":
+			ws := take(4)
+			if ws[0].Rank() != 2 {
+				return nil, ErrCorruptModel
+			}
+			r := nn.NewResidualDenseCell(ws[0].Shape[0], ws[0].Shape[1], rng)
+			r.W1, r.B1, r.W2, r.B2 = ws[0], ws[1], ws[2], ws[3]
+			cell = r.Clone()
+		case "gap":
+			cell = nn.NewGlobalAvgPoolCell()
+		case "meantokens":
+			cell = nn.NewMeanTokensCell()
+		}
+		m.appendCell(cell)
+	}
+	hw := take(2)
+	if hw[0].Rank() != 2 {
+		return nil, ErrCorruptModel
+	}
+	head := nn.NewDenseCell(hw[0].Shape[0], hw[0].Shape[1], false, rng)
+	head.W, head.B = hw[0], hw[1]
+	head.GW, head.GB = tensor.New(hw[0].Shape...), tensor.New(hw[1].Shape...)
+	m.Head = head
+	return m, nil
+}

@@ -1,0 +1,109 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+func roundTrip(t *testing.T, spec Spec, features int) {
+	t.Helper()
+	ResetIDs()
+	rng := rand.New(rand.NewSource(1))
+	m := spec.Build(rng)
+	x := probe(rng, 3, features)
+	want := m.Forward(x)
+
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", spec.Family, err)
+	}
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatalf("%s: unmarshal: %v", spec.Family, err)
+	}
+	got := back.Forward(x)
+	if !tensor.Equal(want, got, 1e-5) {
+		t.Errorf("%s: loaded model computes a different function", spec.Family)
+	}
+	if back.ParamCount() != m.ParamCount() {
+		t.Errorf("%s: params %d != %d", spec.Family, back.ParamCount(), m.ParamCount())
+	}
+	if back.MACsPerSample() != m.MACsPerSample() {
+		t.Errorf("%s: MACs %v != %v", spec.Family, back.MACsPerSample(), m.MACsPerSample())
+	}
+}
+
+func TestPersistRoundTripAllFamilies(t *testing.T) {
+	roundTrip(t, Spec{Family: "dense", Input: []int{8}, Hidden: []int{6, 6}, Classes: 4}, 8)
+	roundTrip(t, Spec{Family: "conv", Input: []int{2, 6, 6}, Hidden: []int{3, 4, 4}, Classes: 3}, 72)
+	roundTrip(t, Spec{Family: "attention", Input: []int{4, 6}, Hidden: []int{8}, Classes: 3}, 24)
+	roundTrip(t, Spec{Family: "residual", Input: []int{8}, Hidden: []int{6}, Classes: 4}, 8)
+}
+
+func TestPersistTransformedModel(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(2))
+	m := Spec{Family: "dense", Input: []int{8}, Hidden: []int{6}, Classes: 4}.Build(rng)
+	m.WidenCell(0, 2, rng)
+	m.DeepenCell(0)
+	x := probe(rng, 2, 8)
+	want := m.Forward(x)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.Equal(want, back.Forward(x), 1e-5) {
+		t.Error("transformed model lost its function across persistence")
+	}
+	if back.NumCells() != m.NumCells() {
+		t.Errorf("cells %d != %d", back.NumCells(), m.NumCells())
+	}
+}
+
+func TestPersistRejectsCorruption(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(3))
+	m := Spec{Family: "dense", Input: []int{4}, Hidden: []int{3}, Classes: 2}.Build(rng)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalModel(nil); err == nil {
+		t.Error("nil blob must fail")
+	}
+	if _, err := UnmarshalModel(blob[:3]); err == nil {
+		t.Error("truncated header length must fail")
+	}
+	if _, err := UnmarshalModel(blob[:len(blob)-2]); err == nil {
+		t.Error("truncated weights must fail")
+	}
+	// Flip a weight byte: codec checksum must catch it.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)-10] ^= 0xFF
+	if _, err := UnmarshalModel(bad); err == nil {
+		t.Error("corrupted weights must fail")
+	}
+}
+
+func TestPersistFreshLineage(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(4))
+	m := Spec{Family: "dense", Input: []int{4}, Hidden: []int{3}, Classes: 2}.Build(rng)
+	blob, _ := m.MarshalBinary()
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ParentID != -1 {
+		t.Errorf("loaded model ParentID = %d, want -1 (fresh root)", back.ParentID)
+	}
+	if Sim(m, back) != 0 {
+		t.Error("loaded model must not share lineage with the original")
+	}
+}

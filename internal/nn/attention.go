@@ -1,0 +1,267 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/tensor"
+)
+
+// AttentionCell is a simplified single-head transformer encoder block:
+// self-attention with a residual connection followed by a two-layer
+// feed-forward network with a residual connection. Layer normalization is
+// omitted for tractability of the hand-written backward pass; the block
+// remains a faithful "Cell" for the paper's Table 4 (ViT generality)
+// experiment because transformation operates on block structure, not on
+// normalization.
+//
+// Inputs and outputs are rank-3 tensors (batch, tokens, dim). The model
+// dimension is fixed; widening is internal (feed-forward hidden width),
+// and deepening inserts an identity block whose projections are zero so
+// the residuals pass the input through unchanged.
+type AttentionCell struct {
+	Wq, Wk, Wv, Wo *tensor.Tensor // (D, D)
+	W1             *tensor.Tensor // (D, F)
+	B1             *tensor.Tensor // (F)
+	W2             *tensor.Tensor // (F, D)
+	B2             *tensor.Tensor // (D)
+
+	GWq, GWk, GWv, GWo *tensor.Tensor
+	GW1, GB1, GW2, GB2 *tensor.Tensor
+
+	tokens int // expected sequence length (for MACs accounting)
+
+	// per-sample forward caches
+	xs, qs, ks, vs, as, hs, x1s, pre1s, us []*tensor.Tensor
+}
+
+// NewAttentionCell returns an attention block with model dim d,
+// feed-forward hidden width ff, operating on sequences of the given
+// length.
+func NewAttentionCell(d, ff, tokens int, rng *rand.Rand) *AttentionCell {
+	c := &AttentionCell{tokens: tokens}
+	initW := func(r, cc int) *tensor.Tensor {
+		t := tensor.New(r, cc)
+		t.RandNormal(rng, math.Sqrt(1.0/float64(r)))
+		return t
+	}
+	c.Wq, c.Wk, c.Wv, c.Wo = initW(d, d), initW(d, d), initW(d, d), initW(d, d)
+	c.W1, c.W2 = initW(d, ff), initW(ff, d)
+	c.B1, c.B2 = tensor.New(ff), tensor.New(d)
+	c.allocGrads()
+	return c
+}
+
+func (c *AttentionCell) allocGrads() {
+	c.GWq = tensor.New(c.Wq.Shape...)
+	c.GWk = tensor.New(c.Wk.Shape...)
+	c.GWv = tensor.New(c.Wv.Shape...)
+	c.GWo = tensor.New(c.Wo.Shape...)
+	c.GW1 = tensor.New(c.W1.Shape...)
+	c.GB1 = tensor.New(c.B1.Shape...)
+	c.GW2 = tensor.New(c.W2.Shape...)
+	c.GB2 = tensor.New(c.B2.Shape...)
+}
+
+// Kind implements Cell.
+func (c *AttentionCell) Kind() string { return "attention" }
+
+// Dim returns the model dimension.
+func (c *AttentionCell) Dim() int { return c.Wq.Shape[0] }
+
+// FF returns the feed-forward hidden width.
+func (c *AttentionCell) FF() int { return c.W1.Shape[1] }
+
+// Forward implements Cell for input (batch, tokens, dim).
+func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	c.tokens = t
+	out := tensor.New(batch, t, d)
+	n := batch
+	c.xs = make([]*tensor.Tensor, n)
+	c.qs = make([]*tensor.Tensor, n)
+	c.ks = make([]*tensor.Tensor, n)
+	c.vs = make([]*tensor.Tensor, n)
+	c.as = make([]*tensor.Tensor, n)
+	c.hs = make([]*tensor.Tensor, n)
+	c.x1s = make([]*tensor.Tensor, n)
+	c.pre1s = make([]*tensor.Tensor, n)
+	c.us = make([]*tensor.Tensor, n)
+	invSqrt := 1.0 / math.Sqrt(float64(d))
+	for b := 0; b < batch; b++ {
+		xb := tensor.FromSlice(x.Data[b*t*d:(b+1)*t*d], t, d)
+		q := tensor.MatMul(xb, c.Wq)
+		k := tensor.MatMul(xb, c.Wk)
+		v := tensor.MatMul(xb, c.Wv)
+		s := tensor.MatMulTransB(q, k)
+		s.Scale(invSqrt)
+		a := tensor.Softmax(s)
+		h := tensor.MatMul(a, v)
+		o := tensor.MatMul(h, c.Wo)
+		x1 := xb.Clone()
+		x1.AddScaled(o, 1)
+		pre1 := tensor.MatMul(x1, c.W1)
+		ff := pre1.Shape[1]
+		for i := 0; i < t; i++ {
+			for j := 0; j < ff; j++ {
+				pre1.Data[i*ff+j] += c.B1.Data[j]
+			}
+		}
+		u := pre1.Clone()
+		for i, vv := range u.Data {
+			if vv < 0 {
+				u.Data[i] = 0
+			}
+		}
+		f2 := tensor.MatMul(u, c.W2)
+		for i := 0; i < t; i++ {
+			for j := 0; j < d; j++ {
+				f2.Data[i*d+j] += c.B2.Data[j]
+			}
+		}
+		y := x1.Clone()
+		y.AddScaled(f2, 1)
+		copy(out.Data[b*t*d:(b+1)*t*d], y.Data)
+		c.xs[b], c.qs[b], c.ks[b], c.vs[b] = xb, q, k, v
+		c.as[b], c.hs[b], c.x1s[b] = a, h, x1
+		c.pre1s[b], c.us[b] = pre1, u
+	}
+	return out
+}
+
+// Backward implements Cell.
+func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch, t, d := grad.Shape[0], grad.Shape[1], grad.Shape[2]
+	gin := tensor.New(batch, t, d)
+	invSqrt := 1.0 / math.Sqrt(float64(d))
+	for b := 0; b < batch; b++ {
+		dy := tensor.FromSlice(grad.Data[b*t*d:(b+1)*t*d], t, d)
+		x1, u, pre1 := c.x1s[b], c.us[b], c.pre1s[b]
+		// FFN backward: y = x1 + (relu(x1 W1 + b1)) W2 + b2.
+		dU := tensor.MatMulTransB(dy, c.W2) // (t, ff)
+		for i, vv := range pre1.Data {
+			if vv <= 0 {
+				dU.Data[i] = 0
+			}
+		}
+		c.GW2.AddScaled(tensor.MatMulTransA(u, dy), 1)
+		ff := c.FF()
+		for i := 0; i < t; i++ {
+			for j := 0; j < d; j++ {
+				c.GB2.Data[j] += dy.Data[i*d+j]
+			}
+			for j := 0; j < ff; j++ {
+				c.GB1.Data[j] += dU.Data[i*ff+j]
+			}
+		}
+		c.GW1.AddScaled(tensor.MatMulTransA(x1, dU), 1)
+		dx1 := dy.Clone()
+		dx1.AddScaled(tensor.MatMulTransB(dU, c.W1), 1)
+		// Attention backward: x1 = x + (A V) Wo.
+		xb, q, k, v, a, h := c.xs[b], c.qs[b], c.ks[b], c.vs[b], c.as[b], c.hs[b]
+		dO := dx1
+		c.GWo.AddScaled(tensor.MatMulTransA(h, dO), 1)
+		dH := tensor.MatMulTransB(dO, c.Wo)
+		dA := tensor.MatMulTransB(dH, v)
+		dV := tensor.MatMulTransA(a, dH)
+		// softmax backward per row, then 1/sqrt(d) scale.
+		dS := tensor.New(t, t)
+		for i := 0; i < t; i++ {
+			arow := a.Data[i*t : (i+1)*t]
+			darow := dA.Data[i*t : (i+1)*t]
+			dot := 0.0
+			for j := range arow {
+				dot += arow[j] * darow[j]
+			}
+			for j := range arow {
+				dS.Data[i*t+j] = arow[j] * (darow[j] - dot) * invSqrt
+			}
+		}
+		dQ := tensor.MatMul(dS, k)
+		dK := tensor.MatMulTransA(dS, q)
+		c.GWq.AddScaled(tensor.MatMulTransA(xb, dQ), 1)
+		c.GWk.AddScaled(tensor.MatMulTransA(xb, dK), 1)
+		c.GWv.AddScaled(tensor.MatMulTransA(xb, dV), 1)
+		dx := dx1.Clone() // residual path
+		dx.AddScaled(tensor.MatMulTransB(dQ, c.Wq), 1)
+		dx.AddScaled(tensor.MatMulTransB(dK, c.Wk), 1)
+		dx.AddScaled(tensor.MatMulTransB(dV, c.Wv), 1)
+		copy(gin.Data[b*t*d:(b+1)*t*d], dx.Data)
+	}
+	return gin
+}
+
+// Params implements Cell.
+func (c *AttentionCell) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{c.Wq, c.Wk, c.Wv, c.Wo, c.W1, c.B1, c.W2, c.B2}
+}
+
+// Grads implements Cell.
+func (c *AttentionCell) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{c.GWq, c.GWk, c.GWv, c.GWo, c.GW1, c.GB1, c.GW2, c.GB2}
+}
+
+// Clone implements Cell.
+func (c *AttentionCell) Clone() Cell {
+	n := &AttentionCell{
+		Wq: c.Wq.Clone(), Wk: c.Wk.Clone(), Wv: c.Wv.Clone(), Wo: c.Wo.Clone(),
+		W1: c.W1.Clone(), B1: c.B1.Clone(), W2: c.W2.Clone(), B2: c.B2.Clone(),
+		tokens: c.tokens,
+	}
+	n.allocGrads()
+	return n
+}
+
+// MACsPerSample implements Cell.
+func (c *AttentionCell) MACsPerSample() float64 {
+	t := float64(c.tokens)
+	d := float64(c.Dim())
+	f := float64(c.FF())
+	return t*3*d*d + 2*t*t*d + t*d*d + 2*t*d*f
+}
+
+// WidenSelf implements SelfWidener by Net2Wider-expanding the feed-forward
+// hidden width; interface dimensions are unchanged and the function is
+// preserved.
+func (c *AttentionCell) WidenSelf(factor float64, rng *rand.Rand) {
+	oldFF := c.FF()
+	newFF := int(math.Ceil(float64(oldFF) * factor))
+	if newFF <= oldFF {
+		newFF = oldFF + 1
+	}
+	mapping, counts := WidenMapping(oldFF, newFF, rng)
+	d := c.Dim()
+	// W1 (d, ff): widen output columns; B1 likewise.
+	w1 := tensor.New(d, newFF)
+	b1 := tensor.New(newFF)
+	for j, src := range mapping {
+		b1.Data[j] = c.B1.Data[src]
+		for i := 0; i < d; i++ {
+			w1.Data[i*newFF+j] = c.W1.At(i, src)
+		}
+	}
+	// W2 (ff, d): widen input rows with 1/count scaling.
+	w2 := tensor.New(newFF, d)
+	for j, src := range mapping {
+		scale := 1.0 / float64(counts[src])
+		for k := 0; k < d; k++ {
+			w2.Data[j*d+k] = c.W2.At(src, k) * scale
+		}
+	}
+	c.W1, c.B1, c.W2 = w1, b1, w2
+	c.allocGrads()
+}
+
+// IdentityLike implements IdentityInserter: the new block's Wo and W2 (and
+// biases) are zero so both residual branches add nothing — the block is an
+// exact identity. Wq/Wk/Wv/W1 keep small random values so training can
+// break symmetry immediately.
+func (c *AttentionCell) IdentityLike() Cell {
+	rng := rand.New(rand.NewSource(int64(c.Dim())*1_000_003 + int64(c.FF())))
+	id := NewAttentionCell(c.Dim(), c.FF(), c.tokens, rng)
+	id.Wo.Zero()
+	id.W2.Zero()
+	id.B1.Zero()
+	id.B2.Zero()
+	return id
+}

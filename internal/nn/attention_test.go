@@ -1,0 +1,140 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+func TestAttentionShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewAttentionCell(6, 12, 4, rng)
+	x := tensor.New(2, 4, 6)
+	x.RandNormal(rng, 1)
+	out := c.Forward(x)
+	for i, w := range []int{2, 4, 6} {
+		if out.Shape[i] != w {
+			t.Fatalf("shape %v", out.Shape)
+		}
+	}
+	if c.Dim() != 6 || c.FF() != 12 {
+		t.Errorf("Dim/FF = %d/%d", c.Dim(), c.FF())
+	}
+}
+
+func TestAttentionGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewAttentionCell(3, 5, 3, rng)
+	x := tensor.New(2, 3, 3)
+	x.RandNormal(rng, 1)
+	forward := func() *tensor.Tensor { return c.Forward(x) }
+	out := forward()
+	ZeroGrads(c)
+	gin := c.Backward(lossGrad(out))
+	params := c.Params()
+	grads := c.Grads()
+	for pi, p := range params {
+		for i := 0; i < p.Len(); i++ {
+			want := numericalGrad(forward, p, i)
+			if math.Abs(grads[pi].Data[i]-want) > 2e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d idx %d: analytic %.6f vs numeric %.6f", pi, i, grads[pi].Data[i], want)
+			}
+		}
+	}
+	for i := 0; i < x.Len(); i++ {
+		want := numericalGrad(forward, x, i)
+		if math.Abs(gin.Data[i]-want) > 2e-4*(1+math.Abs(want)) {
+			t.Fatalf("input grad idx %d: analytic %.6f vs numeric %.6f", i, gin.Data[i], want)
+		}
+	}
+}
+
+func TestAttentionIdentityLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewAttentionCell(4, 8, 5, rng)
+	id := c.IdentityLike().(*AttentionCell)
+	x := tensor.New(2, 5, 4)
+	x.RandNormal(rng, 1) // attention identity holds for any sign
+	out := id.Forward(x)
+	if !tensor.Equal(x, out, 1e-12) {
+		t.Error("attention IdentityLike is not exact identity")
+	}
+}
+
+func TestAttentionWidenSelfPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewAttentionCell(4, 6, 3, rng)
+	x := tensor.New(1, 3, 4)
+	x.RandNormal(rng, 1)
+	want := c.Forward(x)
+	c.WidenSelf(2, rng)
+	if c.FF() != 12 {
+		t.Fatalf("FF after widen = %d, want 12", c.FF())
+	}
+	got := c.Forward(x)
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("WidenSelf changed the function")
+	}
+}
+
+func TestAttentionWidenSelfMinimumGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewAttentionCell(4, 6, 3, rng)
+	c.WidenSelf(1.0, rng) // factor too small: must still grow by 1
+	if c.FF() != 7 {
+		t.Errorf("FF = %d, want 7", c.FF())
+	}
+}
+
+func TestAttentionCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewAttentionCell(4, 8, 3, rng)
+	cl := c.Clone().(*AttentionCell)
+	cl.Wq.Data[0] = 123
+	if c.Wq.Data[0] == 123 {
+		t.Error("clone shares Wq")
+	}
+	x := tensor.New(1, 3, 4)
+	x.RandNormal(rng, 1)
+	// Clone (before mutation) must compute the same function; rebuild.
+	cl2 := c.Clone().(*AttentionCell)
+	if !tensor.Equal(c.Forward(x), cl2.Forward(x), 1e-12) {
+		t.Error("clone computes a different function")
+	}
+}
+
+func TestAttentionMACsGrowWithFF(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	small := NewAttentionCell(4, 4, 3, rng)
+	big := NewAttentionCell(4, 16, 3, rng)
+	if small.MACsPerSample() >= big.MACsPerSample() {
+		t.Error("MACs must grow with FF width")
+	}
+}
+
+func TestMeanTokens(t *testing.T) {
+	c := NewMeanTokensCell()
+	x := tensor.New(1, 2, 3)
+	copy(x.Data, []float64{1, 2, 3, 5, 6, 7})
+	out := c.Forward(x)
+	want := []float64{3, 4, 5}
+	for i, w := range want {
+		if math.Abs(out.Data[i]-w) > 1e-12 {
+			t.Fatalf("mean tokens = %v, want %v", out.Data, want)
+		}
+	}
+	g := tensor.FromSlice([]float64{2, 4, 6}, 1, 3)
+	gin := c.Backward(g)
+	for tok := 0; tok < 2; tok++ {
+		for j := 0; j < 3; j++ {
+			if gin.Data[tok*3+j] != g.Data[j]/2 {
+				t.Fatalf("mean tokens backward = %v", gin.Data)
+			}
+		}
+	}
+	if _, ok := Cell(c).(WidthTransparent); !ok {
+		t.Error("MeanTokensCell must be width-transparent")
+	}
+}

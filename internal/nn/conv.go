@@ -1,0 +1,331 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/tensor"
+)
+
+// Conv2DCell is a 2-D convolution (stride 1 or 2, "same" padding for odd
+// kernels) followed by an optional ReLU. Inputs and outputs are rank-4
+// tensors shaped (batch, channels, height, width). It corresponds to the
+// paper's convolution Cell (Figure 4).
+type Conv2DCell struct {
+	W      *tensor.Tensor // (outCh, inCh, k, k)
+	B      *tensor.Tensor // (outCh)
+	GW     *tensor.Tensor
+	GB     *tensor.Tensor
+	Stride int
+	ReLU   bool
+
+	inH, inW int // set on first Forward; used for MACs estimation
+	x        *tensor.Tensor
+	pre      *tensor.Tensor
+}
+
+// NewConv2DCell returns a convolution cell with Kaiming initialization.
+func NewConv2DCell(inCh, outCh, k, stride int, relu bool, rng *rand.Rand) *Conv2DCell {
+	if stride != 1 && stride != 2 {
+		panic("nn: Conv2DCell stride must be 1 or 2")
+	}
+	c := &Conv2DCell{
+		W:      tensor.New(outCh, inCh, k, k),
+		B:      tensor.New(outCh),
+		GW:     tensor.New(outCh, inCh, k, k),
+		GB:     tensor.New(outCh),
+		Stride: stride,
+		ReLU:   relu,
+	}
+	fanIn := float64(inCh * k * k)
+	c.W.RandNormal(rng, math.Sqrt(2.0/fanIn))
+	return c
+}
+
+// Kind implements Cell.
+func (c *Conv2DCell) Kind() string { return "conv2d" }
+
+// InCh returns the input channel count.
+func (c *Conv2DCell) InCh() int { return c.W.Shape[1] }
+
+// OutCh returns the output channel count.
+func (c *Conv2DCell) OutCh() int { return c.W.Shape[0] }
+
+// K returns the kernel size.
+func (c *Conv2DCell) K() int { return c.W.Shape[2] }
+
+func (c *Conv2DCell) outSize(in int) int {
+	// "same" padding: pad = k/2; out = ceil(in/stride).
+	return (in + c.Stride - 1) / c.Stride
+}
+
+// Forward implements Cell for input (batch, inCh, H, W).
+func (c *Conv2DCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, inCh, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	c.inH, c.inW = h, w
+	outCh, k, s := c.OutCh(), c.K(), c.Stride
+	pad := k / 2
+	oh, ow := c.outSize(h), c.outSize(w)
+	out := tensor.New(batch, outCh, oh, ow)
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < outCh; oc++ {
+			bias := c.B.Data[oc]
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					sum := bias
+					iy0 := oy*s - pad
+					ix0 := ox*s - pad
+					for ic := 0; ic < inCh; ic++ {
+						xBase := ((b*inCh + ic) * h) * w
+						wBase := ((oc*inCh + ic) * k) * k
+						for ky := 0; ky < k; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								sum += x.Data[xBase+iy*w+ix] * c.W.Data[wBase+ky*k+kx]
+							}
+						}
+					}
+					out.Data[((b*outCh+oc)*oh+oy)*ow+ox] = sum
+				}
+			}
+		}
+	}
+	c.x = x
+	c.pre = out
+	if !c.ReLU {
+		return out
+	}
+	act := out.Clone()
+	for i, v := range act.Data {
+		if v < 0 {
+			act.Data[i] = 0
+		}
+	}
+	return act
+}
+
+// Backward implements Cell.
+func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	if c.ReLU {
+		g = grad.Clone()
+		for i, v := range c.pre.Data {
+			if v <= 0 {
+				g.Data[i] = 0
+			}
+		}
+	}
+	x := c.x
+	batch, inCh, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outCh, k, s := c.OutCh(), c.K(), c.Stride
+	pad := k / 2
+	oh, ow := g.Shape[2], g.Shape[3]
+	gin := tensor.New(batch, inCh, h, w)
+	for b := 0; b < batch; b++ {
+		for oc := 0; oc < outCh; oc++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					gv := g.Data[((b*outCh+oc)*oh+oy)*ow+ox]
+					if gv == 0 {
+						continue
+					}
+					c.GB.Data[oc] += gv
+					iy0 := oy*s - pad
+					ix0 := ox*s - pad
+					for ic := 0; ic < inCh; ic++ {
+						xBase := ((b*inCh + ic) * h) * w
+						wBase := ((oc*inCh + ic) * k) * k
+						for ky := 0; ky < k; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= h {
+								continue
+							}
+							for kx := 0; kx < k; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= w {
+									continue
+								}
+								c.GW.Data[wBase+ky*k+kx] += gv * x.Data[xBase+iy*w+ix]
+								gin.Data[xBase+iy*w+ix] += gv * c.W.Data[wBase+ky*k+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return gin
+}
+
+// Params implements Cell.
+func (c *Conv2DCell) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Cell.
+func (c *Conv2DCell) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// Clone implements Cell.
+func (c *Conv2DCell) Clone() Cell {
+	return &Conv2DCell{
+		W: c.W.Clone(), B: c.B.Clone(),
+		GW: tensor.New(c.W.Shape...), GB: tensor.New(c.B.Shape...),
+		Stride: c.Stride, ReLU: c.ReLU,
+		inH: c.inH, inW: c.inW,
+	}
+}
+
+// SetSpatial records the expected input spatial size, used by
+// MACsPerSample before the first Forward call.
+func (c *Conv2DCell) SetSpatial(h, w int) { c.inH, c.inW = h, w }
+
+// MACsPerSample implements Cell. It uses the most recently seen (or
+// configured) spatial size.
+func (c *Conv2DCell) MACsPerSample() float64 {
+	h, w := c.inH, c.inW
+	if h == 0 {
+		h, w = 8, 8 // conservative default before first use
+	}
+	oh, ow := c.outSize(h), c.outSize(w)
+	k := c.K()
+	return float64(oh*ow) * float64(k*k) * float64(c.InCh()) * float64(c.OutCh())
+}
+
+// OutUnits implements OutputWidener (units = output channels).
+func (c *Conv2DCell) OutUnits() int { return c.OutCh() }
+
+// WidenOutput implements OutputWidener by duplicating output channels.
+func (c *Conv2DCell) WidenOutput(mapping []int) {
+	inCh, k := c.InCh(), c.K()
+	newOut := len(mapping)
+	w := tensor.New(newOut, inCh, k, k)
+	b := tensor.New(newOut)
+	sz := inCh * k * k
+	for j, src := range mapping {
+		copy(w.Data[j*sz:(j+1)*sz], c.W.Data[src*sz:(src+1)*sz])
+		b.Data[j] = c.B.Data[src]
+	}
+	c.W, c.B = w, b
+	c.GW, c.GB = tensor.New(newOut, inCh, k, k), tensor.New(newOut)
+}
+
+// InUnits implements InputWidener (units = input channels).
+func (c *Conv2DCell) InUnits() int { return c.InCh() }
+
+// WidenInput implements InputWidener by duplicating input-channel slices
+// scaled by 1/replica-count.
+func (c *Conv2DCell) WidenInput(mapping []int, counts []int) {
+	outCh, oldIn, k := c.OutCh(), c.InCh(), c.K()
+	newIn := len(mapping)
+	w := tensor.New(outCh, newIn, k, k)
+	ksz := k * k
+	for oc := 0; oc < outCh; oc++ {
+		for j, src := range mapping {
+			scale := 1.0 / float64(counts[src])
+			dst := ((oc*newIn + j) * k) * k
+			from := ((oc*oldIn + src) * k) * k
+			for i := 0; i < ksz; i++ {
+				w.Data[dst+i] = c.W.Data[from+i] * scale
+			}
+		}
+	}
+	c.W = w
+	c.GW = tensor.New(outCh, newIn, k, k)
+}
+
+// IdentityLike implements IdentityInserter: a stride-1 conv whose kernels
+// are centre-tap identities (channel i passes through unchanged). With
+// ReLU it preserves the function because the predecessor output is
+// non-negative.
+func (c *Conv2DCell) IdentityLike() Cell {
+	n := c.OutCh()
+	k := c.K()
+	if k%2 == 0 {
+		k = 3
+	}
+	id := &Conv2DCell{
+		W:      tensor.New(n, n, k, k),
+		B:      tensor.New(n),
+		GW:     tensor.New(n, n, k, k),
+		GB:     tensor.New(n),
+		Stride: 1,
+		ReLU:   true,
+		inH:    c.outSize(c.inH),
+		inW:    c.outSize(c.inW),
+	}
+	mid := k / 2
+	for i := 0; i < n; i++ {
+		id.W.Data[((i*n+i)*k+mid)*k+mid] = 1
+	}
+	return id
+}
+
+// GlobalAvgPoolCell reduces (batch, C, H, W) to (batch, C) by averaging
+// over the spatial axes. It has no parameters and is width-transparent:
+// widening the preceding convolution's channels passes straight through to
+// the following dense layer.
+type GlobalAvgPoolCell struct {
+	inShape []int
+}
+
+// NewGlobalAvgPoolCell returns a GlobalAvgPoolCell.
+func NewGlobalAvgPoolCell() *GlobalAvgPoolCell { return &GlobalAvgPoolCell{} }
+
+// Kind implements Cell.
+func (c *GlobalAvgPoolCell) Kind() string { return "gap" }
+
+// Forward implements Cell.
+func (c *GlobalAvgPoolCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	c.inShape = append([]int(nil), x.Shape...)
+	out := tensor.New(batch, ch)
+	inv := 1.0 / float64(h*w)
+	for b := 0; b < batch; b++ {
+		for cc := 0; cc < ch; cc++ {
+			base := ((b*ch + cc) * h) * w
+			s := 0.0
+			for i := 0; i < h*w; i++ {
+				s += x.Data[base+i]
+			}
+			out.Data[b*ch+cc] = s * inv
+		}
+	}
+	return out
+}
+
+// Backward implements Cell.
+func (c *GlobalAvgPoolCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch, ch, h, w := c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3]
+	gin := tensor.New(batch, ch, h, w)
+	inv := 1.0 / float64(h*w)
+	for b := 0; b < batch; b++ {
+		for cc := 0; cc < ch; cc++ {
+			gv := grad.Data[b*ch+cc] * inv
+			base := ((b*ch + cc) * h) * w
+			for i := 0; i < h*w; i++ {
+				gin.Data[base+i] = gv
+			}
+		}
+	}
+	return gin
+}
+
+// Params implements Cell.
+func (c *GlobalAvgPoolCell) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Cell.
+func (c *GlobalAvgPoolCell) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Cell.
+func (c *GlobalAvgPoolCell) Clone() Cell { return &GlobalAvgPoolCell{} }
+
+// MACsPerSample implements Cell; pooling is additions only.
+func (c *GlobalAvgPoolCell) MACsPerSample() float64 { return 0 }
+
+// WidthTransparent implements the WidthTransparent marker.
+func (c *GlobalAvgPoolCell) WidthTransparent() {}

@@ -1,0 +1,205 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+func TestConvForwardKnown(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewConv2DCell(1, 1, 3, 1, false, rng)
+	c.W.Zero()
+	// Centre-tap identity kernel.
+	c.W.Data[4] = 1
+	c.B.Zero()
+	x := tensor.New(1, 1, 3, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i)
+	}
+	out := c.Forward(x)
+	if !tensor.Equal(x, out, 1e-12) {
+		t.Errorf("identity kernel should copy input, got %v", out.Data)
+	}
+}
+
+func TestConvSamePaddingSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewConv2DCell(2, 3, 3, 1, true, rng)
+	x := tensor.New(2, 2, 5, 7)
+	out := c.Forward(x)
+	want := []int{2, 3, 5, 7}
+	for i, w := range want {
+		if out.Shape[i] != w {
+			t.Fatalf("output shape %v, want %v", out.Shape, want)
+		}
+	}
+}
+
+func TestConvStride2Downsamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewConv2DCell(1, 1, 3, 2, false, rng)
+	x := tensor.New(1, 1, 8, 8)
+	out := c.Forward(x)
+	if out.Shape[2] != 4 || out.Shape[3] != 4 {
+		t.Errorf("stride-2 output %v, want 4x4", out.Shape)
+	}
+	x2 := tensor.New(1, 1, 7, 7)
+	out2 := c.Forward(x2)
+	if out2.Shape[2] != 4 || out2.Shape[3] != 4 {
+		t.Errorf("stride-2 odd output %v, want 4x4 (ceil)", out2.Shape)
+	}
+}
+
+func TestConvStridePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for stride 3")
+		}
+	}()
+	NewConv2DCell(1, 1, 3, 3, false, rand.New(rand.NewSource(1)))
+}
+
+func TestConvGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewConv2DCell(2, 2, 3, 1, true, rng)
+	x := tensor.New(1, 2, 4, 4)
+	x.RandNormal(rng, 1)
+	forward := func() *tensor.Tensor { return c.Forward(x) }
+	out := forward()
+	ZeroGrads(c)
+	gin := c.Backward(lossGrad(out))
+	for pi, p := range c.Params() {
+		g := c.Grads()[pi]
+		for i := 0; i < p.Len(); i++ {
+			want := numericalGrad(forward, p, i)
+			if math.Abs(g.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d idx %d: analytic %.6f vs numeric %.6f", pi, i, g.Data[i], want)
+			}
+		}
+	}
+	for i := 0; i < x.Len(); i++ {
+		want := numericalGrad(forward, x, i)
+		if math.Abs(gin.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("input grad idx %d: analytic %.6f vs numeric %.6f", i, gin.Data[i], want)
+		}
+	}
+}
+
+func TestConvGradientCheckStride2(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewConv2DCell(1, 2, 3, 2, false, rng)
+	x := tensor.New(1, 1, 5, 5)
+	x.RandNormal(rng, 1)
+	forward := func() *tensor.Tensor { return c.Forward(x) }
+	out := forward()
+	ZeroGrads(c)
+	c.Backward(lossGrad(out))
+	p := c.W
+	for i := 0; i < p.Len(); i++ {
+		want := numericalGrad(forward, p, i)
+		if math.Abs(c.GW.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("W idx %d: analytic %.6f vs numeric %.6f", i, c.GW.Data[i], want)
+		}
+	}
+}
+
+func TestConvWidenPairPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for iter := 0; iter < 10; iter++ {
+		a := NewConv2DCell(2, 3, 3, 1, true, rng)
+		b := NewConv2DCell(3, 2, 3, 1, false, rng)
+		x := tensor.New(1, 2, 4, 4)
+		x.RandNormal(rng, 1)
+		want := b.Forward(a.Forward(x))
+		mapping, counts := WidenMapping(3, 5, rng)
+		a.WidenOutput(mapping)
+		b.WidenInput(mapping, counts)
+		got := b.Forward(a.Forward(x))
+		if !tensor.Equal(want, got, 1e-9) {
+			t.Fatalf("iter %d: conv widen pair changed the function", iter)
+		}
+	}
+}
+
+func TestConvWidenThroughGAPToDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	conv := NewConv2DCell(1, 3, 3, 1, true, rng)
+	gap := NewGlobalAvgPoolCell()
+	head := NewDenseCell(3, 2, false, rng)
+	x := tensor.New(2, 1, 4, 4)
+	x.RandNormal(rng, 1)
+	want := head.Forward(gap.Forward(conv.Forward(x)))
+	mapping, counts := WidenMapping(3, 6, rng)
+	conv.WidenOutput(mapping)
+	head.WidenInput(mapping, counts)
+	got := head.Forward(gap.Forward(conv.Forward(x)))
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("widen through GAP changed the function")
+	}
+}
+
+func TestConvIdentityLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	c := NewConv2DCell(2, 3, 3, 1, true, rng)
+	c.SetSpatial(4, 4)
+	id := c.IdentityLike().(*Conv2DCell)
+	x := tensor.New(1, 3, 4, 4)
+	for i := range x.Data {
+		x.Data[i] = rng.Float64() // non-negative for ReLU identity
+	}
+	out := id.Forward(x)
+	if !tensor.Equal(x, out, 1e-12) {
+		t.Error("conv IdentityLike is not identity")
+	}
+}
+
+func TestConvMACs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := NewConv2DCell(3, 8, 3, 1, true, rng)
+	c.SetSpatial(8, 8)
+	want := 8.0 * 8 * 3 * 3 * 3 * 8
+	if c.MACsPerSample() != want {
+		t.Errorf("MACs = %v, want %v", c.MACsPerSample(), want)
+	}
+}
+
+func TestGlobalAvgPool(t *testing.T) {
+	gap := NewGlobalAvgPoolCell()
+	x := tensor.New(1, 2, 2, 2)
+	for i := range x.Data {
+		x.Data[i] = float64(i) // ch0: 0,1,2,3 avg 1.5; ch1: 4,5,6,7 avg 5.5
+	}
+	out := gap.Forward(x)
+	if out.Shape[0] != 1 || out.Shape[1] != 2 {
+		t.Fatalf("gap shape %v", out.Shape)
+	}
+	if math.Abs(out.Data[0]-1.5) > 1e-12 || math.Abs(out.Data[1]-5.5) > 1e-12 {
+		t.Errorf("gap values %v", out.Data)
+	}
+	// Backward distributes evenly.
+	g := tensor.FromSlice([]float64{4, 8}, 1, 2)
+	gin := gap.Backward(g)
+	for i := 0; i < 4; i++ {
+		if gin.Data[i] != 1 {
+			t.Errorf("gap backward ch0 = %v", gin.Data[:4])
+		}
+	}
+	for i := 4; i < 8; i++ {
+		if gin.Data[i] != 2 {
+			t.Errorf("gap backward ch1 = %v", gin.Data[4:])
+		}
+	}
+}
+
+func TestGAPIsWidthTransparent(t *testing.T) {
+	var c Cell = NewGlobalAvgPoolCell()
+	if _, ok := c.(WidthTransparent); !ok {
+		t.Error("GAP must be width-transparent")
+	}
+	if c.MACsPerSample() != 0 || len(c.Params()) != 0 {
+		t.Error("GAP must be parameter-free")
+	}
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/tensor"
+)
+
+// DenseCell is a fully connected layer followed by an optional ReLU. It is
+// the dense analogue of the paper's NASBench201-style cell and the main
+// building block of the scaled-down experiment models.
+type DenseCell struct {
+	W    *tensor.Tensor // (in, out)
+	B    *tensor.Tensor // (out)
+	GW   *tensor.Tensor
+	GB   *tensor.Tensor
+	ReLU bool
+
+	x   *tensor.Tensor // cached input
+	pre *tensor.Tensor // cached pre-activation
+}
+
+// NewDenseCell returns a DenseCell with Kaiming-style initialization.
+func NewDenseCell(in, out int, relu bool, rng *rand.Rand) *DenseCell {
+	c := &DenseCell{
+		W:    tensor.New(in, out),
+		B:    tensor.New(out),
+		GW:   tensor.New(in, out),
+		GB:   tensor.New(out),
+		ReLU: relu,
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	c.W.RandNormal(rng, std)
+	return c
+}
+
+// Kind implements Cell.
+func (c *DenseCell) Kind() string { return "dense" }
+
+// InDim returns the input feature dimension.
+func (c *DenseCell) InDim() int { return c.W.Shape[0] }
+
+// OutDim returns the output feature dimension.
+func (c *DenseCell) OutDim() int { return c.W.Shape[1] }
+
+// Forward implements Cell for input of shape (batch, in).
+func (c *DenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.x = x
+	pre := tensor.MatMul(x, c.W)
+	out := pre.Shape[1]
+	for i := 0; i < pre.Shape[0]; i++ {
+		row := pre.Data[i*out : (i+1)*out]
+		for j := range row {
+			row[j] += c.B.Data[j]
+		}
+	}
+	c.pre = pre
+	if !c.ReLU {
+		return pre
+	}
+	act := pre.Clone()
+	for i, v := range act.Data {
+		if v < 0 {
+			act.Data[i] = 0
+		}
+	}
+	return act
+}
+
+// Backward implements Cell.
+func (c *DenseCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	if c.ReLU {
+		g = grad.Clone()
+		for i, v := range c.pre.Data {
+			if v <= 0 {
+				g.Data[i] = 0
+			}
+		}
+	}
+	gw := tensor.MatMulTransA(c.x, g)
+	c.GW.AddScaled(gw, 1)
+	out := g.Shape[1]
+	for i := 0; i < g.Shape[0]; i++ {
+		row := g.Data[i*out : (i+1)*out]
+		for j := range row {
+			c.GB.Data[j] += row[j]
+		}
+	}
+	return tensor.MatMulTransB(g, c.W)
+}
+
+// Params implements Cell.
+func (c *DenseCell) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads implements Cell.
+func (c *DenseCell) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+
+// Clone implements Cell.
+func (c *DenseCell) Clone() Cell {
+	return &DenseCell{
+		W: c.W.Clone(), B: c.B.Clone(),
+		GW: tensor.New(c.W.Shape...), GB: tensor.New(c.B.Shape...),
+		ReLU: c.ReLU,
+	}
+}
+
+// MACsPerSample implements Cell.
+func (c *DenseCell) MACsPerSample() float64 {
+	return float64(c.W.Shape[0]) * float64(c.W.Shape[1])
+}
+
+// OutUnits implements OutputWidener.
+func (c *DenseCell) OutUnits() int { return c.OutDim() }
+
+// WidenOutput implements OutputWidener: new output column j copies source
+// column mapping[j] (Net2Wider duplication).
+func (c *DenseCell) WidenOutput(mapping []int) {
+	in, newOut := c.W.Shape[0], len(mapping)
+	w := tensor.New(in, newOut)
+	b := tensor.New(newOut)
+	for j, src := range mapping {
+		b.Data[j] = c.B.Data[src]
+		for i := 0; i < in; i++ {
+			w.Data[i*newOut+j] = c.W.At(i, src)
+		}
+	}
+	c.W, c.B = w, b
+	c.GW, c.GB = tensor.New(in, newOut), tensor.New(newOut)
+}
+
+// InUnits implements InputWidener.
+func (c *DenseCell) InUnits() int { return c.InDim() }
+
+// WidenInput implements InputWidener: new input row j takes source row
+// mapping[j] scaled by 1/counts[mapping[j]], preserving the function.
+func (c *DenseCell) WidenInput(mapping []int, counts []int) {
+	newIn, out := len(mapping), c.W.Shape[1]
+	w := tensor.New(newIn, out)
+	for j, src := range mapping {
+		scale := 1.0 / float64(counts[src])
+		for k := 0; k < out; k++ {
+			w.Data[j*out+k] = c.W.At(src, k) * scale
+		}
+	}
+	c.W = w
+	c.GW = tensor.New(newIn, out)
+}
+
+// IdentityLike implements IdentityInserter: a square dense cell initialized
+// to the identity. With ReLU it preserves the function exactly because the
+// predecessor's ReLU output is non-negative.
+func (c *DenseCell) IdentityLike() Cell {
+	n := c.OutDim()
+	id := &DenseCell{
+		W:    tensor.New(n, n),
+		B:    tensor.New(n),
+		GW:   tensor.New(n, n),
+		GB:   tensor.New(n),
+		ReLU: true,
+	}
+	for i := 0; i < n; i++ {
+		id.W.Set(i, i, 1)
+	}
+	return id
+}

@@ -1,0 +1,107 @@
+package nn
+
+import (
+	"math"
+
+	"fedtrans/internal/tensor"
+)
+
+// SoftmaxCrossEntropy returns the mean cross-entropy loss of logits
+// (batch, classes) against integer labels, and the gradient of the loss
+// with respect to the logits.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	batch, classes := logits.Shape[0], logits.Shape[1]
+	if batch != len(labels) {
+		panic("nn: label/batch size mismatch")
+	}
+	probs := tensor.Softmax(logits)
+	grad := probs.Clone()
+	loss := 0.0
+	inv := 1.0 / float64(batch)
+	for i, y := range labels {
+		p := probs.Data[i*classes+y]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss -= math.Log(p)
+		grad.Data[i*classes+y] -= 1
+	}
+	grad.Scale(inv)
+	return loss * inv, grad
+}
+
+// Accuracy returns the fraction of rows of logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, y := range labels {
+		if logits.ArgMaxRow(i) == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}
+
+// MeanTokensCell reduces (batch, tokens, dim) to (batch, dim) by averaging
+// over tokens. It is the attention-model analogue of global average
+// pooling and is width-transparent.
+type MeanTokensCell struct {
+	inShape []int
+}
+
+// NewMeanTokensCell returns a MeanTokensCell.
+func NewMeanTokensCell() *MeanTokensCell { return &MeanTokensCell{} }
+
+// Kind implements Cell.
+func (c *MeanTokensCell) Kind() string { return "meantokens" }
+
+// Forward implements Cell.
+func (c *MeanTokensCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
+	c.inShape = append([]int(nil), x.Shape...)
+	out := tensor.New(batch, d)
+	inv := 1.0 / float64(t)
+	for b := 0; b < batch; b++ {
+		for i := 0; i < t; i++ {
+			base := (b*t + i) * d
+			for j := 0; j < d; j++ {
+				out.Data[b*d+j] += x.Data[base+j] * inv
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Cell.
+func (c *MeanTokensCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	batch, t, d := c.inShape[0], c.inShape[1], c.inShape[2]
+	gin := tensor.New(batch, t, d)
+	inv := 1.0 / float64(t)
+	for b := 0; b < batch; b++ {
+		for i := 0; i < t; i++ {
+			base := (b*t + i) * d
+			for j := 0; j < d; j++ {
+				gin.Data[base+j] = grad.Data[b*d+j] * inv
+			}
+		}
+	}
+	return gin
+}
+
+// Params implements Cell.
+func (c *MeanTokensCell) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Cell.
+func (c *MeanTokensCell) Grads() []*tensor.Tensor { return nil }
+
+// Clone implements Cell.
+func (c *MeanTokensCell) Clone() Cell { return &MeanTokensCell{} }
+
+// MACsPerSample implements Cell.
+func (c *MeanTokensCell) MACsPerSample() float64 { return 0 }
+
+// WidthTransparent implements the WidthTransparent marker.
+func (c *MeanTokensCell) WidthTransparent() {}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"math"
+
+	"fedtrans/internal/tensor"
+)
+
+// SGD is plain stochastic gradient descent with optional momentum and an
+// optional FedProx proximal term. Velocity buffers are keyed by parameter
+// tensor identity and survive across steps; they are dropped if the
+// parameter set changes (e.g. after a model transformation).
+type SGD struct {
+	LR       float64
+	Momentum float64
+	// ProxMu, when positive, adds the FedProx proximal gradient
+	// mu*(w - w_anchor) using the anchors registered via SetProxAnchor.
+	ProxMu float64
+
+	vel     map[*tensor.Tensor][]float64
+	anchors map[*tensor.Tensor][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// SetProxAnchor registers the FedProx anchor weights (typically the global
+// model at round start) for a parameter tensor.
+func (o *SGD) SetProxAnchor(p *tensor.Tensor, anchor []float64) {
+	if o.anchors == nil {
+		o.anchors = make(map[*tensor.Tensor][]float64)
+	}
+	cp := make([]float64, len(anchor))
+	copy(cp, anchor)
+	o.anchors[p] = cp
+}
+
+// Step applies one update to each parameter given its gradient.
+func (o *SGD) Step(params, grads []*tensor.Tensor) {
+	for i, p := range params {
+		g := grads[i]
+		if o.ProxMu > 0 && o.anchors != nil {
+			if a, ok := o.anchors[p]; ok && len(a) == len(p.Data) {
+				for j := range p.Data {
+					g.Data[j] += o.ProxMu * (p.Data[j] - a[j])
+				}
+			}
+		}
+		if o.Momentum > 0 {
+			if o.vel == nil {
+				o.vel = make(map[*tensor.Tensor][]float64)
+			}
+			v, ok := o.vel[p]
+			if !ok || len(v) != len(p.Data) {
+				v = make([]float64, len(p.Data))
+				o.vel[p] = v
+			}
+			for j := range p.Data {
+				v[j] = o.Momentum*v[j] + g.Data[j]
+				p.Data[j] -= o.LR * v[j]
+			}
+		} else {
+			for j := range p.Data {
+				p.Data[j] -= o.LR * g.Data[j]
+			}
+		}
+	}
+}
+
+// Yogi is the FedYogi server optimizer (Reddi et al.): an adaptive update
+// applied to the pseudo-gradient delta = aggregated_client_weights -
+// server_weights each round.
+type Yogi struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Tau   float64
+
+	m map[int][]float64
+	v map[int][]float64
+}
+
+// NewYogi returns a Yogi optimizer with the paper-typical defaults.
+func NewYogi(lr float64) *Yogi {
+	return &Yogi{LR: lr, Beta1: 0.9, Beta2: 0.99, Tau: 1e-3}
+}
+
+// Apply updates server weights in place given the pseudo-gradient (the
+// negated average client delta). Buffers are keyed by the caller-provided
+// slot so that per-model state stays separate.
+func (y *Yogi) Apply(slot int, weights []*tensor.Tensor, pseudoGrad [][]float64) {
+	if y.m == nil {
+		y.m = make(map[int][]float64)
+		y.v = make(map[int][]float64)
+	}
+	total := 0
+	for _, g := range pseudoGrad {
+		total += len(g)
+	}
+	m, ok := y.m[slot]
+	if !ok || len(m) != total {
+		m = make([]float64, total)
+		y.m[slot] = m
+		y.v[slot] = make([]float64, total)
+	}
+	v := y.v[slot]
+	off := 0
+	for wi, w := range weights {
+		g := pseudoGrad[wi]
+		for j := range g {
+			idx := off + j
+			m[idx] = y.Beta1*m[idx] + (1-y.Beta1)*g[j]
+			g2 := g[j] * g[j]
+			sign := 1.0
+			if v[idx] > g2 {
+				sign = -1.0
+			}
+			// Yogi: v += -(1-beta2) * sign(v - g^2) * g^2  → additive form.
+			v[idx] = v[idx] + (1-y.Beta2)*sign*g2
+			if v[idx] < 0 {
+				v[idx] = 0
+			}
+			w.Data[j] -= y.LR * m[idx] / (math.Sqrt(v[idx]) + y.Tau)
+		}
+		off += len(g)
+	}
+}

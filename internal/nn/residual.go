@@ -1,0 +1,179 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"fedtrans/internal/tensor"
+)
+
+// ResidualDenseCell is a pre-activation residual bottleneck block:
+//
+//	y = x + ReLU(x W1 + b1) W2 + b2
+//
+// with model dimension D preserved and an internal hidden width H. It is
+// the dense analogue of the paper's "ResNet block" Cell example (§3):
+// widening grows H (function-preserving Net2Wider, interface unchanged)
+// and deepening inserts a block whose W2 is zero, making the residual an
+// exact identity.
+type ResidualDenseCell struct {
+	W1 *tensor.Tensor // (D, H)
+	B1 *tensor.Tensor // (H)
+	W2 *tensor.Tensor // (H, D)
+	B2 *tensor.Tensor // (D)
+
+	GW1, GB1, GW2, GB2 *tensor.Tensor
+
+	x    *tensor.Tensor
+	pre1 *tensor.Tensor
+	u    *tensor.Tensor
+}
+
+// NewResidualDenseCell returns a residual block of model dim d and hidden
+// width h.
+func NewResidualDenseCell(d, h int, rng *rand.Rand) *ResidualDenseCell {
+	c := &ResidualDenseCell{
+		W1: tensor.New(d, h), B1: tensor.New(h),
+		W2: tensor.New(h, d), B2: tensor.New(d),
+	}
+	c.W1.RandNormal(rng, math.Sqrt(2.0/float64(d)))
+	c.W2.RandNormal(rng, math.Sqrt(1.0/float64(h)))
+	c.allocGrads()
+	return c
+}
+
+func (c *ResidualDenseCell) allocGrads() {
+	c.GW1 = tensor.New(c.W1.Shape...)
+	c.GB1 = tensor.New(c.B1.Shape...)
+	c.GW2 = tensor.New(c.W2.Shape...)
+	c.GB2 = tensor.New(c.B2.Shape...)
+}
+
+// Kind implements Cell.
+func (c *ResidualDenseCell) Kind() string { return "residual" }
+
+// Dim returns the preserved model dimension.
+func (c *ResidualDenseCell) Dim() int { return c.W1.Shape[0] }
+
+// Hidden returns the internal bottleneck width.
+func (c *ResidualDenseCell) Hidden() int { return c.W1.Shape[1] }
+
+// Forward implements Cell for input (batch, D).
+func (c *ResidualDenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.x = x
+	pre1 := tensor.MatMul(x, c.W1)
+	h := pre1.Shape[1]
+	for i := 0; i < pre1.Shape[0]; i++ {
+		for j := 0; j < h; j++ {
+			pre1.Data[i*h+j] += c.B1.Data[j]
+		}
+	}
+	c.pre1 = pre1
+	u := pre1.Clone()
+	for i, v := range u.Data {
+		if v < 0 {
+			u.Data[i] = 0
+		}
+	}
+	c.u = u
+	f := tensor.MatMul(u, c.W2)
+	d := f.Shape[1]
+	for i := 0; i < f.Shape[0]; i++ {
+		for j := 0; j < d; j++ {
+			f.Data[i*d+j] += c.B2.Data[j]
+		}
+	}
+	y := x.Clone()
+	y.AddScaled(f, 1)
+	return y
+}
+
+// Backward implements Cell.
+func (c *ResidualDenseCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// y = x + f(x): dx gets grad directly plus the branch contribution.
+	dU := tensor.MatMulTransB(grad, c.W2)
+	for i, v := range c.pre1.Data {
+		if v <= 0 {
+			dU.Data[i] = 0
+		}
+	}
+	c.GW2.AddScaled(tensor.MatMulTransA(c.u, grad), 1)
+	d := grad.Shape[1]
+	h := dU.Shape[1]
+	for i := 0; i < grad.Shape[0]; i++ {
+		for j := 0; j < d; j++ {
+			c.GB2.Data[j] += grad.Data[i*d+j]
+		}
+		for j := 0; j < h; j++ {
+			c.GB1.Data[j] += dU.Data[i*h+j]
+		}
+	}
+	c.GW1.AddScaled(tensor.MatMulTransA(c.x, dU), 1)
+	gin := grad.Clone()
+	gin.AddScaled(tensor.MatMulTransB(dU, c.W1), 1)
+	return gin
+}
+
+// Params implements Cell.
+func (c *ResidualDenseCell) Params() []*tensor.Tensor {
+	return []*tensor.Tensor{c.W1, c.B1, c.W2, c.B2}
+}
+
+// Grads implements Cell.
+func (c *ResidualDenseCell) Grads() []*tensor.Tensor {
+	return []*tensor.Tensor{c.GW1, c.GB1, c.GW2, c.GB2}
+}
+
+// Clone implements Cell.
+func (c *ResidualDenseCell) Clone() Cell {
+	n := &ResidualDenseCell{
+		W1: c.W1.Clone(), B1: c.B1.Clone(),
+		W2: c.W2.Clone(), B2: c.B2.Clone(),
+	}
+	n.allocGrads()
+	return n
+}
+
+// MACsPerSample implements Cell.
+func (c *ResidualDenseCell) MACsPerSample() float64 {
+	return 2 * float64(c.Dim()) * float64(c.Hidden())
+}
+
+// WidenSelf implements SelfWidener via Net2Wider on the hidden width; the
+// block function is preserved exactly.
+func (c *ResidualDenseCell) WidenSelf(factor float64, rng *rand.Rand) {
+	oldH := c.Hidden()
+	newH := int(math.Ceil(float64(oldH) * factor))
+	if newH <= oldH {
+		newH = oldH + 1
+	}
+	mapping, counts := WidenMapping(oldH, newH, rng)
+	d := c.Dim()
+	w1 := tensor.New(d, newH)
+	b1 := tensor.New(newH)
+	for j, src := range mapping {
+		b1.Data[j] = c.B1.Data[src]
+		for i := 0; i < d; i++ {
+			w1.Data[i*newH+j] = c.W1.At(i, src)
+		}
+	}
+	w2 := tensor.New(newH, d)
+	for j, src := range mapping {
+		scale := 1.0 / float64(counts[src])
+		for k := 0; k < d; k++ {
+			w2.Data[j*d+k] = c.W2.At(src, k) * scale
+		}
+	}
+	c.W1, c.B1, c.W2 = w1, b1, w2
+	c.allocGrads()
+}
+
+// IdentityLike implements IdentityInserter: a block with zero W2/B2 adds
+// nothing to the residual, an exact identity for inputs of any sign.
+func (c *ResidualDenseCell) IdentityLike() Cell {
+	rng := rand.New(rand.NewSource(int64(c.Dim())*999_983 + int64(c.Hidden())))
+	id := NewResidualDenseCell(c.Dim(), c.Hidden(), rng)
+	id.W2.Zero()
+	id.B2.Zero()
+	return id
+}

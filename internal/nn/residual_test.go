@@ -1,0 +1,100 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+func TestResidualShapesPreserved(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewResidualDenseCell(6, 10, rng)
+	x := tensor.New(3, 6)
+	x.RandNormal(rng, 1)
+	out := c.Forward(x)
+	if out.Shape[0] != 3 || out.Shape[1] != 6 {
+		t.Fatalf("residual output shape %v", out.Shape)
+	}
+	if c.Dim() != 6 || c.Hidden() != 10 {
+		t.Errorf("Dim/Hidden = %d/%d", c.Dim(), c.Hidden())
+	}
+}
+
+func TestResidualGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := NewResidualDenseCell(4, 5, rng)
+	x := tensor.New(2, 4)
+	x.RandNormal(rng, 1)
+	forward := func() *tensor.Tensor { return c.Forward(x) }
+	out := forward()
+	ZeroGrads(c)
+	gin := c.Backward(lossGrad(out))
+	for pi, p := range c.Params() {
+		g := c.Grads()[pi]
+		for i := 0; i < p.Len(); i++ {
+			want := numericalGrad(forward, p, i)
+			if math.Abs(g.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+				t.Fatalf("param %d idx %d: analytic %.6f vs numeric %.6f", pi, i, g.Data[i], want)
+			}
+		}
+	}
+	for i := 0; i < x.Len(); i++ {
+		want := numericalGrad(forward, x, i)
+		if math.Abs(gin.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("input grad idx %d: analytic %.6f vs numeric %.6f", i, gin.Data[i], want)
+		}
+	}
+}
+
+func TestResidualIdentityLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewResidualDenseCell(5, 7, rng)
+	id := c.IdentityLike().(*ResidualDenseCell)
+	x := tensor.New(2, 5)
+	x.RandNormal(rng, 2) // any sign: residual identity is exact
+	out := id.Forward(x)
+	if !tensor.Equal(x, out, 1e-12) {
+		t.Error("residual IdentityLike is not exact identity")
+	}
+}
+
+func TestResidualWidenSelfPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewResidualDenseCell(4, 6, rng)
+	x := tensor.New(3, 4)
+	x.RandNormal(rng, 1)
+	want := c.Forward(x)
+	c.WidenSelf(2, rng)
+	if c.Hidden() != 12 {
+		t.Fatalf("hidden after widen = %d, want 12", c.Hidden())
+	}
+	got := c.Forward(x)
+	if !tensor.Equal(want, got, 1e-9) {
+		t.Error("residual WidenSelf changed the function")
+	}
+}
+
+func TestResidualCloneIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c := NewResidualDenseCell(4, 6, rng)
+	cl := c.Clone().(*ResidualDenseCell)
+	x := tensor.New(1, 4)
+	x.RandNormal(rng, 1)
+	if !tensor.Equal(c.Forward(x), cl.Forward(x), 1e-12) {
+		t.Error("clone computes a different function")
+	}
+	cl.W1.Data[0] = 99
+	if c.W1.Data[0] == 99 {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestResidualMACs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	c := NewResidualDenseCell(10, 20, rng)
+	if c.MACsPerSample() != 400 {
+		t.Errorf("MACs = %v, want 400", c.MACsPerSample())
+	}
+}

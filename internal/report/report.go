@@ -1,0 +1,112 @@
+// Package report renders experiment results into Markdown and CSV, the
+// formats used by EXPERIMENTS.md and by downstream analysis scripts.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"fedtrans/internal/metrics"
+)
+
+// Markdown renders a metrics.Table as a GitHub-flavored Markdown table.
+func Markdown(t *metrics.Table) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for _, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(escapePipes(c))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	b.WriteString("|")
+	for range t.Header {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func escapePipes(s string) string { return strings.ReplaceAll(s, "|", "\\|") }
+
+// CSV renders a metrics.Table as RFC-4180-ish CSV (quoting cells that
+// contain commas, quotes, or newlines).
+func CSV(t *metrics.Table) string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(csvCell(c))
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func csvCell(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+	}
+	return s
+}
+
+// SeriesCSV renders one or more (x, y) series in long format:
+// name,x,y per row.
+func SeriesCSV(series []metrics.Series) string {
+	var b strings.Builder
+	b.WriteString("series,x,y\n")
+	for _, s := range series {
+		for i := range s.X {
+			fmt.Fprintf(&b, "%s,%g,%g\n", csvCell(s.Name), s.X[i], s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+// SparklineASCII renders a tiny ASCII trend of a series' y values, useful
+// for at-a-glance convergence checks in terminal reports.
+func SparklineASCII(ys []float64, width int) string {
+	if len(ys) == 0 || width <= 0 {
+		return ""
+	}
+	levels := []byte("_.-~^")
+	min, max := ys[0], ys[0]
+	for _, y := range ys {
+		if y < min {
+			min = y
+		}
+		if y > max {
+			max = y
+		}
+	}
+	out := make([]byte, 0, width)
+	for i := 0; i < width; i++ {
+		idx := i * (len(ys) - 1) / maxInt(width-1, 1)
+		y := ys[idx]
+		lv := 0
+		if max > min {
+			lv = int((y - min) / (max - min) * float64(len(levels)-1))
+		}
+		out = append(out, levels[lv])
+	}
+	return string(out)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

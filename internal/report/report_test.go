@@ -1,0 +1,75 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"fedtrans/internal/metrics"
+)
+
+func sampleTable() *metrics.Table {
+	t := &metrics.Table{Header: []string{"Method", "Accu"}}
+	t.AddRow("FedTrans", "76.4")
+	t.AddRow("Hetero|FL", "61.5") // pipe needs escaping in Markdown
+	return t
+}
+
+func TestMarkdownStructure(t *testing.T) {
+	md := Markdown(sampleTable())
+	lines := strings.Split(strings.TrimRight(md, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "|---|") {
+		t.Errorf("separator row = %q", lines[1])
+	}
+	if !strings.Contains(md, "Hetero\\|FL") {
+		t.Error("pipe not escaped")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &metrics.Table{Header: []string{"a", "b"}}
+	tab.AddRow("plain", `has,comma`)
+	tab.AddRow(`has"quote`, "x")
+	csv := CSV(tab)
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Error("comma cell not quoted")
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Error("quote cell not doubled")
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Errorf("header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	s := metrics.Series{Name: "fedtrans"}
+	s.Append(1, 0.5)
+	s.Append(2, 0.75)
+	out := SeriesCSV([]metrics.Series{s})
+	want := "series,x,y\nfedtrans,1,0.5\nfedtrans,2,0.75\n"
+	if out != want {
+		t.Errorf("SeriesCSV = %q, want %q", out, want)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if SparklineASCII(nil, 5) != "" {
+		t.Error("empty input should render empty")
+	}
+	up := SparklineASCII([]float64{0, 1, 2, 3}, 8)
+	if len(up) != 8 {
+		t.Fatalf("width = %d", len(up))
+	}
+	if up[0] != '_' || up[len(up)-1] != '^' {
+		t.Errorf("rising series rendered %q", up)
+	}
+	flat := SparklineASCII([]float64{2, 2, 2}, 4)
+	for _, c := range flat {
+		if c != '_' {
+			t.Errorf("flat series rendered %q", flat)
+		}
+	}
+}

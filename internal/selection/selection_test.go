@@ -1,0 +1,113 @@
+package selection
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomSelectDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var r Random
+	got := r.Select(0, 20, 6, rng)
+	if len(got) != 6 {
+		t.Fatalf("selected %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, c := range got {
+		if seen[c] || c < 0 || c >= 20 {
+			t.Fatal("invalid selection")
+		}
+		seen[c] = true
+	}
+	if all := r.Select(0, 3, 9, rng); len(all) != 3 {
+		t.Errorf("n>total should return all, got %d", len(all))
+	}
+}
+
+func TestOortPrefersHighLossClients(t *testing.T) {
+	o := NewOort()
+	o.ExploreFrac = 0
+	rng := rand.New(rand.NewSource(2))
+	// All clients explored; clients 0..4 have loss 5, clients 5..19 loss
+	// 0.1, equal (fast) durations.
+	for c := 0; c < 20; c++ {
+		loss := 0.1
+		if c < 5 {
+			loss = 5
+		}
+		o.Feedback(c, loss, 1)
+	}
+	got := o.Select(1, 20, 5, rng)
+	for _, c := range got {
+		if c >= 5 {
+			t.Errorf("selected low-utility client %d over high-loss clients", c)
+		}
+	}
+}
+
+func TestOortPenalizesSlowClients(t *testing.T) {
+	o := NewOort()
+	o.ExploreFrac = 0
+	o.PreferredDuration = 1
+	rng := rand.New(rand.NewSource(3))
+	// Client 0: high loss but extremely slow. Client 1: moderate loss,
+	// fast. The system penalty should invert the ranking.
+	o.Feedback(0, 5, 100) // score 5*(1/100)^2 = 5e-4
+	o.Feedback(1, 1, 0.5) // score 1
+	got := o.Select(1, 2, 1, rng)
+	if got[0] != 1 {
+		t.Errorf("selected %d; system penalty should prefer the fast client", got[0])
+	}
+}
+
+func TestOortExploresFreshClients(t *testing.T) {
+	o := NewOort()
+	o.ExploreFrac = 0.5
+	rng := rand.New(rand.NewSource(4))
+	// Half the population explored.
+	for c := 0; c < 10; c++ {
+		o.Feedback(c, 1, 1)
+	}
+	got := o.Select(1, 20, 8, rng)
+	freshCount := 0
+	for _, c := range got {
+		if c >= 10 {
+			freshCount++
+		}
+	}
+	if freshCount < 3 {
+		t.Errorf("only %d/8 fresh clients with ExploreFrac 0.5", freshCount)
+	}
+}
+
+func TestOortTopUpWhenFewFresh(t *testing.T) {
+	o := NewOort()
+	o.ExploreFrac = 0.9
+	rng := rand.New(rand.NewSource(5))
+	for c := 0; c < 19; c++ {
+		o.Feedback(c, 1, 1)
+	}
+	// Only one fresh client; the quota must be topped up from explored.
+	got := o.Select(1, 20, 6, rng)
+	if len(got) != 6 {
+		t.Errorf("selected %d, want 6", len(got))
+	}
+}
+
+func TestOortFeedbackEMA(t *testing.T) {
+	o := NewOort()
+	o.Feedback(0, 4, 1)
+	o.Feedback(0, 0, 1) // EMA: 0.5*4 + 0.5*0 = 2
+	if got := o.util[0]; got != 2 {
+		t.Errorf("EMA utility = %v, want 2", got)
+	}
+}
+
+func TestOortSelectAllWhenSmall(t *testing.T) {
+	o := NewOort()
+	rng := rand.New(rand.NewSource(6))
+	got := o.Select(0, 3, 10, rng)
+	if len(got) != 3 {
+		t.Errorf("selected %d, want all 3", len(got))
+	}
+}

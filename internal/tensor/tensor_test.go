@@ -1,0 +1,289 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Len() != 24 {
+		t.Errorf("Len = %d, want 24", tt.Len())
+	}
+	if tt.Rank() != 3 {
+		t.Errorf("Rank = %d, want 3", tt.Rank())
+	}
+	if tt.Dim(1) != 3 {
+		t.Errorf("Dim(1) = %d, want 3", tt.Dim(1))
+	}
+	for _, v := range tt.Data {
+		if v != 0 {
+			t.Fatal("New tensor not zeroed")
+		}
+	}
+}
+
+func TestNewPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive dim")
+		}
+	}()
+	New(2, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	tt := FromSlice(d, 2, 3)
+	if tt.At(1, 2) != 6 {
+		t.Errorf("At(1,2) = %v, want 6", tt.At(1, 2))
+	}
+	tt.Set(0, 1, 9)
+	if d[1] != 9 {
+		t.Error("FromSlice must wrap, not copy")
+	}
+}
+
+func TestFromSlicePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for size mismatch")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(2, 2)
+	a.Fill(3)
+	b := a.Clone()
+	b.Data[0] = -1
+	if a.Data[0] != 3 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := New(2, 6)
+	a.Data[7] = 42
+	b := a.Reshape(3, 4)
+	if b.Data[7] != 42 {
+		t.Error("Reshape must share data")
+	}
+	if b.Shape[0] != 3 || b.Shape[1] != 4 {
+		t.Errorf("Reshape shape = %v", b.Shape)
+	}
+}
+
+func TestReshapePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(2, 3).Reshape(4, 2)
+}
+
+func TestAddScaledAndScale(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{10, 20}, 2)
+	a.AddScaled(b, 0.5)
+	if a.Data[0] != 6 || a.Data[1] != 12 {
+		t.Errorf("AddScaled = %v", a.Data)
+	}
+	a.Scale(2)
+	if a.Data[0] != 12 || a.Data[1] != 24 {
+		t.Errorf("Scale = %v", a.Data)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	if got := a.Norm(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Norm = %v, want 5", got)
+	}
+	if got := a.MaxAbs(); got != 4 {
+		t.Errorf("MaxAbs = %v, want 4", got)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	c := MatMul(a, b)
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if math.Abs(c.Data[i]-w) > 1e-12 {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MatMul(New(2, 3), New(2, 3))
+}
+
+// randMat builds a random matrix from a seed for property tests.
+func randMat(rng *rand.Rand, r, c int) *Tensor {
+	m := New(r, c)
+	m.RandNormal(rng, 1)
+	return m
+}
+
+// TestMatMulTransposeVariantsAgree checks MatMulTransA/B against explicit
+// transposition through MatMul.
+func TestMatMulTransposeVariantsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 25; iter++ {
+		m, k, n := 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6)
+		a := randMat(rng, k, m) // for TransA
+		b := randMat(rng, k, n)
+		got := MatMulTransA(a, b)
+		at := transpose(a)
+		want := MatMul(at, b)
+		if !Equal(got, want, 1e-10) {
+			t.Fatalf("MatMulTransA mismatch at iter %d", iter)
+		}
+		a2 := randMat(rng, m, k)
+		b2 := randMat(rng, n, k)
+		got2 := MatMulTransB(a2, b2)
+		want2 := MatMul(a2, transpose(b2))
+		if !Equal(got2, want2, 1e-10) {
+			t.Fatalf("MatMulTransB mismatch at iter %d", iter)
+		}
+	}
+}
+
+func transpose(a *Tensor) *Tensor {
+	r, c := a.Shape[0], a.Shape[1]
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			out.Set(j, i, a.At(i, j))
+		}
+	}
+	return out
+}
+
+// Property: matmul distributes over addition, (A)(B+C) = AB + AC.
+func TestMatMulDistributive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, k, n := 1+r.Intn(5), 1+r.Intn(5), 1+r.Intn(5)
+		a := randMat(rng, m, k)
+		b := randMat(rng, k, n)
+		c := randMat(rng, k, n)
+		bc := b.Clone()
+		bc.AddScaled(c, 1)
+		left := MatMul(a, bc)
+		ab := MatMul(a, b)
+		ac := MatMul(a, c)
+		ab.AddScaled(ac, 1)
+		return Equal(left, ab, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(5), 1+r.Intn(8)
+		m := New(rows, cols)
+		m.RandNormal(r, 10) // large magnitudes stress stability
+		s := Softmax(m)
+		for i := 0; i < rows; i++ {
+			sum := 0.0
+			for j := 0; j < cols; j++ {
+				v := s.At(i, j)
+				if v < 0 || v > 1 || math.IsNaN(v) {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftmaxInvariantToShift(t *testing.T) {
+	m := FromSlice([]float64{1, 2, 3}, 1, 3)
+	shifted := FromSlice([]float64{1001, 1002, 1003}, 1, 3)
+	if !Equal(Softmax(m), Softmax(shifted), 1e-9) {
+		t.Error("softmax must be shift-invariant")
+	}
+}
+
+func TestArgMaxRow(t *testing.T) {
+	m := FromSlice([]float64{0, 5, 3, 9, 1, 2}, 2, 3)
+	if m.ArgMaxRow(0) != 1 {
+		t.Errorf("ArgMaxRow(0) = %d, want 1", m.ArgMaxRow(0))
+	}
+	if m.ArgMaxRow(1) != 0 {
+		t.Errorf("ArgMaxRow(1) = %d, want 0", m.ArgMaxRow(1))
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromSlice([]float64{1, 2}, 2)
+	b := FromSlice([]float64{1, 2.0000001}, 2)
+	if !Equal(a, b, 1e-3) {
+		t.Error("Equal within tolerance failed")
+	}
+	if Equal(a, b, 1e-9) {
+		t.Error("Equal should fail outside tolerance")
+	}
+	c := FromSlice([]float64{1, 2}, 1, 2)
+	if Equal(a, c, 1) {
+		t.Error("Equal must compare shapes")
+	}
+}
+
+func TestZeroAndFill(t *testing.T) {
+	a := New(3)
+	a.Fill(7)
+	for _, v := range a.Data {
+		if v != 7 {
+			t.Fatal("Fill failed")
+		}
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+}
+
+func TestRandNormalStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := New(10000)
+	a.RandNormal(rng, 2)
+	mean, varSum := 0.0, 0.0
+	for _, v := range a.Data {
+		mean += v
+	}
+	mean /= float64(a.Len())
+	for _, v := range a.Data {
+		varSum += (v - mean) * (v - mean)
+	}
+	std := math.Sqrt(varSum / float64(a.Len()))
+	if math.Abs(std-2) > 0.1 {
+		t.Errorf("sample std = %.3f, want ~2", std)
+	}
+}
