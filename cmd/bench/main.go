@@ -1,0 +1,95 @@
+// Command bench runs the repository's perf-tracking microbenchmarks
+// (GEMM, conv forward/backward, the training step, and all-client
+// evaluation) and writes a machine-readable BENCH_<n>.json so future
+// PRs can track the performance trajectory:
+//
+//	go run ./cmd/bench              # writes BENCH_1.json at the repo root
+//	go run ./cmd/bench -out my.json -benchtime 500ms
+//
+// Each record is {op, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one benchmark measurement.
+type BenchResult struct {
+	Op          string  `json:"op"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// suites lists the benchmark regex per package; kept explicit so the
+// perf trajectory stays comparable across PRs.
+var suites = []struct {
+	pkg   string
+	bench string
+}{
+	{"./internal/tensor/", "BenchmarkMatMul"},
+	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward"},
+	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll"},
+}
+
+// benchLine matches e.g.
+// BenchmarkConvForward/im2col-4   450   532857 ns/op   0 B/op   0 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "output file")
+	benchtime := flag.String("benchtime", "300ms", "go test -benchtime value")
+	flag.Parse()
+
+	var results []BenchResult
+	for _, s := range suites {
+		cmd := exec.Command("go", "test", "-run=NONE",
+			"-bench="+s.bench, "-benchmem", "-benchtime="+*benchtime, s.pkg)
+		cmd.Stderr = os.Stderr
+		raw, err := cmd.Output()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s failed: %v\n%s", s.pkg, err, raw)
+			os.Exit(1)
+		}
+		for _, line := range strings.Split(string(raw), "\n") {
+			m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+			if m == nil {
+				continue
+			}
+			r := BenchResult{Op: strings.TrimPrefix(m[1], "Benchmark")}
+			r.Iterations, _ = strconv.ParseInt(m[2], 10, 64)
+			r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+			if m[4] != "" {
+				r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+			}
+			if m[5] != "" {
+				r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+			}
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "bench: no benchmark output parsed")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d ops)\n", *out, len(results))
+}

@@ -1,0 +1,3 @@
+module fedtrans
+
+go 1.24

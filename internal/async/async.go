@@ -130,7 +130,7 @@ func New(cfg Config, ds *data.Dataset, trace *device.Trace, spec model.Spec) *Ru
 		cfg.Local = fl.DefaultLocalConfig()
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	return &Runtime{cfg: cfg, ds: ds, trace: trace, global: spec.Build(rng), rng: rng}
+	return &Runtime{cfg: cfg, ds: ds, trace: trace, global: spec.BuildScoped(rng, model.NewIDGen()), rng: rng}
 }
 
 // Global exposes the global model.

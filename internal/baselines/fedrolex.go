@@ -34,7 +34,7 @@ func NewFedRolex(cfg Config, ds *data.Dataset, trace *device.Trace, largest mode
 		numLevels = 4
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &FedRolex{cfg: cfg, ds: ds, trace: trace, global: largest.Build(rng), rng: rng}
+	f := &FedRolex{cfg: cfg, ds: ds, trace: trace, global: largest.BuildScoped(rng, model.NewIDGen()), rng: rng}
 	r := 1.0
 	for l := 0; l < numLevels; l++ {
 		f.ratios = append(f.ratios, r)
@@ -119,6 +119,7 @@ func (f *FedRolex) extract(sets [][]int) *model.Model {
 	if prev != nil {
 		shrinkDenseIn(sub.Head, prev)
 	}
+	sub.InvalidateParamCache()
 	return sub
 }
 

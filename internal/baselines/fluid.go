@@ -38,7 +38,7 @@ type FLuID struct {
 // NewFLuID builds the global model from the given (largest) spec.
 func NewFLuID(cfg Config, ds *data.Dataset, trace *device.Trace, largest model.Spec) *FLuID {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	f := &FLuID{cfg: cfg, ds: ds, trace: trace, global: largest.Build(rng), rng: rng}
+	f := &FLuID{cfg: cfg, ds: ds, trace: trace, global: largest.BuildScoped(rng, model.NewIDGen()), rng: rng}
 	f.updateMag = make([][]float64, len(f.global.Cells))
 	for i := range f.global.Cells {
 		if d, ok := f.global.Cells[i].Cell.(*nn.DenseCell); ok {
@@ -118,6 +118,7 @@ func (f *FLuID) subModel(sets [][]int) *model.Model {
 		}
 		shrinkDenseIn(sub.Head, set)
 	}
+	sub.InvalidateParamCache()
 	return sub
 }
 

@@ -62,9 +62,10 @@ func NewHeteroFL(cfg Config, ds *data.Dataset, trace *device.Trace, largest mode
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	h := &HeteroFL{cfg: cfg, ds: ds, trace: trace, rng: rng}
+	ids := model.NewIDGen()
 	ratio := 1.0
 	for l := 0; l < numLevels; l++ {
-		h.levels = append(h.levels, largest.Scaled(ratio).Build(rng))
+		h.levels = append(h.levels, largest.Scaled(ratio).BuildScoped(rng, ids))
 		ratio /= 2
 	}
 	// Initialize every level as a crop of the global weights so the

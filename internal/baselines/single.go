@@ -66,7 +66,7 @@ func RunFedYogi(cfg Config, ds *data.Dataset, trace *device.Trace, spec model.Sp
 // returns the mean per-client test accuracy plus total training MACs.
 func RunCentralized(cfg Config, ds *data.Dataset, spec model.Spec, epochs int) (meanAcc float64, macs float64) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m := spec.Build(rng)
+	m := spec.BuildScoped(rng, model.NewIDGen())
 	x, y := ds.Centralized(cfg.Seed)
 	n := x.Shape[0]
 	opt := nn.NewSGD(cfg.Local.LR)

@@ -36,8 +36,9 @@ func NewSplitMix(cfg Config, ds *data.Dataset, trace *device.Trace, largest mode
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	s := &SplitMix{cfg: cfg, ds: ds, trace: trace, rng: rng}
 	atom := largest.Scaled(1 / float64(numBase))
+	ids := model.NewIDGen()
 	for i := 0; i < numBase; i++ {
-		s.bases = append(s.bases, atom.Build(rng))
+		s.bases = append(s.bases, atom.BuildScoped(rng, ids))
 	}
 	return s
 }

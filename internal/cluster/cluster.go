@@ -240,9 +240,8 @@ func cosDist(a, b []float64) float64 {
 func (rt *Runtime) Run() Result {
 	cfg := rt.cfg
 	res := Result{}
-	model.ResetIDs()
 	srng := rand.New(rand.NewSource(cfg.Seed))
-	probe := rt.spec.Build(srng)
+	probe := rt.spec.BuildScoped(srng, model.NewIDGen())
 
 	// Probe phase: a few FedAvg rounds to give signatures signal.
 	for r := 0; r < cfg.ProbeRounds; r++ {

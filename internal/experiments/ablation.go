@@ -5,6 +5,7 @@ import (
 
 	"fedtrans/internal/fl"
 	"fedtrans/internal/metrics"
+	"fedtrans/internal/par"
 )
 
 // Table1Row is one (variant, dataset) row of Table 1.
@@ -19,23 +20,32 @@ type Table1Row struct {
 type Table1Result struct{ Rows []Table1Row }
 
 // RunTable1 runs FedTrans with and without large-to-small weight sharing
-// on the femnist and cifar10 profiles.
+// on the femnist and cifar10 profiles. The four grid cells run in
+// parallel; rows are assembled in grid order.
 func RunTable1(sc Scale) Table1Result {
-	var out Table1Result
+	type cell struct {
+		profile string
+		l2s     bool
+	}
+	var cells []cell
 	for _, p := range []string{"femnist", "cifar10"} {
 		for _, l2s := range []bool{false, true} {
-			w := NewWorkload(p, sc, 1)
-			cfg := fedTransConfig(sc)
-			cfg.Soft.AllowL2S = l2s
-			res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
-			name := "FedTrans"
-			if l2s {
-				name = "FedTrans (l2s)"
-			}
-			out.Rows = append(out.Rows, Table1Row{Variant: name, Dataset: w.Name, Accuracy: res.MeanAcc * 100})
+			cells = append(cells, cell{p, l2s})
 		}
 	}
-	return out
+	rows := make([]Table1Row, len(cells))
+	par.ForN(len(cells), func(i int) {
+		w := NewWorkload(cells[i].profile, sc, 1)
+		cfg := fedTransConfig(sc)
+		cfg.Soft.AllowL2S = cells[i].l2s
+		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
+		name := "FedTrans"
+		if cells[i].l2s {
+			name = "FedTrans (l2s)"
+		}
+		rows[i] = Table1Row{Variant: name, Dataset: w.Name, Accuracy: res.MeanAcc * 100}
+	})
+	return Table1Result{Rows: rows}
 }
 
 // String renders Table 1.
@@ -71,8 +81,9 @@ func RunTable3(sc Scale) Table3Result {
 		{"FedTrans-lsw", true, true, true, false},
 		{"FedTrans-lswd", true, true, true, true},
 	}
-	var out Table3Result
-	for _, v := range variants {
+	rows := make([]Table3Row, len(variants))
+	par.ForN(len(variants), func(i int) {
+		v := variants[i]
 		w := NewWorkload("femnist", sc, 1)
 		cfg := fedTransConfig(sc)
 		cfg.Transform.RandomCellSelection = v.randomSel
@@ -80,11 +91,11 @@ func RunTable3(sc Scale) Table3Result {
 		cfg.Transform.DisableWarmup = v.noWarm
 		cfg.Soft.DisableDecay = v.noDecay
 		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
-		out.Rows = append(out.Rows, Table3Row{
+		rows[i] = Table3Row{
 			Variant: v.name, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs,
-		})
-	}
-	return out
+		}
+	})
+	return Table3Result{Rows: rows}
 }
 
 // String renders Table 3.
@@ -118,15 +129,19 @@ func (s SweepResult) String() string {
 	return tab.String()
 }
 
+// runSweep fans the sweep's grid points out across the bounded worker
+// pool; every point owns its workload, config, and RNGs, and results
+// land in value-indexed slots, so output order matches the serial sweep.
 func runSweep(sc Scale, param string, values []float64, mutate func(*fl.Config, float64), hetero float64) SweepResult {
-	out := SweepResult{Param: param}
-	for _, v := range values {
+	out := SweepResult{Param: param, Points: make([]SweepPoint, len(values))}
+	par.ForN(len(values), func(i int) {
+		v := values[i]
 		w := NewWorkload("femnist", sc, hetero)
 		cfg := fedTransConfig(sc)
 		mutate(&cfg, v)
 		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
-		out.Points = append(out.Points, SweepPoint{Value: v, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs})
-	}
+		out.Points[i] = SweepPoint{Value: v, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs}
+	})
 	return out
 }
 
@@ -163,12 +178,14 @@ func RunFigure12(sc Scale) SweepResult {
 // RunFigure13 sweeps the Dirichlet data-heterogeneity level h
 // (Figure 13); lower h = more heterogeneous.
 func RunFigure13(sc Scale) SweepResult {
-	out := SweepResult{Param: "h"}
-	for _, h := range []float64{0.5, 1, 50, 100} {
+	values := []float64{0.5, 1, 50, 100}
+	out := SweepResult{Param: "h", Points: make([]SweepPoint, len(values))}
+	par.ForN(len(values), func(i int) {
+		h := values[i]
 		w := NewWorkload("femnist", sc, h)
 		cfg := fedTransConfig(sc)
 		res := fl.New(cfg, w.Dataset, w.Trace, w.Initial).Run()
-		out.Points = append(out.Points, SweepPoint{Value: h, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs})
-	}
+		out.Points[i] = SweepPoint{Value: h, Accuracy: res.MeanAcc * 100, CostMACs: res.Costs.TrainMACs}
+	})
 	return out
 }

@@ -68,8 +68,9 @@ func initialSpecFor(profile string, ds *data.Dataset) model.Spec {
 // (least capable client) to ~32x that (most capable), mirroring §5.1's
 // "initial model complexity corresponds to the client with the lowest
 // capacities" with a ≥29x disparity.
+// (Model/cell IDs are scoped per runtime via model.BuildScoped, so
+// workload construction is safe to run concurrently across grid cells.)
 func NewWorkload(profile string, sc Scale, heterogeneity float64) Workload {
-	model.ResetIDs()
 	ds := data.Generate(data.Config{
 		Profile:       profile,
 		Clients:       sc.Clients,

@@ -8,6 +8,7 @@ import (
 	"fedtrans/internal/device"
 	"fedtrans/internal/metrics"
 	"fedtrans/internal/model"
+	"fedtrans/internal/par"
 )
 
 // Figure1aRow summarizes the inference-latency distribution of one model
@@ -94,8 +95,9 @@ func RunFigure1b(sc Scale, levels int) Figure1bResult {
 	for i := range bestAcc {
 		bestAcc[i] = -1
 	}
-	hidden := 8
-	for l := 0; l < levels; l++ {
+	perLevel := make([][]float64, levels)
+	par.ForN(levels, func(l int) {
+		hidden := 8 << l
 		spec := model.Spec{
 			Family: "dense", Input: []int{w.Dataset.FeatureDim},
 			Hidden: []int{hidden}, Classes: w.Dataset.Classes,
@@ -103,15 +105,17 @@ func RunFigure1b(sc Scale, levels int) Figure1bResult {
 		if l >= 3 {
 			spec.Hidden = []int{hidden, hidden}
 		}
-		cfg.Seed = sc.Seed + int64(l)
-		res := baselines.RunFedAvg(cfg, w.Dataset, w.Trace, spec)
-		for c, acc := range res.ClientAcc {
+		lcfg := cfg
+		lcfg.Seed = sc.Seed + int64(l)
+		perLevel[l] = baselines.RunFedAvg(lcfg, w.Dataset, w.Trace, spec).ClientAcc
+	})
+	for l := 0; l < levels; l++ {
+		for c, acc := range perLevel[l] {
 			if acc > bestAcc[c] {
 				bestAcc[c] = acc
 				bestLevel[c] = l
 			}
 		}
-		hidden *= 2
 	}
 	out := Figure1bResult{Share: make([]float64, levels), Levels: levels}
 	for _, l := range bestLevel {
@@ -153,22 +157,38 @@ func RunFigure2(sc Scale) Figure2Result {
 	w := NewWorkload("femnist", sc, 1)
 	largest, ft := LargestSpec(w, sc)
 	cfg := baselineConfig(sc)
-	var out Figure2Result
-	add := func(name string, cost, acc float64) {
-		out.Points = append(out.Points, Figure2Point{Method: name, CostMACs: cost, Accuracy: acc * 100})
+	points := make([]Figure2Point, 6)
+	points[0] = Figure2Point{Method: "FedTrans", CostMACs: ft.Costs.TrainMACs, Accuracy: ft.MeanAcc * 100}
+	runs := []struct {
+		name string
+		run  func() (cost, acc float64)
+	}{
+		{"Global (FedAvg)", func() (float64, float64) {
+			r := baselines.RunFedAvg(cfg, w.Dataset, w.Trace, largest)
+			return r.Costs.TrainMACs, r.MeanAcc
+		}},
+		{"HeteroFL", func() (float64, float64) {
+			r := baselines.NewHeteroFL(cfg, w.Dataset, w.Trace, largest, 4).Run()
+			return r.Costs.TrainMACs, r.MeanAcc
+		}},
+		{"SplitMix", func() (float64, float64) {
+			r := baselines.NewSplitMix(cfg, w.Dataset, w.Trace, largest, 4).Run()
+			return r.Costs.TrainMACs, r.MeanAcc
+		}},
+		{"FLuID", func() (float64, float64) {
+			r := baselines.NewFLuID(cfg, w.Dataset, w.Trace, largest).Run()
+			return r.Costs.TrainMACs, r.MeanAcc
+		}},
+		{"Cloud ML (bound)", func() (float64, float64) {
+			acc, macs := baselines.RunCentralized(cfg, w.Dataset, largest, 6)
+			return macs, acc
+		}},
 	}
-	add("FedTrans", ft.Costs.TrainMACs, ft.MeanAcc)
-	avg := baselines.RunFedAvg(cfg, w.Dataset, w.Trace, largest)
-	add("Global (FedAvg)", avg.Costs.TrainMACs, avg.MeanAcc)
-	h := baselines.NewHeteroFL(cfg, w.Dataset, w.Trace, largest, 4).Run()
-	add("HeteroFL", h.Costs.TrainMACs, h.MeanAcc)
-	s := baselines.NewSplitMix(cfg, w.Dataset, w.Trace, largest, 4).Run()
-	add("SplitMix", s.Costs.TrainMACs, s.MeanAcc)
-	fd := baselines.NewFLuID(cfg, w.Dataset, w.Trace, largest).Run()
-	add("FLuID", fd.Costs.TrainMACs, fd.MeanAcc)
-	cacc, cmacs := baselines.RunCentralized(cfg, w.Dataset, largest, 6)
-	add("Cloud ML (bound)", cmacs, cacc)
-	return out
+	par.ForN(len(runs), func(i int) {
+		cost, acc := runs[i].run()
+		points[i+1] = Figure2Point{Method: runs[i].name, CostMACs: cost, Accuracy: acc * 100}
+	})
+	return Figure2Result{Points: points}
 }
 
 // String renders the scatter points.

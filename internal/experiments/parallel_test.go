@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+
+	"fedtrans/internal/fl"
+)
+
+// detScale keeps the determinism comparisons fast: the point is the
+// scheduling, not the statistics.
+func detScale() Scale {
+	return Scale{Clients: 8, Rounds: 6, ClientsPerRound: 4, Seed: 1}
+}
+
+// withGOMAXPROCS runs fn under the given GOMAXPROCS setting.
+func withGOMAXPROCS(n int, fn func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+// TestRunTable2ParallelDeterminism checks that the parallel grid
+// produces byte-identical result strings to a serial execution: the
+// acceptance contract for the bounded worker pools.
+func TestRunTable2ParallelDeterminism(t *testing.T) {
+	sc := detScale()
+	profiles := []string{"femnist", "cifar10"}
+	var serial, parallel Table2Result
+	withGOMAXPROCS(1, func() { serial = RunTable2(sc, profiles) })
+	withGOMAXPROCS(4, func() { parallel = RunTable2(sc, profiles) })
+	if s, p := serial.String(), parallel.String(); s != p {
+		t.Fatalf("Table 2 differs between serial and parallel runs:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+	if s, p := serial.Figure6String(), parallel.Figure6String(); s != p {
+		t.Fatal("Figure 6 differs between serial and parallel runs")
+	}
+	if s, p := serial.Figure7String(), parallel.Figure7String(); s != p {
+		t.Fatal("Figure 7 differs between serial and parallel runs")
+	}
+}
+
+// TestEvaluateAllParallelDeterminism checks per-client evaluation is
+// identical regardless of worker count.
+func TestEvaluateAllParallelDeterminism(t *testing.T) {
+	sc := detScale()
+	run := func() ([]float64, []float64) {
+		w := NewWorkload("cifar10", sc, 1)
+		rt := fl.New(fedTransConfig(sc), w.Dataset, w.Trace, w.Initial)
+		rt.Run()
+		return rt.EvaluateAll()
+	}
+	var sAcc, sMACs, pAcc, pMACs []float64
+	withGOMAXPROCS(1, func() { sAcc, sMACs = run() })
+	withGOMAXPROCS(4, func() { pAcc, pMACs = run() })
+	if len(sAcc) != len(pAcc) {
+		t.Fatal("length mismatch")
+	}
+	for i := range sAcc {
+		if sAcc[i] != pAcc[i] || sMACs[i] != pMACs[i] {
+			t.Fatalf("client %d differs: serial (%v, %v) parallel (%v, %v)",
+				i, sAcc[i], sMACs[i], pAcc[i], pMACs[i])
+		}
+	}
+}
+
+// TestSweepParallelDeterminism covers the generic sweep driver.
+func TestSweepParallelDeterminism(t *testing.T) {
+	sc := detScale()
+	var serial, parallel SweepResult
+	withGOMAXPROCS(1, func() { serial = RunFigure10Beta(sc) })
+	withGOMAXPROCS(4, func() { parallel = RunFigure10Beta(sc) })
+	if s, p := serial.String(), parallel.String(); s != p {
+		t.Fatalf("sweep differs:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}

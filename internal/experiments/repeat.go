@@ -5,6 +5,7 @@ import (
 
 	"fedtrans/internal/fl"
 	"fedtrans/internal/metrics"
+	"fedtrans/internal/par"
 )
 
 // Repeated summarizes a metric across multiple seeds, matching the
@@ -29,15 +30,19 @@ func RepeatFedTrans(profile string, sc Scale, n int) Repeated {
 	if n <= 0 {
 		n = 3
 	}
-	out := Repeated{Name: "FedTrans/" + profile}
-	for i := 0; i < n; i++ {
+	out := Repeated{
+		Name:       "FedTrans/" + profile,
+		PerSeed:    make([]float64, n),
+		CostPerRun: make([]float64, n),
+	}
+	par.ForN(n, func(i int) {
 		s := sc
 		s.Seed = sc.Seed + int64(i)*1000
 		w := NewWorkload(profile, s, 1)
 		res := fl.New(fedTransConfig(s), w.Dataset, w.Trace, w.Initial).Run()
-		out.PerSeed = append(out.PerSeed, res.MeanAcc*100)
-		out.CostPerRun = append(out.CostPerRun, res.Costs.TrainMACs)
-	}
+		out.PerSeed[i] = res.MeanAcc * 100
+		out.CostPerRun[i] = res.Costs.TrainMACs
+	})
 	out.Mean = metrics.Mean(out.PerSeed)
 	out.Std = metrics.Std(out.PerSeed)
 	out.CostMean = metrics.Mean(out.CostPerRun)

@@ -6,6 +6,7 @@ import (
 	"fedtrans/internal/baselines"
 	"fedtrans/internal/fl"
 	"fedtrans/internal/metrics"
+	"fedtrans/internal/par"
 )
 
 // MethodResult pairs a method name with its run summary.
@@ -39,20 +40,45 @@ type Table2Result struct {
 
 // RunTable2 executes the full method × dataset grid. Profiles lists data
 // profiles to include (nil = all four).
+//
+// Grid cells run in parallel on a GOMAXPROCS-bounded pool: dataset
+// profiles fan out first, and within each profile the three baselines
+// fan out once the FedTrans run has produced the largest transformed
+// spec they take as input. Every run owns its RNGs and its model-ID
+// scope, and results land in cell-indexed slots assembled in grid
+// order, so the output is byte-identical to a serial execution.
 func RunTable2(sc Scale, profiles []string) Table2Result {
 	if len(profiles) == 0 {
 		profiles = []string{"cifar10", "femnist", "speech", "openimage"}
 	}
+	methods := []string{"FedTrans", "FLuID", "HeteroFL", "SplitMix"}
+	names := make([]string, len(profiles))
+	results := make([][]fl.Result, len(profiles))
+	par.ForN(len(profiles), func(pi int) {
+		w := NewWorkload(profiles[pi], sc, 1)
+		names[pi] = w.Name
+		largest, ftRes := LargestSpec(w, sc)
+		cell := make([]fl.Result, len(methods))
+		cell[0] = ftRes
+		cfg := baselineConfig(sc)
+		runs := []func() fl.Result{
+			func() fl.Result { return baselines.NewFLuID(cfg, w.Dataset, w.Trace, largest).Run() },
+			func() fl.Result { return baselines.NewHeteroFL(cfg, w.Dataset, w.Trace, largest, 4).Run() },
+			func() fl.Result { return baselines.NewSplitMix(cfg, w.Dataset, w.Trace, largest, 4).Run() },
+		}
+		par.ForN(len(runs), func(mi int) { cell[mi+1] = runs[mi]() })
+		results[pi] = cell
+	})
+
 	out := Table2Result{
 		PerClient: make(map[string]metrics.BoxStats),
 		Curves:    make(map[string]metrics.Series),
 	}
-	for _, p := range profiles {
-		w := NewWorkload(p, sc, 1)
-		largest, ftRes := LargestSpec(w, sc)
-		record := func(method string, r fl.Result) {
+	for pi := range profiles {
+		for mi, method := range methods {
+			r := results[pi][mi]
 			out.Rows = append(out.Rows, Table2Row{
-				Dataset:   w.Name,
+				Dataset:   names[pi],
 				Method:    method,
 				Accuracy:  r.MeanAcc * 100,
 				IQR:       r.Box.IQR() * 100,
@@ -60,17 +86,11 @@ func RunTable2(sc Scale, profiles []string) Table2Result {
 				StorageMB: metrics.MB(r.Costs.StorageBytes),
 				NetworkMB: metrics.MB(r.Costs.NetworkBytes),
 			})
-			key := w.Name + "/" + method
+			key := names[pi] + "/" + method
 			out.PerClient[key] = r.Box
 			r.CostCurve.Name = key
 			out.Curves[key] = r.CostCurve
 		}
-		record("FedTrans", ftRes)
-
-		cfg := baselineConfig(sc)
-		record("FLuID", baselines.NewFLuID(cfg, w.Dataset, w.Trace, largest).Run())
-		record("HeteroFL", baselines.NewHeteroFL(cfg, w.Dataset, w.Trace, largest, 4).Run())
-		record("SplitMix", baselines.NewSplitMix(cfg, w.Dataset, w.Trace, largest, 4).Run())
 	}
 	return out
 }

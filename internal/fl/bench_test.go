@@ -1,0 +1,64 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/model"
+	"fedtrans/internal/nn"
+)
+
+func benchRuntime(profile string) *Runtime {
+	ds := data.Generate(data.Config{Profile: profile, Clients: 24, Heterogeneity: 1, Seed: 1})
+	var spec model.Spec
+	if profile == "cifar10" {
+		spec = model.MobileNetLikeSpec(ds.InputShape[0], ds.InputShape[1], ds.InputShape[2], ds.Classes)
+	} else {
+		spec = model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+	}
+	base := spec.Build(rand.New(rand.NewSource(0))).MACsPerSample()
+	tr := device.NewTrace(device.TraceConfig{
+		N: 24, MinCapacityMACs: base, MaxCapacityMACs: base * 32, Seed: 101,
+	})
+	cfg := DefaultConfig()
+	cfg.Rounds = 3
+	return New(cfg, ds, tr, spec)
+}
+
+// BenchmarkEvaluateAll measures the parallel all-client evaluation that
+// runs every EvalEvery rounds and at convergence.
+func BenchmarkEvaluateAll(b *testing.B) {
+	rt := benchRuntime("cifar10")
+	rt.Run() // warm: train a few rounds so the suite is realistic
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.EvaluateAll()
+	}
+}
+
+// BenchmarkLocalTrainStep measures one SGD step of the conv model — the
+// training inner loop. Steady-state steps reuse pooled workspaces, so
+// allocs/op should stay near zero.
+func BenchmarkLocalTrainStep(b *testing.B) {
+	rt := benchRuntime("cifar10")
+	m := rt.Suite()[0].Clone()
+	defer m.ReleaseWorkspaces()
+	cl := &rt.ds.Clients[0]
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultLocalConfig()
+	opt := nn.NewSGD(cfg.LR)
+	idx := make([]int, cfg.BatchSize)
+	for i := range idx {
+		idx[i] = rng.Intn(len(cl.TrainY))
+	}
+	bx, by := data.Batch(cl.TrainX, cl.TrainY, idx)
+	m.TrainStep(bx, by, opt) // warm the workspaces
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TrainStep(bx, by, opt)
+	}
+}

@@ -44,6 +44,7 @@ type LocalResult struct {
 // and returns the result. The input model is not mutated.
 func TrainLocal(m *model.Model, cl *data.Client, cfg LocalConfig, rng *rand.Rand) LocalResult {
 	local := m.Clone()
+	defer local.ReleaseWorkspaces()
 	opt := nn.NewSGD(cfg.LR)
 	if cfg.ProxMu > 0 {
 		opt.ProxMu = cfg.ProxMu

@@ -2,7 +2,6 @@ package fl
 
 import (
 	"math/rand"
-	"sync"
 
 	"fedtrans/internal/aggregate"
 	"fedtrans/internal/assign"
@@ -11,6 +10,7 @@ import (
 	"fedtrans/internal/device"
 	"fedtrans/internal/metrics"
 	"fedtrans/internal/model"
+	"fedtrans/internal/par"
 	"fedtrans/internal/selection"
 	"fedtrans/internal/transform"
 )
@@ -177,7 +177,9 @@ func New(cfg Config, ds *data.Dataset, trace *device.Trace, initial model.Spec) 
 		cfg.Selector = selection.Random{}
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	m0 := initial.Build(rng)
+	// A per-run ID scope keeps model/cell IDs deterministic even when
+	// several runtimes execute concurrently (parallel experiment grids).
+	m0 := initial.BuildScoped(rng, model.NewIDGen())
 	rt := &Runtime{
 		cfg:   cfg,
 		ds:    ds,
@@ -315,17 +317,11 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 		}
 		updates = append(updates, pending{client: c, m: m})
 	}
-	var wg sync.WaitGroup
-	for i := range updates {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			u := &updates[i]
-			crng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919))
-			u.res = TrainLocal(u.m, &rt.ds.Clients[u.client], cfg.Local, crng)
-		}(i)
-	}
-	wg.Wait()
+	par.ForN(len(updates), func(i int) {
+		u := &updates[i]
+		crng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919))
+		u.res = TrainLocal(u.m, &rt.ds.Clients[u.client], cfg.Local, crng)
+	})
 	roundTime := 0.0
 	for i := range updates {
 		u := &updates[i]
@@ -443,19 +439,38 @@ func (rt *Runtime) tryTransform(round int) bool {
 
 // EvaluateAll evaluates every client on its best-utility compatible model
 // and returns per-client accuracies and the MACs of each client's chosen
-// model.
+// model. Clients are evaluated in parallel across a GOMAXPROCS-bounded
+// worker pool; model selection is deterministic and each worker
+// evaluates on private model clones (Forward mutates activation caches),
+// so the results are identical to a serial evaluation.
 func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
-	accs = make([]float64, len(rt.ds.Clients))
-	bestMACs = make([]float64, len(rt.ds.Clients))
-	for c := range rt.ds.Clients {
+	n := len(rt.ds.Clients)
+	accs = make([]float64, n)
+	bestMACs = make([]float64, n)
+	chosen := make([]*model.Model, n)
+	for c := 0; c < n; c++ {
 		compatible := assign.Compatible(rt.suite, rt.trace.Devices[c].CapacityMACs)
-		m := rt.mgr.Best(c, compatible)
-		if m == nil {
-			continue
-		}
-		accs[c] = EvaluateOn(m, &rt.ds.Clients[c])
-		bestMACs[c] = m.MACsPerSample()
+		chosen[c] = rt.mgr.Best(c, compatible)
 	}
+	par.Chunked(n, func(lo, hi int) {
+		clones := make(map[int]*model.Model)
+		for c := lo; c < hi; c++ {
+			m := chosen[c]
+			if m == nil {
+				continue
+			}
+			cm := clones[m.ID]
+			if cm == nil {
+				cm = m.Clone()
+				clones[m.ID] = cm
+			}
+			accs[c] = EvaluateOn(cm, &rt.ds.Clients[c])
+			bestMACs[c] = m.MACsPerSample()
+		}
+		for _, cm := range clones {
+			cm.ReleaseWorkspaces()
+		}
+	})
 	return accs, bestMACs
 }
 

@@ -17,9 +17,35 @@ import (
 
 func sqrtf(x float64) float64 { return math.Sqrt(x) }
 
-var nextCellID int64
+// IDGen allocates model and cell IDs for one logical run. Every model
+// built from the same generator (and everything derived from it) draws
+// from the same scope, so independent runs with their own generators
+// produce identical ID sequences no matter how they are scheduled
+// across goroutines. The counters are atomic, making the shared
+// process-wide scope safe under concurrency too.
+type IDGen struct {
+	model atomic.Int64
+	cell  atomic.Int64
+}
 
-func newCellID() int64 { return atomic.AddInt64(&nextCellID, 1) }
+// NewIDGen returns a fresh ID scope starting at 1 for both models and
+// cells.
+func NewIDGen() *IDGen { return &IDGen{} }
+
+func (g *IDGen) nextModelID() int  { return int(g.model.Add(1)) }
+func (g *IDGen) nextCellID() int64 { return g.cell.Add(1) }
+
+// globalIDs is the shared scope used by Build/ResetIDs and by models
+// deserialized without a generator.
+var globalIDs = NewIDGen()
+
+// gen returns the model's ID scope, falling back to the shared one.
+func (m *Model) gen() *IDGen {
+	if m.ids == nil {
+		return globalIDs
+	}
+	return m.ids
+}
 
 // CellSlot wraps a Cell with identity and lineage metadata used by the
 // similarity metric: AncestorID groups cells that share weights through
@@ -49,6 +75,13 @@ type Model struct {
 	Head       *nn.DenseCell
 	InputShape []int
 	Classes    int
+
+	ws         tensor.Workspace
+	lossGrad   *tensor.Tensor
+	reshaped   *tensor.Tensor // cached header for the input reshape view
+	ids        *IDGen         // ID scope this model allocates from
+	paramCache []*tensor.Tensor
+	gradCache  []*tensor.Tensor
 }
 
 // NumCells returns the number of transformable cells.
@@ -61,6 +94,7 @@ func (m *Model) Clone() *Model {
 		Head:       m.Head.Clone().(*nn.DenseCell),
 		InputShape: append([]int(nil), m.InputShape...),
 		Classes:    m.Classes,
+		ids:        m.ids,
 	}
 	c.Cells = make([]CellSlot, len(m.Cells))
 	for i, s := range m.Cells {
@@ -73,13 +107,28 @@ func (m *Model) Clone() *Model {
 }
 
 // reshapeInput converts a flat (batch, features) tensor into the model's
-// expected input rank.
+// expected input rank using a cached view header (no allocation after
+// the first call).
 func (m *Model) reshapeInput(x *tensor.Tensor) *tensor.Tensor {
 	if len(m.InputShape) <= 1 {
 		return x
 	}
-	shape := append([]int{x.Shape[0]}, m.InputShape...)
-	return x.Reshape(shape...)
+	v := m.reshaped
+	if v == nil {
+		v = &tensor.Tensor{}
+		m.reshaped = v
+	}
+	v.Shape = append(v.Shape[:0], x.Shape[0])
+	v.Shape = append(v.Shape, m.InputShape...)
+	n := 1
+	for _, s := range v.Shape {
+		n *= s
+	}
+	if n != len(x.Data) {
+		panic(fmt.Sprintf("model: reshape %v -> %v element mismatch", x.Shape, v.Shape))
+	}
+	v.Data = x.Data
+	return v
 }
 
 // Forward runs the full model on a flat (batch, features) input and
@@ -109,11 +158,14 @@ func (m *Model) ZeroGrads() {
 	nn.ZeroGrads(m.Head)
 }
 
-// TrainStep performs one SGD step on a batch and returns the loss.
+// TrainStep performs one SGD step on a batch and returns the loss. The
+// loss gradient lives in a pooled model workspace, so the whole step is
+// allocation-free at a stable batch size.
 func (m *Model) TrainStep(x *tensor.Tensor, y []int, opt *nn.SGD) float64 {
 	m.ZeroGrads()
 	logits := m.Forward(x)
-	loss, grad := nn.SoftmaxCrossEntropy(logits, y)
+	grad := m.ws.Ensure(&m.lossGrad, logits.Shape...)
+	loss := nn.SoftmaxCrossEntropyInto(grad, logits, y)
 	m.Backward(grad)
 	opt.Step(m.Params(), m.Grads())
 	return loss
@@ -123,27 +175,59 @@ func (m *Model) TrainStep(x *tensor.Tensor, y []int, opt *nn.SGD) float64 {
 // feature tensor and labels.
 func (m *Model) Evaluate(x *tensor.Tensor, y []int) (acc, loss float64) {
 	logits := m.Forward(x)
-	loss, _ = nn.SoftmaxCrossEntropy(logits, y)
+	scratch := m.ws.Ensure(&m.lossGrad, logits.Shape...)
+	loss = nn.SoftmaxCrossEntropyInto(scratch, logits, y)
 	return nn.Accuracy(logits, y), loss
 }
 
-// Params returns all trainable tensors (cells then head).
-func (m *Model) Params() []*tensor.Tensor {
-	var out []*tensor.Tensor
+// ReleaseWorkspaces returns every cell's (and the model's own) pooled
+// scratch buffers to the shared tensor pool. The model remains usable —
+// the next Forward re-acquires scratch — but callers that are done
+// training a clone should release so the memory is recycled.
+func (m *Model) ReleaseWorkspaces() {
 	for i := range m.Cells {
-		out = append(out, m.Cells[i].Cell.Params()...)
+		nn.ReleaseCell(m.Cells[i].Cell)
 	}
-	return append(out, m.Head.Params()...)
+	nn.ReleaseCell(m.Head)
+	m.ws.Release()
 }
 
-// Grads returns gradient tensors aligned with Params.
-func (m *Model) Grads() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for i := range m.Cells {
-		out = append(out, m.Cells[i].Cell.Grads()...)
+// Params returns all trainable tensors (cells then head). The slice is
+// cached — it is rebuilt after structural changes made through WidenCell
+// or DeepenCell; code that swaps cell tensors directly must do so on a
+// fresh Clone (whose cache is empty), as the baselines' submodel
+// extraction does.
+func (m *Model) Params() []*tensor.Tensor {
+	if m.paramCache == nil {
+		for i := range m.Cells {
+			m.paramCache = append(m.paramCache, m.Cells[i].Cell.Params()...)
+		}
+		m.paramCache = append(m.paramCache, m.Head.Params()...)
 	}
-	return append(out, m.Head.Grads()...)
+	return m.paramCache
 }
+
+// Grads returns gradient tensors aligned with Params (same caching
+// contract).
+func (m *Model) Grads() []*tensor.Tensor {
+	if m.gradCache == nil {
+		for i := range m.Cells {
+			m.gradCache = append(m.gradCache, m.Cells[i].Cell.Grads()...)
+		}
+		m.gradCache = append(m.gradCache, m.Head.Grads()...)
+	}
+	return m.gradCache
+}
+
+// invalidateParamCache drops the cached Params/Grads slices after a
+// structural transformation.
+func (m *Model) invalidateParamCache() { m.paramCache, m.gradCache = nil, nil }
+
+// InvalidateParamCache must be called by any code outside this package
+// that swaps a cell's parameter or gradient tensors directly (e.g. the
+// baselines' submodel extraction), so Params/Grads rebuild instead of
+// returning stale pointers.
+func (m *Model) InvalidateParamCache() { m.invalidateParamCache() }
 
 // ParamCount returns the total number of scalar parameters.
 func (m *Model) ParamCount() int64 {
@@ -273,6 +357,7 @@ func (m *Model) CanWiden(i int) bool {
 // (or head). Lineage is updated: the widened cell keeps its ancestor ID
 // with InheritedFrac multiplied by oldParams/newParams.
 func (m *Model) WidenCell(i int, factor float64, rng *rand.Rand) {
+	m.invalidateParamCache()
 	slot := &m.Cells[i]
 	if sw, ok := slot.Cell.(nn.SelfWidener); ok {
 		if _, also := slot.Cell.(nn.OutputWidener); !also {
@@ -314,7 +399,8 @@ func (m *Model) DeepenCell(i int) {
 	if !ok {
 		panic(fmt.Sprintf("model: cell %d (%s) cannot be deepened", i, m.Cells[i].Cell.Kind()))
 	}
-	id := newCellID()
+	m.invalidateParamCache()
+	id := m.gen().nextCellID()
 	slot := CellSlot{Cell: ins.IdentityLike(), ID: id, AncestorID: id, InheritedFrac: 0}
 	m.Cells = append(m.Cells, CellSlot{})
 	copy(m.Cells[i+2:], m.Cells[i+1:])

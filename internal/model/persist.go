@@ -113,7 +113,7 @@ func UnmarshalModel(b []byte) (*Model, error) {
 	}
 
 	m := &Model{
-		ID:         int(nextModelIDInc()),
+		ID:         globalIDs.nextModelID(),
 		ParentID:   -1,
 		InputShape: append([]int(nil), h.Input...),
 		Classes:    h.Classes,

@@ -22,15 +22,26 @@ type Spec struct {
 	Classes int
 }
 
-var nextModelID int64
+// Build instantiates a model from the spec with fresh random weights
+// using the shared process-wide ID scope. Independent runs that may
+// execute concurrently (parallel experiment grid cells) should use
+// BuildScoped with a fresh IDGen instead, which keeps IDs deterministic
+// regardless of goroutine scheduling.
+func (s Spec) Build(rng *rand.Rand) *Model { return s.BuildScoped(rng, globalIDs) }
 
-// Build instantiates a model from the spec with fresh random weights.
-func (s Spec) Build(rng *rand.Rand) *Model {
+// BuildScoped instantiates a model from the spec, allocating model and
+// cell IDs from the given generator. Models derived from this one
+// (Derive, DeepenCell) inherit the generator.
+func (s Spec) BuildScoped(rng *rand.Rand, gen *IDGen) *Model {
+	if gen == nil {
+		gen = globalIDs
+	}
 	m := &Model{
-		ID:         int(nextModelIDInc()),
+		ID:         gen.nextModelID(),
 		ParentID:   -1,
 		InputShape: append([]int(nil), s.Input...),
 		Classes:    s.Classes,
+		ids:        gen,
 	}
 	switch s.Family {
 	case "dense":
@@ -77,26 +88,21 @@ func (s Spec) Build(rng *rand.Rand) *Model {
 	return m
 }
 
-func nextModelIDInc() int64 {
-	nextModelID++
-	return nextModelID
-}
-
-// ResetIDs resets the global model-ID counter; used by tests and at the
-// start of independent experiment runs for reproducible IDs.
-func ResetIDs() { nextModelID = 0; nextCellID = 0 }
+// ResetIDs resets the shared ID scope; used by tests for reproducible
+// IDs. Scoped runs (BuildScoped with a fresh IDGen) do not need it.
+func ResetIDs() { globalIDs.model.Store(0); globalIDs.cell.Store(0) }
 
 func (m *Model) appendCell(c nn.Cell) {
-	id := newCellID()
+	id := m.gen().nextCellID()
 	m.Cells = append(m.Cells, CellSlot{Cell: c, ID: id, AncestorID: id, InheritedFrac: 1})
 }
 
-// Derive clones the model as a child: new model ID, ParentID set, lineage
-// (ancestor IDs, inherited fractions) preserved so similarity can relate
-// the pair.
+// Derive clones the model as a child: new model ID (from the parent's ID
+// scope), ParentID set, lineage (ancestor IDs, inherited fractions)
+// preserved so similarity can relate the pair.
 func (m *Model) Derive(round int) *Model {
 	c := m.Clone()
-	c.ID = int(nextModelIDInc())
+	c.ID = m.gen().nextModelID()
 	c.ParentID = m.ID
 	c.BornRound = round
 	return c

@@ -31,8 +31,17 @@ type AttentionCell struct {
 
 	tokens int // expected sequence length (for MACs accounting)
 
-	// per-sample forward caches
-	xs, qs, ks, vs, as, hs, x1s, pre1s, us []*tensor.Tensor
+	// Batched forward caches: activations for the whole batch are kept
+	// as single (batch·tokens, dim)-shaped workspace tensors; only the
+	// score/attention matrices are block-diagonal and handled per item.
+	x                                *tensor.Tensor
+	q, k, v, attn, h, x1             *tensor.Tensor
+	pre1, u                          *tensor.Tensor
+	o, f2, out                       *tensor.Tensor
+	dU, dx1, dH, dS, dQ, dK, dV, gin *tensor.Tensor
+
+	ws    tensor.Workspace
+	views viewSet
 }
 
 // NewAttentionCell returns an attention block with model dim d,
@@ -72,124 +81,130 @@ func (c *AttentionCell) Dim() int { return c.Wq.Shape[0] }
 // FF returns the feed-forward hidden width.
 func (c *AttentionCell) FF() int { return c.W1.Shape[1] }
 
-// Forward implements Cell for input (batch, tokens, dim).
+// Forward implements Cell for input (batch, tokens, dim). The token
+// projections (Q, K, V, output, and both feed-forward layers) are
+// batched into single GEMMs over a (batch·tokens, dim) view of the
+// input; only the score/attention products, which are block-diagonal in
+// the batch, run per item. All scratch is pooled workspace memory.
 func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
 	c.tokens = t
-	out := tensor.New(batch, t, d)
-	n := batch
-	c.xs = make([]*tensor.Tensor, n)
-	c.qs = make([]*tensor.Tensor, n)
-	c.ks = make([]*tensor.Tensor, n)
-	c.vs = make([]*tensor.Tensor, n)
-	c.as = make([]*tensor.Tensor, n)
-	c.hs = make([]*tensor.Tensor, n)
-	c.x1s = make([]*tensor.Tensor, n)
-	c.pre1s = make([]*tensor.Tensor, n)
-	c.us = make([]*tensor.Tensor, n)
+	c.x = x
+	n2 := batch * t
+	ff := c.FF()
+	c.views.reset()
+	x2 := c.views.of(x.Data, n2, d)
+	q := c.ws.Ensure(&c.q, n2, d)
+	k := c.ws.Ensure(&c.k, n2, d)
+	v := c.ws.Ensure(&c.v, n2, d)
+	tensor.MatMulInto(q, x2, c.Wq)
+	tensor.MatMulInto(k, x2, c.Wk)
+	tensor.MatMulInto(v, x2, c.Wv)
+	attn := c.ws.Ensure(&c.attn, batch, t, t)
+	h := c.ws.Ensure(&c.h, n2, d)
 	invSqrt := 1.0 / math.Sqrt(float64(d))
 	for b := 0; b < batch; b++ {
-		xb := tensor.FromSlice(x.Data[b*t*d:(b+1)*t*d], t, d)
-		q := tensor.MatMul(xb, c.Wq)
-		k := tensor.MatMul(xb, c.Wk)
-		v := tensor.MatMul(xb, c.Wv)
-		s := tensor.MatMulTransB(q, k)
-		s.Scale(invSqrt)
-		a := tensor.Softmax(s)
-		h := tensor.MatMul(a, v)
-		o := tensor.MatMul(h, c.Wo)
-		x1 := xb.Clone()
-		x1.AddScaled(o, 1)
-		pre1 := tensor.MatMul(x1, c.W1)
-		ff := pre1.Shape[1]
-		for i := 0; i < t; i++ {
-			for j := 0; j < ff; j++ {
-				pre1.Data[i*ff+j] += c.B1.Data[j]
-			}
-		}
-		u := pre1.Clone()
-		for i, vv := range u.Data {
-			if vv < 0 {
-				u.Data[i] = 0
-			}
-		}
-		f2 := tensor.MatMul(u, c.W2)
-		for i := 0; i < t; i++ {
-			for j := 0; j < d; j++ {
-				f2.Data[i*d+j] += c.B2.Data[j]
-			}
-		}
-		y := x1.Clone()
-		y.AddScaled(f2, 1)
-		copy(out.Data[b*t*d:(b+1)*t*d], y.Data)
-		c.xs[b], c.qs[b], c.ks[b], c.vs[b] = xb, q, k, v
-		c.as[b], c.hs[b], c.x1s[b] = a, h, x1
-		c.pre1s[b], c.us[b] = pre1, u
+		c.views.reset()
+		qb := c.views.of(q.Data[b*t*d:(b+1)*t*d], t, d)
+		kb := c.views.of(k.Data[b*t*d:(b+1)*t*d], t, d)
+		vb := c.views.of(v.Data[b*t*d:(b+1)*t*d], t, d)
+		sb := c.views.of(attn.Data[b*t*t:(b+1)*t*t], t, t)
+		tensor.MatMulTransBInto(sb, qb, kb)
+		sb.Scale(invSqrt)
+		tensor.SoftmaxInto(sb, sb)
+		hb := c.views.of(h.Data[b*t*d:(b+1)*t*d], t, d)
+		tensor.MatMulInto(hb, sb, vb)
 	}
+	c.views.reset()
+	x2 = c.views.of(x.Data, n2, d)
+	o := c.ws.Ensure(&c.o, n2, d)
+	tensor.MatMulInto(o, h, c.Wo)
+	x1 := c.ws.Ensure(&c.x1, n2, d)
+	tensor.AddScaledInto(x1, x2, o, 1)
+	pre1 := c.ws.Ensure(&c.pre1, n2, ff)
+	tensor.MatMulInto(pre1, x1, c.W1)
+	tensor.AddBiasRows(pre1, c.B1)
+	u := c.ws.Ensure(&c.u, n2, ff)
+	tensor.ReluInto(u, pre1)
+	f2 := c.ws.Ensure(&c.f2, n2, d)
+	tensor.MatMulInto(f2, u, c.W2)
+	tensor.AddBiasRows(f2, c.B2)
+	out := c.ws.Ensure(&c.out, batch, t, d)
+	tensor.AddScaledInto(out, x1, f2, 1)
 	return out
 }
 
 // Backward implements Cell.
 func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := grad.Shape[0], grad.Shape[1], grad.Shape[2]
-	gin := tensor.New(batch, t, d)
+	n2 := batch * t
+	ff := c.FF()
 	invSqrt := 1.0 / math.Sqrt(float64(d))
+	c.views.reset()
+	dy := c.views.of(grad.Data, n2, d)
+	// FFN backward: y = x1 + (relu(x1 W1 + b1)) W2 + b2.
+	dU := c.ws.Ensure(&c.dU, n2, ff)
+	tensor.MatMulTransBInto(dU, dy, c.W2)
+	tensor.ReluMask(dU, c.pre1)
+	tensor.MatMulTransAAccInto(c.GW2, c.u, dy)
+	tensor.SumRowsAcc(c.GB2, dy)
+	tensor.SumRowsAcc(c.GB1, dU)
+	tensor.MatMulTransAAccInto(c.GW1, c.x1, dU)
+	dx1 := c.ws.Ensure(&c.dx1, n2, d)
+	tensor.MatMulTransBInto(dx1, dU, c.W1)
+	tensor.AddScaledInto(dx1, dy, dx1, 1)
+	// Attention backward: x1 = x + (A V) Wo, with dO = dx1.
+	tensor.MatMulTransAAccInto(c.GWo, c.h, dx1)
+	dH := c.ws.Ensure(&c.dH, n2, d)
+	tensor.MatMulTransBInto(dH, dx1, c.Wo)
+	dQ := c.ws.Ensure(&c.dQ, n2, d)
+	dK := c.ws.Ensure(&c.dK, n2, d)
+	dV := c.ws.Ensure(&c.dV, n2, d)
+	dS := c.ws.Ensure(&c.dS, t, t)
 	for b := 0; b < batch; b++ {
-		dy := tensor.FromSlice(grad.Data[b*t*d:(b+1)*t*d], t, d)
-		x1, u, pre1 := c.x1s[b], c.us[b], c.pre1s[b]
-		// FFN backward: y = x1 + (relu(x1 W1 + b1)) W2 + b2.
-		dU := tensor.MatMulTransB(dy, c.W2) // (t, ff)
-		for i, vv := range pre1.Data {
-			if vv <= 0 {
-				dU.Data[i] = 0
-			}
-		}
-		c.GW2.AddScaled(tensor.MatMulTransA(u, dy), 1)
-		ff := c.FF()
-		for i := 0; i < t; i++ {
-			for j := 0; j < d; j++ {
-				c.GB2.Data[j] += dy.Data[i*d+j]
-			}
-			for j := 0; j < ff; j++ {
-				c.GB1.Data[j] += dU.Data[i*ff+j]
-			}
-		}
-		c.GW1.AddScaled(tensor.MatMulTransA(x1, dU), 1)
-		dx1 := dy.Clone()
-		dx1.AddScaled(tensor.MatMulTransB(dU, c.W1), 1)
-		// Attention backward: x1 = x + (A V) Wo.
-		xb, q, k, v, a, h := c.xs[b], c.qs[b], c.ks[b], c.vs[b], c.as[b], c.hs[b]
-		dO := dx1
-		c.GWo.AddScaled(tensor.MatMulTransA(h, dO), 1)
-		dH := tensor.MatMulTransB(dO, c.Wo)
-		dA := tensor.MatMulTransB(dH, v)
-		dV := tensor.MatMulTransA(a, dH)
+		c.views.reset()
+		qb := c.views.of(c.q.Data[b*t*d:(b+1)*t*d], t, d)
+		kb := c.views.of(c.k.Data[b*t*d:(b+1)*t*d], t, d)
+		vb := c.views.of(c.v.Data[b*t*d:(b+1)*t*d], t, d)
+		ab := c.views.of(c.attn.Data[b*t*t:(b+1)*t*t], t, t)
+		dHb := c.views.of(dH.Data[b*t*d:(b+1)*t*d], t, d)
+		dA := c.views.of(dS.Data, t, t) // reuse dS storage for dA, then overwrite
+		tensor.MatMulTransBInto(dA, dHb, vb)
+		dVb := c.views.of(dV.Data[b*t*d:(b+1)*t*d], t, d)
+		tensor.MatMulTransAInto(dVb, ab, dHb)
 		// softmax backward per row, then 1/sqrt(d) scale.
-		dS := tensor.New(t, t)
 		for i := 0; i < t; i++ {
-			arow := a.Data[i*t : (i+1)*t]
+			arow := ab.Data[i*t : (i+1)*t]
 			darow := dA.Data[i*t : (i+1)*t]
 			dot := 0.0
 			for j := range arow {
 				dot += arow[j] * darow[j]
 			}
 			for j := range arow {
-				dS.Data[i*t+j] = arow[j] * (darow[j] - dot) * invSqrt
+				darow[j] = arow[j] * (darow[j] - dot) * invSqrt
 			}
 		}
-		dQ := tensor.MatMul(dS, k)
-		dK := tensor.MatMulTransA(dS, q)
-		c.GWq.AddScaled(tensor.MatMulTransA(xb, dQ), 1)
-		c.GWk.AddScaled(tensor.MatMulTransA(xb, dK), 1)
-		c.GWv.AddScaled(tensor.MatMulTransA(xb, dV), 1)
-		dx := dx1.Clone() // residual path
-		dx.AddScaled(tensor.MatMulTransB(dQ, c.Wq), 1)
-		dx.AddScaled(tensor.MatMulTransB(dK, c.Wk), 1)
-		dx.AddScaled(tensor.MatMulTransB(dV, c.Wv), 1)
-		copy(gin.Data[b*t*d:(b+1)*t*d], dx.Data)
+		dQb := c.views.of(dQ.Data[b*t*d:(b+1)*t*d], t, d)
+		dKb := c.views.of(dK.Data[b*t*d:(b+1)*t*d], t, d)
+		tensor.MatMulInto(dQb, dA, kb)
+		tensor.MatMulTransAInto(dKb, dA, qb)
 	}
+	c.views.reset()
+	x2 := c.views.of(c.x.Data, n2, d)
+	tensor.MatMulTransAAccInto(c.GWq, x2, dQ)
+	tensor.MatMulTransAAccInto(c.GWk, x2, dK)
+	tensor.MatMulTransAAccInto(c.GWv, x2, dV)
+	gin := c.ws.Ensure(&c.gin, batch, t, d)
+	gin2 := c.views.of(gin.Data, n2, d)
+	tensor.MatMulTransBInto(gin2, dQ, c.Wq)
+	tensor.MatMulTransBAccInto(gin2, dK, c.Wk)
+	tensor.MatMulTransBAccInto(gin2, dV, c.Wv)
+	tensor.AddScaledInto(gin2, dx1, gin2, 1)
 	return gin
 }
+
+// ReleaseWorkspace implements WorkspaceHolder.
+func (c *AttentionCell) ReleaseWorkspace() { c.ws.Release() }
 
 // Params implements Cell.
 func (c *AttentionCell) Params() []*tensor.Tensor {

@@ -11,6 +11,20 @@ import (
 // kernels) followed by an optional ReLU. Inputs and outputs are rank-4
 // tensors shaped (batch, channels, height, width). It corresponds to the
 // paper's convolution Cell (Figure 4).
+//
+// Forward and Backward lower the convolution onto the shared GEMM
+// kernels via im2col/col2im: each batch item's receptive fields are
+// unrolled into a transposed (outH·outW × inCh·k·k) column matrix — one
+// row per output position — so the forward pass is one matrix product
+// per item and the backward pass is two (weight gradient and column
+// gradient), with col2im scattering the column gradient back to input
+// coordinates. The transposed layout makes the forward product
+// contiguous dot products and lets both backward products stream the
+// (ReLU-masked, hence sparse) gradient as the axpy scalar. The column
+// matrix is built once per Forward and reused by Backward. All scratch
+// lives in a pooled workspace, so steady-state training steps allocate
+// nothing. The historical 7-deep loop nest survives as
+// NaiveForward/NaiveBackward — the parity-test and benchmark reference.
 type Conv2DCell struct {
 	W      *tensor.Tensor // (outCh, inCh, k, k)
 	B      *tensor.Tensor // (outCh)
@@ -22,6 +36,13 @@ type Conv2DCell struct {
 	inH, inW int // set on first Forward; used for MACs estimation
 	x        *tensor.Tensor
 	pre      *tensor.Tensor
+
+	ws               tensor.Workspace
+	col, out, act    *tensor.Tensor // forward scratch
+	gbuf, dcol, gin  *tensor.Tensor // backward scratch
+	wView, gwView    *tensor.Tensor // (outCh, inCh·k·k) views of W/GW
+	outView, colView *tensor.Tensor // per-item matrix views
+	gView            *tensor.Tensor
 }
 
 // NewConv2DCell returns a convolution cell with Kaiming initialization.
@@ -59,8 +80,177 @@ func (c *Conv2DCell) outSize(in int) int {
 	return (in + c.Stride - 1) / c.Stride
 }
 
-// Forward implements Cell for input (batch, inCh, H, W).
+// Forward implements Cell for input (batch, inCh, H, W). It lowers the
+// convolution onto GEMM via im2col; see the type comment.
 func (c *Conv2DCell) Forward(x *tensor.Tensor) *tensor.Tensor {
+	batch, inCh, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	c.inH, c.inW = h, w
+	outCh, k := c.OutCh(), c.K()
+	oh, ow := c.outSize(h), c.outSize(w)
+	ck, cn := inCh*k*k, oh*ow
+	// The column matrix is stored transposed — (cn × ck), one row per
+	// output position — so the forward product is contiguous dot
+	// products and both backward products stream the gradient as the
+	// axpy scalar (zero entries from the ReLU mask are skipped).
+	col := c.ws.Ensure(&c.col, batch, cn, ck)
+	out := c.ws.Ensure(&c.out, batch, outCh, oh, ow)
+	wView := setView(&c.wView, c.W.Data, outCh, ck)
+	for b := 0; b < batch; b++ {
+		colB := setView(&c.colView, col.Data[b*ck*cn:(b+1)*ck*cn], cn, ck)
+		c.im2colT(colB.Data, x.Data[b*inCh*h*w:(b+1)*inCh*h*w], inCh, h, w, oh, ow)
+		outB := setView(&c.outView, out.Data[b*outCh*cn:(b+1)*outCh*cn], outCh, cn)
+		tensor.MatMulTransBInto(outB, wView, colB)
+		for oc := 0; oc < outCh; oc++ {
+			bias := c.B.Data[oc]
+			row := outB.Data[oc*cn : (oc+1)*cn]
+			for i := range row {
+				row[i] += bias
+			}
+		}
+	}
+	c.x = x
+	c.pre = out
+	if !c.ReLU {
+		return out
+	}
+	act := c.ws.Ensure(&c.act, out.Shape...)
+	tensor.ReluInto(act, out)
+	return act
+}
+
+// im2colT unrolls one batch item's receptive fields into dst laid out
+// transposed — (oh·ow) rows of (inCh·k·k) taps, one row per output
+// position. Out-of-bounds taps are zero. Per-row the source reads and
+// destination writes are contiguous in kx, with the bounds checks
+// hoisted out of the inner copy.
+func (c *Conv2DCell) im2colT(dst, src []float64, inCh, h, w, oh, ow int) {
+	k, s := c.K(), c.Stride
+	pad := k / 2
+	ck := inCh * k * k
+	j := 0
+	for oy := 0; oy < oh; oy++ {
+		iy0 := oy*s - pad
+		for ox := 0; ox < ow; ox++ {
+			ix0 := ox*s - pad
+			kx0, kx1 := 0, k
+			if ix0 < 0 {
+				kx0 = -ix0
+			}
+			if w-ix0 < k {
+				kx1 = w - ix0
+				if kx1 < kx0 {
+					kx1 = kx0
+				}
+			}
+			drow := dst[j*ck : (j+1)*ck]
+			j++
+			interior := k == 3 && kx0 == 0 && kx1 == 3 && iy0 >= 0 && iy0+3 <= h
+			for ic := 0; ic < inCh; ic++ {
+				plane := src[ic*h*w : (ic+1)*h*w]
+				base := ic * k * k
+				if interior {
+					d9 := drow[base : base+9]
+					s0 := plane[iy0*w+ix0:]
+					s1 := plane[(iy0+1)*w+ix0:]
+					s2 := plane[(iy0+2)*w+ix0:]
+					d9[0] = s0[0]
+					d9[1] = s0[1]
+					d9[2] = s0[2]
+					d9[3] = s1[0]
+					d9[4] = s1[1]
+					d9[5] = s1[2]
+					d9[6] = s2[0]
+					d9[7] = s2[1]
+					d9[8] = s2[2]
+					continue
+				}
+				for ky := 0; ky < k; ky++ {
+					iy := iy0 + ky
+					seg := drow[base+ky*k : base+(ky+1)*k]
+					if iy < 0 || iy >= h {
+						for i := range seg {
+							seg[i] = 0
+						}
+						continue
+					}
+					for i := 0; i < kx0; i++ {
+						seg[i] = 0
+					}
+					copy(seg[kx0:kx1], plane[iy*w+ix0+kx0:iy*w+ix0+kx1])
+					for i := kx1; i < k; i++ {
+						seg[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2imT scatter-adds a transposed column-gradient matrix (oh·ow ×
+// inCh·k·k) back into one batch item's input-gradient planes — the
+// adjoint of im2colT with the same contiguous inner loops.
+func (c *Conv2DCell) col2imT(dst, src []float64, inCh, h, w, oh, ow int) {
+	k, s := c.K(), c.Stride
+	pad := k / 2
+	ck := inCh * k * k
+	j := 0
+	for oy := 0; oy < oh; oy++ {
+		iy0 := oy*s - pad
+		for ox := 0; ox < ow; ox++ {
+			ix0 := ox*s - pad
+			kx0, kx1 := 0, k
+			if ix0 < 0 {
+				kx0 = -ix0
+			}
+			if w-ix0 < k {
+				kx1 = w - ix0
+				if kx1 < kx0 {
+					kx1 = kx0
+				}
+			}
+			srow := src[j*ck : (j+1)*ck]
+			j++
+			interior := k == 3 && kx0 == 0 && kx1 == 3 && iy0 >= 0 && iy0+3 <= h
+			for ic := 0; ic < inCh; ic++ {
+				plane := dst[ic*h*w : (ic+1)*h*w]
+				base := ic * k * k
+				if interior {
+					// Fast path for the dominant case: a fully
+					// in-bounds 3x3 window.
+					s9 := srow[base : base+9]
+					d0 := plane[iy0*w+ix0:]
+					d1 := plane[(iy0+1)*w+ix0:]
+					d2 := plane[(iy0+2)*w+ix0:]
+					d0[0] += s9[0]
+					d0[1] += s9[1]
+					d0[2] += s9[2]
+					d1[0] += s9[3]
+					d1[1] += s9[4]
+					d1[2] += s9[5]
+					d2[0] += s9[6]
+					d2[1] += s9[7]
+					d2[2] += s9[8]
+					continue
+				}
+				for ky := 0; ky < k; ky++ {
+					iy := iy0 + ky
+					if iy < 0 || iy >= h {
+						continue
+					}
+					seg := srow[base+ky*k+kx0 : base+ky*k+kx1]
+					drow := plane[iy*w+ix0+kx0:]
+					for i, v := range seg {
+						drow[i] += v
+					}
+				}
+			}
+		}
+	}
+}
+
+// NaiveForward is the original 7-deep loop-nest convolution, kept as the
+// reference implementation for parity tests and benchmarks.
+func (c *Conv2DCell) NaiveForward(x *tensor.Tensor) *tensor.Tensor {
 	batch, inCh, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	c.inH, c.inW = h, w
 	outCh, k, s := c.OutCh(), c.K(), c.Stride
@@ -111,8 +301,50 @@ func (c *Conv2DCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return act
 }
 
-// Backward implements Cell.
+// Backward implements Cell. It reuses the column matrix built by the
+// matching Forward call: the weight gradient is one GEMM per batch item
+// against the cached columns, and the input gradient is one GEMM into a
+// column-gradient scratch followed by a col2im scatter.
 func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad
+	if c.ReLU {
+		g = c.ws.Ensure(&c.gbuf, grad.Shape...)
+		copy(g.Data, grad.Data)
+		tensor.ReluMask(g, c.pre)
+	}
+	x := c.x
+	batch, inCh, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+	outCh, k := c.OutCh(), c.K()
+	oh, ow := g.Shape[2], g.Shape[3]
+	ck, cn := inCh*k*k, oh*ow
+	gin := c.ws.EnsureZero(&c.gin, batch, inCh, h, w)
+	dcol := c.ws.Ensure(&c.dcol, cn, ck)
+	wView := setView(&c.wView, c.W.Data, outCh, ck)
+	gwView := setView(&c.gwView, c.GW.Data, outCh, ck)
+	for b := 0; b < batch; b++ {
+		gB := setView(&c.gView, g.Data[b*outCh*cn:(b+1)*outCh*cn], outCh, cn)
+		for oc := 0; oc < outCh; oc++ {
+			row := gB.Data[oc*cn : (oc+1)*cn]
+			s := 0.0
+			for _, v := range row {
+				s += v
+			}
+			c.GB.Data[oc] += s
+		}
+		// Both products stream gB as the axpy scalar, so ReLU-masked
+		// zero gradients cost nothing.
+		colB := setView(&c.colView, c.col.Data[b*ck*cn:(b+1)*ck*cn], cn, ck)
+		tensor.MatMulAccInto(gwView, gB, colB)
+		tensor.MatMulTransAInto(dcol, gB, wView)
+		c.col2imT(gin.Data[b*inCh*h*w:(b+1)*inCh*h*w], dcol.Data, inCh, h, w, oh, ow)
+	}
+	return gin
+}
+
+// NaiveBackward is the original loop-nest backward pass, kept as the
+// reference implementation for parity tests and benchmarks. It must be
+// paired with NaiveForward (which caches input and pre-activation).
+func (c *Conv2DCell) NaiveBackward(grad *tensor.Tensor) *tensor.Tensor {
 	g := grad
 	if c.ReLU {
 		g = grad.Clone()
@@ -163,6 +395,9 @@ func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	return gin
 }
+
+// ReleaseWorkspace implements WorkspaceHolder.
+func (c *Conv2DCell) ReleaseWorkspace() { c.ws.Release() }
 
 // Params implements Cell.
 func (c *Conv2DCell) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
@@ -270,7 +505,9 @@ func (c *Conv2DCell) IdentityLike() Cell {
 // widening the preceding convolution's channels passes straight through to
 // the following dense layer.
 type GlobalAvgPoolCell struct {
-	inShape []int
+	inShape  []int
+	ws       tensor.Workspace
+	out, gin *tensor.Tensor
 }
 
 // NewGlobalAvgPoolCell returns a GlobalAvgPoolCell.
@@ -282,8 +519,8 @@ func (c *GlobalAvgPoolCell) Kind() string { return "gap" }
 // Forward implements Cell.
 func (c *GlobalAvgPoolCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
-	c.inShape = append([]int(nil), x.Shape...)
-	out := tensor.New(batch, ch)
+	c.inShape = append(c.inShape[:0], x.Shape...)
+	out := c.ws.Ensure(&c.out, batch, ch)
 	inv := 1.0 / float64(h*w)
 	for b := 0; b < batch; b++ {
 		for cc := 0; cc < ch; cc++ {
@@ -301,7 +538,7 @@ func (c *GlobalAvgPoolCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Cell.
 func (c *GlobalAvgPoolCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, ch, h, w := c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3]
-	gin := tensor.New(batch, ch, h, w)
+	gin := c.ws.Ensure(&c.gin, batch, ch, h, w)
 	inv := 1.0 / float64(h*w)
 	for b := 0; b < batch; b++ {
 		for cc := 0; cc < ch; cc++ {
@@ -314,6 +551,9 @@ func (c *GlobalAvgPoolCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	return gin
 }
+
+// ReleaseWorkspace implements WorkspaceHolder.
+func (c *GlobalAvgPoolCell) ReleaseWorkspace() { c.ws.Release() }
 
 // Params implements Cell.
 func (c *GlobalAvgPoolCell) Params() []*tensor.Tensor { return nil }

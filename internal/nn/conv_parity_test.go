@@ -1,0 +1,163 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+// convCase is one parity shape: odd and rectangular spatial sizes,
+// stride 1 and 2, ReLU on and off, multiple channels and batch sizes.
+type convCase struct {
+	batch, inCh, outCh, k, stride, h, w int
+	relu                                bool
+}
+
+var convCases = []convCase{
+	{1, 1, 1, 3, 1, 5, 5, false},
+	{2, 3, 4, 3, 1, 7, 7, true},
+	{3, 2, 5, 3, 2, 9, 9, true},
+	{2, 4, 3, 5, 1, 11, 7, false},
+	{1, 3, 6, 5, 2, 13, 9, true},
+	{4, 1, 2, 3, 2, 8, 12, true}, // even sizes, rectangular
+	{2, 2, 2, 1, 1, 6, 4, false}, // 1x1 kernel
+}
+
+// clonePair builds two identical conv cells so the GEMM path and the
+// naive reference can run on the same weights independently.
+func clonePair(tc convCase, rng *rand.Rand) (*Conv2DCell, *Conv2DCell) {
+	a := NewConv2DCell(tc.inCh, tc.outCh, tc.k, tc.stride, tc.relu, rng)
+	a.B.RandNormal(rng, 0.5) // exercise the bias path too
+	b := a.Clone().(*Conv2DCell)
+	return a, b
+}
+
+func TestConvIm2colForwardParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, tc := range convCases {
+		t.Run(fmt.Sprintf("%+v", tc), func(t *testing.T) {
+			gemm, naive := clonePair(tc, rng)
+			x := tensor.New(tc.batch, tc.inCh, tc.h, tc.w)
+			x.RandNormal(rng, 1)
+			got := gemm.Forward(x)
+			want := naive.NaiveForward(x)
+			if !tensor.Equal(got, want, 1e-9) {
+				t.Fatalf("forward mismatch (max |Δ| path): got %v want %v", got.Shape, want.Shape)
+			}
+		})
+	}
+}
+
+func TestConvIm2colBackwardParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tc := range convCases {
+		t.Run(fmt.Sprintf("%+v", tc), func(t *testing.T) {
+			gemm, naive := clonePair(tc, rng)
+			x := tensor.New(tc.batch, tc.inCh, tc.h, tc.w)
+			x.RandNormal(rng, 1)
+			out := gemm.Forward(x)
+			_ = naive.NaiveForward(x)
+			grad := tensor.New(out.Shape...)
+			grad.RandNormal(rng, 1)
+			ginGot := gemm.Backward(grad)
+			ginWant := naive.NaiveBackward(grad)
+			if !tensor.Equal(ginGot, ginWant, 1e-9) {
+				t.Fatal("input gradient mismatch")
+			}
+			if !tensor.Equal(gemm.GW, naive.GW, 1e-9) {
+				t.Fatal("weight gradient mismatch")
+			}
+			if !tensor.Equal(gemm.GB, naive.GB, 1e-9) {
+				t.Fatal("bias gradient mismatch")
+			}
+		})
+	}
+}
+
+// TestConvRepeatedStepsReuse runs several forward/backward rounds through
+// one cell (as local SGD does) and checks parity holds with workspace
+// reuse and changing batch sizes.
+func TestConvRepeatedStepsReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	gemm, naive := clonePair(convCase{2, 3, 4, 3, 2, 9, 7, true}, rng)
+	for step := 0; step < 4; step++ {
+		batch := 2 + step%2 // alternate batch sizes to stress Ensure
+		x := tensor.New(batch, 3, 9, 7)
+		x.RandNormal(rng, 1)
+		out := gemm.Forward(x)
+		want := naive.NaiveForward(x)
+		if !tensor.Equal(out, want, 1e-9) {
+			t.Fatalf("step %d forward mismatch", step)
+		}
+		grad := tensor.New(out.Shape...)
+		grad.RandNormal(rng, 1)
+		ginGot := gemm.Backward(grad)
+		ginWant := naive.NaiveBackward(grad)
+		if !tensor.Equal(ginGot, ginWant, 1e-9) {
+			t.Fatalf("step %d backward mismatch", step)
+		}
+	}
+	gemm.ReleaseWorkspace()
+	// Still usable after release.
+	x := tensor.New(2, 3, 9, 7)
+	x.RandNormal(rng, 1)
+	if got, want := gemm.Forward(x), naive.NaiveForward(x); !tensor.Equal(got, want, 1e-9) {
+		t.Fatal("post-release forward mismatch")
+	}
+}
+
+// reproduction-scale shape for the speedup benchmarks: the CIFAR-10
+// profile's initial conv (6 channels) on 8x8 inputs at local batch 10,
+// grown to a transformed 12->12 channel mid-suite cell.
+func benchConv(rng *rand.Rand) (*Conv2DCell, *tensor.Tensor) {
+	c := NewConv2DCell(12, 12, 3, 1, true, rng)
+	x := tensor.New(10, 12, 8, 8)
+	x.RandNormal(rng, 1)
+	return c, x
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	c, x := benchConv(rng)
+	b.Run("im2col", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.Forward(x)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = c.NaiveForward(x)
+		}
+	})
+}
+
+func BenchmarkConvBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(32))
+	c, x := benchConv(rng)
+	grad := tensor.New(10, 12, 8, 8)
+	grad.RandNormal(rng, 1)
+	b.Run("im2col", func(b *testing.B) {
+		c.Forward(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.GW.Zero()
+			c.GB.Zero()
+			_ = c.Backward(grad)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		c.NaiveForward(x)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.GW.Zero()
+			c.GB.Zero()
+			_ = c.NaiveBackward(grad)
+		}
+	})
+}

@@ -19,6 +19,9 @@ type DenseCell struct {
 
 	x   *tensor.Tensor // cached input
 	pre *tensor.Tensor // cached pre-activation
+
+	ws             tensor.Workspace
+	act, gbuf, gin *tensor.Tensor
 }
 
 // NewDenseCell returns a DenseCell with Kaiming-style initialization.
@@ -44,27 +47,19 @@ func (c *DenseCell) InDim() int { return c.W.Shape[0] }
 // OutDim returns the output feature dimension.
 func (c *DenseCell) OutDim() int { return c.W.Shape[1] }
 
-// Forward implements Cell for input of shape (batch, in).
+// Forward implements Cell for input of shape (batch, in). All scratch
+// is drawn from the cell's pooled workspace, so repeated steps at a
+// stable batch size allocate nothing.
 func (c *DenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c.x = x
-	pre := tensor.MatMul(x, c.W)
-	out := pre.Shape[1]
-	for i := 0; i < pre.Shape[0]; i++ {
-		row := pre.Data[i*out : (i+1)*out]
-		for j := range row {
-			row[j] += c.B.Data[j]
-		}
-	}
-	c.pre = pre
+	pre := c.ws.Ensure(&c.pre, x.Shape[0], c.OutDim())
+	tensor.MatMulInto(pre, x, c.W)
+	tensor.AddBiasRows(pre, c.B)
 	if !c.ReLU {
 		return pre
 	}
-	act := pre.Clone()
-	for i, v := range act.Data {
-		if v < 0 {
-			act.Data[i] = 0
-		}
-	}
+	act := c.ws.Ensure(&c.act, pre.Shape...)
+	tensor.ReluInto(act, pre)
 	return act
 }
 
@@ -72,24 +67,19 @@ func (c *DenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (c *DenseCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	g := grad
 	if c.ReLU {
-		g = grad.Clone()
-		for i, v := range c.pre.Data {
-			if v <= 0 {
-				g.Data[i] = 0
-			}
-		}
+		g = c.ws.Ensure(&c.gbuf, grad.Shape...)
+		copy(g.Data, grad.Data)
+		tensor.ReluMask(g, c.pre)
 	}
-	gw := tensor.MatMulTransA(c.x, g)
-	c.GW.AddScaled(gw, 1)
-	out := g.Shape[1]
-	for i := 0; i < g.Shape[0]; i++ {
-		row := g.Data[i*out : (i+1)*out]
-		for j := range row {
-			c.GB.Data[j] += row[j]
-		}
-	}
-	return tensor.MatMulTransB(g, c.W)
+	tensor.MatMulTransAAccInto(c.GW, c.x, g)
+	tensor.SumRowsAcc(c.GB, g)
+	gin := c.ws.Ensure(&c.gin, g.Shape[0], c.InDim())
+	tensor.MatMulTransBInto(gin, g, c.W)
+	return gin
 }
+
+// ReleaseWorkspace implements WorkspaceHolder.
+func (c *DenseCell) ReleaseWorkspace() { c.ws.Release() }
 
 // Params implements Cell.
 func (c *DenseCell) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }

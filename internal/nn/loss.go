@@ -8,18 +8,27 @@ import (
 
 // SoftmaxCrossEntropy returns the mean cross-entropy loss of logits
 // (batch, classes) against integer labels, and the gradient of the loss
-// with respect to the logits.
+// with respect to the logits. Allocating wrapper over
+// SoftmaxCrossEntropyInto.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	grad := tensor.New(logits.Shape...)
+	loss := SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto computes the mean cross-entropy loss of logits
+// against labels and writes the loss gradient w.r.t. the logits into
+// grad (same shape as logits, fully overwritten). grad may alias logits.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 {
 	batch, classes := logits.Shape[0], logits.Shape[1]
 	if batch != len(labels) {
 		panic("nn: label/batch size mismatch")
 	}
-	probs := tensor.Softmax(logits)
-	grad := probs.Clone()
+	tensor.SoftmaxInto(grad, logits)
 	loss := 0.0
 	inv := 1.0 / float64(batch)
 	for i, y := range labels {
-		p := probs.Data[i*classes+y]
+		p := grad.Data[i*classes+y]
 		if p < 1e-12 {
 			p = 1e-12
 		}
@@ -27,7 +36,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (float64, *tensor.
 		grad.Data[i*classes+y] -= 1
 	}
 	grad.Scale(inv)
-	return loss * inv, grad
+	return loss * inv
 }
 
 // Accuracy returns the fraction of rows of logits whose argmax equals the
@@ -49,7 +58,9 @@ func Accuracy(logits *tensor.Tensor, labels []int) float64 {
 // over tokens. It is the attention-model analogue of global average
 // pooling and is width-transparent.
 type MeanTokensCell struct {
-	inShape []int
+	inShape  []int
+	ws       tensor.Workspace
+	out, gin *tensor.Tensor
 }
 
 // NewMeanTokensCell returns a MeanTokensCell.
@@ -61,8 +72,8 @@ func (c *MeanTokensCell) Kind() string { return "meantokens" }
 // Forward implements Cell.
 func (c *MeanTokensCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
-	c.inShape = append([]int(nil), x.Shape...)
-	out := tensor.New(batch, d)
+	c.inShape = append(c.inShape[:0], x.Shape...)
+	out := c.ws.EnsureZero(&c.out, batch, d)
 	inv := 1.0 / float64(t)
 	for b := 0; b < batch; b++ {
 		for i := 0; i < t; i++ {
@@ -78,7 +89,7 @@ func (c *MeanTokensCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 // Backward implements Cell.
 func (c *MeanTokensCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := c.inShape[0], c.inShape[1], c.inShape[2]
-	gin := tensor.New(batch, t, d)
+	gin := c.ws.Ensure(&c.gin, batch, t, d)
 	inv := 1.0 / float64(t)
 	for b := 0; b < batch; b++ {
 		for i := 0; i < t; i++ {
@@ -90,6 +101,9 @@ func (c *MeanTokensCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 	return gin
 }
+
+// ReleaseWorkspace implements WorkspaceHolder.
+func (c *MeanTokensCell) ReleaseWorkspace() { c.ws.Release() }
 
 // Params implements Cell.
 func (c *MeanTokensCell) Params() []*tensor.Tensor { return nil }

@@ -27,6 +27,9 @@ type ResidualDenseCell struct {
 	x    *tensor.Tensor
 	pre1 *tensor.Tensor
 	u    *tensor.Tensor
+
+	ws            tensor.Workspace
+	f, y, dU, gin *tensor.Tensor
 }
 
 // NewResidualDenseCell returns a residual block of model dim d and hidden
@@ -58,61 +61,42 @@ func (c *ResidualDenseCell) Dim() int { return c.W1.Shape[0] }
 // Hidden returns the internal bottleneck width.
 func (c *ResidualDenseCell) Hidden() int { return c.W1.Shape[1] }
 
-// Forward implements Cell for input (batch, D).
+// Forward implements Cell for input (batch, D). Scratch comes from the
+// cell's pooled workspace; steady-state steps allocate nothing.
 func (c *ResidualDenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	c.x = x
-	pre1 := tensor.MatMul(x, c.W1)
-	h := pre1.Shape[1]
-	for i := 0; i < pre1.Shape[0]; i++ {
-		for j := 0; j < h; j++ {
-			pre1.Data[i*h+j] += c.B1.Data[j]
-		}
-	}
-	c.pre1 = pre1
-	u := pre1.Clone()
-	for i, v := range u.Data {
-		if v < 0 {
-			u.Data[i] = 0
-		}
-	}
-	c.u = u
-	f := tensor.MatMul(u, c.W2)
-	d := f.Shape[1]
-	for i := 0; i < f.Shape[0]; i++ {
-		for j := 0; j < d; j++ {
-			f.Data[i*d+j] += c.B2.Data[j]
-		}
-	}
-	y := x.Clone()
-	y.AddScaled(f, 1)
+	batch := x.Shape[0]
+	pre1 := c.ws.Ensure(&c.pre1, batch, c.Hidden())
+	tensor.MatMulInto(pre1, x, c.W1)
+	tensor.AddBiasRows(pre1, c.B1)
+	u := c.ws.Ensure(&c.u, pre1.Shape...)
+	tensor.ReluInto(u, pre1)
+	f := c.ws.Ensure(&c.f, batch, c.Dim())
+	tensor.MatMulInto(f, u, c.W2)
+	tensor.AddBiasRows(f, c.B2)
+	y := c.ws.Ensure(&c.y, x.Shape...)
+	tensor.AddScaledInto(y, x, f, 1)
 	return y
 }
 
 // Backward implements Cell.
 func (c *ResidualDenseCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// y = x + f(x): dx gets grad directly plus the branch contribution.
-	dU := tensor.MatMulTransB(grad, c.W2)
-	for i, v := range c.pre1.Data {
-		if v <= 0 {
-			dU.Data[i] = 0
-		}
-	}
-	c.GW2.AddScaled(tensor.MatMulTransA(c.u, grad), 1)
-	d := grad.Shape[1]
-	h := dU.Shape[1]
-	for i := 0; i < grad.Shape[0]; i++ {
-		for j := 0; j < d; j++ {
-			c.GB2.Data[j] += grad.Data[i*d+j]
-		}
-		for j := 0; j < h; j++ {
-			c.GB1.Data[j] += dU.Data[i*h+j]
-		}
-	}
-	c.GW1.AddScaled(tensor.MatMulTransA(c.x, dU), 1)
-	gin := grad.Clone()
-	gin.AddScaled(tensor.MatMulTransB(dU, c.W1), 1)
+	dU := c.ws.Ensure(&c.dU, grad.Shape[0], c.Hidden())
+	tensor.MatMulTransBInto(dU, grad, c.W2)
+	tensor.ReluMask(dU, c.pre1)
+	tensor.MatMulTransAAccInto(c.GW2, c.u, grad)
+	tensor.SumRowsAcc(c.GB2, grad)
+	tensor.SumRowsAcc(c.GB1, dU)
+	tensor.MatMulTransAAccInto(c.GW1, c.x, dU)
+	gin := c.ws.Ensure(&c.gin, grad.Shape...)
+	tensor.MatMulTransBInto(gin, dU, c.W1)
+	tensor.AddScaledInto(gin, grad, gin, 1)
 	return gin
 }
+
+// ReleaseWorkspace implements WorkspaceHolder.
+func (c *ResidualDenseCell) ReleaseWorkspace() { c.ws.Release() }
 
 // Params implements Cell.
 func (c *ResidualDenseCell) Params() []*tensor.Tensor {

@@ -1,0 +1,56 @@
+package nn
+
+import "fedtrans/internal/tensor"
+
+// WorkspaceHolder is implemented by cells that keep pooled scratch
+// buffers across Forward/Backward steps. ReleaseWorkspace hands the
+// buffers back to the shared tensor pool; the cell remains usable (the
+// next Forward re-acquires scratch), but callers that are done with a
+// model should release so other clients' training reuses the memory.
+type WorkspaceHolder interface {
+	ReleaseWorkspace()
+}
+
+// ReleaseCell releases a cell's workspace if it holds one.
+func ReleaseCell(c Cell) {
+	if h, ok := c.(WorkspaceHolder); ok {
+		h.ReleaseWorkspace()
+	}
+}
+
+// setView (re)points a cached tensor header at a raw data slice with the
+// given shape, allocating the header only on first use. Views are cheap
+// windows into workspace- or parameter-owned memory and must never be
+// registered with a Workspace (releasing a sub-slice would corrupt the
+// pool).
+func setView(vp **tensor.Tensor, data []float64, shape ...int) *tensor.Tensor {
+	v := *vp
+	if v == nil {
+		v = &tensor.Tensor{}
+		*vp = v
+	}
+	v.Shape = append(v.Shape[:0], shape...)
+	v.Data = data
+	return v
+}
+
+// viewSet hands out reusable tensor headers for code that needs several
+// simultaneous views per loop iteration (e.g. the per-batch-item GEMMs
+// in attention). reset recycles all headers for the next iteration.
+type viewSet struct {
+	vs []*tensor.Tensor
+	n  int
+}
+
+func (s *viewSet) reset() { s.n = 0 }
+
+func (s *viewSet) of(data []float64, shape ...int) *tensor.Tensor {
+	if s.n == len(s.vs) {
+		s.vs = append(s.vs, &tensor.Tensor{})
+	}
+	v := s.vs[s.n]
+	s.n++
+	v.Shape = append(v.Shape[:0], shape...)
+	v.Data = data
+	return v
+}

@@ -1,0 +1,122 @@
+// Package par provides the bounded, deterministic worker pools used by
+// the FL runtime (per-client evaluation, local training) and the
+// experiment drivers (grid cells, sweeps). Parallel width is keyed off
+// GOMAXPROCS; every task writes only to task-indexed state, so results
+// are identical to a serial execution regardless of scheduling.
+//
+// Extra workers are drawn from one process-wide token budget, and the
+// calling goroutine always participates, so nested fan-outs (a parallel
+// grid cell whose runtime parallelizes local training) share a single
+// concurrency budget instead of multiplying — and can never deadlock:
+// when no tokens are available the work simply runs inline.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens bounds the number of extra worker goroutines alive across all
+// concurrent ForN/Chunked calls in the process.
+var tokens = make(chan struct{}, runtime.GOMAXPROCS(0))
+
+// Limit returns the parallel width for n independent tasks: GOMAXPROCS
+// capped at n (minimum 1).
+func Limit(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForN runs fn(i) for every i in [0, n) and returns when all calls have
+// completed. Indices are claimed from a shared atomic counter, so long
+// tasks do not serialize behind short ones. Up to Limit(n)-1 extra
+// workers are spawned if the process-wide budget allows; the calling
+// goroutine always works too. fn must confine its writes to
+// index-owned state.
+func ForN(n int, fn func(i int)) {
+	w := Limit(n)
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var idx atomic.Int64
+	work := func() {
+		for {
+			i := int(idx.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w-1; g++ {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				work()
+			}()
+		default:
+			g = w // budget exhausted; remaining work runs inline
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// Chunked splits [0, n) into one contiguous range per worker and runs
+// fn(lo, hi) on each. Use it when workers amortize per-worker state
+// (e.g. model clones) across their range. Chunks whose worker cannot be
+// spawned within the process-wide budget run inline on the caller.
+func Chunked(n int, fn func(lo, hi int)) {
+	w := Limit(n)
+	if w <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	base, rem := n/w, n%w
+	var wg sync.WaitGroup
+	lo := 0
+	for g := 0; g < w; g++ {
+		sz := base
+		if g < rem {
+			sz++
+		}
+		hi := lo + sz
+		if g == w-1 {
+			fn(lo, hi) // the caller always takes the last chunk
+			break
+		}
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				fn(lo, hi)
+			}(lo, hi)
+		default:
+			fn(lo, hi)
+		}
+		lo = hi
+	}
+	wg.Wait()
+}

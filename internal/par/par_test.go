@@ -1,0 +1,85 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func withGOMAXPROCS(n int, fn func()) {
+	prev := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(prev)
+	fn()
+}
+
+func TestForNCoversEveryIndexOnce(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 3, 7, 100} {
+			withGOMAXPROCS(procs, func() {
+				counts := make([]int32, n)
+				ForN(n, func(i int) {
+					atomic.AddInt32(&counts[i], 1)
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("procs=%d n=%d: index %d ran %d times", procs, n, i, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestChunkedCoversRangeExactly(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		for _, n := range []int{0, 1, 2, 5, 97} {
+			withGOMAXPROCS(procs, func() {
+				counts := make([]int32, n)
+				Chunked(n, func(lo, hi int) {
+					if lo > hi || lo < 0 || hi > n {
+						t.Errorf("bad chunk [%d, %d) for n=%d", lo, hi, n)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("procs=%d n=%d: index %d covered %d times", procs, n, i, c)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestNestedForNDoesNotDeadlock exercises the shared token budget: an
+// outer fan-out whose workers each fan out again must complete (inner
+// calls degrade to inline execution when the budget is exhausted).
+func TestNestedForNDoesNotDeadlock(t *testing.T) {
+	withGOMAXPROCS(4, func() {
+		var total atomic.Int64
+		ForN(8, func(i int) {
+			ForN(8, func(j int) {
+				total.Add(1)
+			})
+		})
+		if got := total.Load(); got != 64 {
+			t.Fatalf("nested ForN ran %d tasks, want 64", got)
+		}
+	})
+}
+
+func TestLimit(t *testing.T) {
+	withGOMAXPROCS(4, func() {
+		if got := Limit(2); got != 2 {
+			t.Fatalf("Limit(2) = %d, want 2", got)
+		}
+		if got := Limit(100); got != 4 {
+			t.Fatalf("Limit(100) = %d, want 4", got)
+		}
+		if got := Limit(0); got != 1 {
+			t.Fatalf("Limit(0) = %d, want 1", got)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package tensor
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// The workspace arena recycles float64 buffers through size-class
+// sync.Pools so the training inner loop (one Forward/Backward per SGD
+// step, repeated thousands of times across clients and rounds) reuses
+// scratch memory instead of allocating per step. Cells hold their
+// scratch tensors across steps via Ensure and hand them back to the
+// pool through Workspace.Release when a local-training session ends.
+
+const maxPoolClass = 26 // buffers up to 2^26 elements (512 MiB) are pooled
+
+var bufPools [maxPoolClass + 1]sync.Pool
+
+func sizeClass(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// getBuf returns a length-n float64 slice with power-of-two capacity,
+// drawn from the pool when available. Contents are unspecified.
+func getBuf(n int) []float64 {
+	c := sizeClass(n)
+	if c > maxPoolClass {
+		return make([]float64, n)
+	}
+	if v := bufPools[c].Get(); v != nil {
+		return (*v.(*[]float64))[:n]
+	}
+	return make([]float64, 1<<c)[:n]
+}
+
+// putBuf returns a buffer obtained from getBuf to its pool.
+func putBuf(b []float64) {
+	c := sizeClass(cap(b))
+	if c > maxPoolClass || cap(b) != 1<<c {
+		return
+	}
+	b = b[:cap(b)]
+	bufPools[c].Put(&b)
+}
+
+// Workspace tracks pool-backed scratch tensors owned by one cell (or
+// any other holder). Ensure reuses or grows a slot in place; Release
+// hands every buffer back to the shared pool.
+type Workspace struct {
+	owned []*Tensor
+}
+
+// Ensure makes *slot a tensor of the given shape backed by pooled
+// memory, reusing the current buffer when its capacity suffices. The
+// contents are unspecified — callers must overwrite (the *Into ops do).
+// The returned tensor is also registered with the workspace.
+func (w *Workspace) Ensure(slot **Tensor, shape ...int) *Tensor {
+	n := 1
+	for _, s := range shape {
+		n *= s
+	}
+	t := *slot
+	if t != nil && cap(t.Data) >= n {
+		t.Data = t.Data[:n]
+		if !sameShape(t.Shape, shape) {
+			t.Shape = append(t.Shape[:0], shape...)
+		}
+		return t
+	}
+	if t != nil {
+		putBuf(t.Data)
+		t.Data = getBuf(n)
+		t.Shape = append(t.Shape[:0], shape...)
+		w.register(t)
+		return t
+	}
+	t = &Tensor{Shape: append([]int(nil), shape...), Data: getBuf(n)}
+	*slot = t
+	w.owned = append(w.owned, t)
+	return t
+}
+
+// register adds t to the owned list unless already present (a slot can
+// come back through Ensure after a Release emptied the list).
+func (w *Workspace) register(t *Tensor) {
+	for _, o := range w.owned {
+		if o == t {
+			return
+		}
+	}
+	w.owned = append(w.owned, t)
+}
+
+// EnsureZero is Ensure followed by zeroing the contents.
+func (w *Workspace) EnsureZero(slot **Tensor, shape ...int) *Tensor {
+	t := w.Ensure(slot, shape...)
+	t.Zero()
+	return t
+}
+
+// Release returns every owned buffer to the shared pool and empties the
+// workspace. The caller must nil out its slot pointers (or simply drop
+// the owning object) — the tensors must not be used afterwards.
+func (w *Workspace) Release() {
+	for i, t := range w.owned {
+		putBuf(t.Data)
+		t.Data = nil
+		w.owned[i] = nil
+	}
+	w.owned = w.owned[:0]
+}
+
+func sameShape(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,298 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file holds the in-place GEMM kernels the whole NN stack lowers
+// onto: convolution (via im2col), dense layers, and attention all call
+// the same three product shapes (A@B, Aᵀ@B, A@Bᵀ). The *Into variants
+// overwrite a caller-owned destination and the *AccInto variants
+// accumulate into it, so steady-state training performs no allocation.
+//
+// The inner loops are cache-blocked: the k (reduction) and j (output
+// column) axes are tiled so the active panel of B and the destination
+// rows stay resident in L1/L2 while A is streamed. Per-element
+// accumulation order over the reduction axis is preserved (ascending p),
+// so MatMulInto is bit-identical to the historical naive loop.
+const (
+	gemmBlockK = 128
+	gemmBlockJ = 240
+)
+
+func checkMatMul(dst, a, b *Tensor, m, n int, kind string) {
+	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", kind, dst.Shape, m, n))
+	}
+	if &dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0] {
+		panic("tensor: " + kind + " dst must not alias an operand")
+	}
+}
+
+// axpy computes dst[i] += alpha*src[i] with an 8-way unrolled loop.
+func axpy(dst, src []float64, alpha float64) {
+	n := len(dst)
+	src = src[:n]
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		d := dst[i : i+8 : i+8]
+		s := src[i : i+8 : i+8]
+		d[0] += alpha * s[0]
+		d[1] += alpha * s[1]
+		d[2] += alpha * s[2]
+		d[3] += alpha * s[3]
+		d[4] += alpha * s[4]
+		d[5] += alpha * s[5]
+		d[6] += alpha * s[6]
+		d[7] += alpha * s[7]
+	}
+	for ; i < n; i++ {
+		dst[i] += alpha * src[i]
+	}
+}
+
+// dot returns the inner product of two equal-length slices using four
+// independent accumulators so the FP additions pipeline.
+func dot(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := s0 + s1 + s2 + s3
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// gemmAcc computes C += A@B on raw row-major buffers.
+func gemmAcc(c, a, b []float64, m, k, n int) {
+	for j0 := 0; j0 < n; j0 += gemmBlockJ {
+		jmax := j0 + gemmBlockJ
+		if jmax > n {
+			jmax = n
+		}
+		for k0 := 0; k0 < k; k0 += gemmBlockK {
+			kmax := k0 + gemmBlockK
+			if kmax > k {
+				kmax = k
+			}
+			for i := 0; i < m; i++ {
+				crow := c[i*n+j0 : i*n+jmax]
+				arow := a[i*k : (i+1)*k]
+				for p := k0; p < kmax; p++ {
+					av := arow[p]
+					if av == 0 {
+						continue
+					}
+					axpy(crow, b[p*n+j0:p*n+jmax], av)
+				}
+			}
+		}
+	}
+}
+
+// gemmTAAcc computes C += Aᵀ@B for A (k×m), B (k×n).
+func gemmTAAcc(c, a, b []float64, k, m, n int) {
+	for j0 := 0; j0 < n; j0 += gemmBlockJ {
+		jmax := j0 + gemmBlockJ
+		if jmax > n {
+			jmax = n
+		}
+		for p := 0; p < k; p++ {
+			arow := a[p*m : (p+1)*m]
+			brow := b[p*n+j0 : p*n+jmax]
+			for i := 0; i < m; i++ {
+				av := arow[i]
+				if av == 0 {
+					continue
+				}
+				axpy(c[i*n+j0:i*n+jmax], brow, av)
+			}
+		}
+	}
+}
+
+// gemmTBAcc computes C += A@Bᵀ for A (m×k), B (n×k).
+func gemmTBAcc(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			crow[j] += dot(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+// MatMulInto computes dst = A@B for A (m×k), B (k×n), dst (m×n).
+// dst must not alias either operand.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkMatMul(dst, a, b, m, n, "MatMulInto")
+	dst.Zero()
+	gemmAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulAccInto computes dst += A@B.
+func MatMulAccInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkMatMul(dst, a, b, m, n, "MatMulAccInto")
+	gemmAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulTransAInto computes dst = Aᵀ@B for A (k×m), B (k×n), dst (m×n).
+func MatMulTransAInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkMatMul(dst, a, b, m, n, "MatMulTransAInto")
+	dst.Zero()
+	gemmTAAcc(dst.Data, a.Data, b.Data, k, m, n)
+}
+
+// MatMulTransAAccInto computes dst += Aᵀ@B.
+func MatMulTransAAccInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[0] != b.Shape[0] {
+		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
+	checkMatMul(dst, a, b, m, n, "MatMulTransAAccInto")
+	gemmTAAcc(dst.Data, a.Data, b.Data, k, m, n)
+}
+
+// MatMulTransBInto computes dst = A@Bᵀ for A (m×k), B (n×k), dst (m×n).
+func MatMulTransBInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	checkMatMul(dst, a, b, m, n, "MatMulTransBInto")
+	dst.Zero()
+	gemmTBAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// MatMulTransBAccInto computes dst += A@Bᵀ.
+func MatMulTransBAccInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	checkMatMul(dst, a, b, m, n, "MatMulTransBAccInto")
+	gemmTBAcc(dst.Data, a.Data, b.Data, m, k, n)
+}
+
+// AddScaledInto computes dst = a + alpha*b element-wise. dst may alias a.
+func AddScaledInto(dst, a, b *Tensor, alpha float64) {
+	if len(dst.Data) != len(a.Data) || len(dst.Data) != len(b.Data) {
+		panic("tensor: AddScaledInto size mismatch")
+	}
+	ad, bd := a.Data[:len(dst.Data)], b.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		dst.Data[i] = ad[i] + alpha*bd[i]
+	}
+}
+
+// SoftmaxInto applies a numerically stable row-wise softmax of src into
+// dst for rank-2 tensors. dst may alias src.
+func SoftmaxInto(dst, src *Tensor) {
+	if src.Rank() != 2 || dst.Rank() != 2 || dst.Shape[0] != src.Shape[0] || dst.Shape[1] != src.Shape[1] {
+		panic("tensor: SoftmaxInto requires matching rank-2 tensors")
+	}
+	softmaxRows(dst.Data, src.Data, src.Shape[0], src.Shape[1])
+}
+
+func softmaxRows(dst, src []float64, rows, cols int) {
+	for i := 0; i < rows; i++ {
+		row := src[i*cols : (i+1)*cols]
+		orow := dst[i*cols : (i+1)*cols]
+		max := row[0]
+		for _, v := range row[1:] {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1.0 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+}
+
+// ReluInto computes dst = max(src, 0) element-wise. dst may alias src.
+func ReluInto(dst, src *Tensor) {
+	if len(dst.Data) != len(src.Data) {
+		panic("tensor: ReluInto size mismatch")
+	}
+	sd := src.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		if v := sd[i]; v > 0 {
+			dst.Data[i] = v
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// ReluMask zeroes dst[i] wherever pre[i] <= 0 (the ReLU backward mask).
+func ReluMask(dst, pre *Tensor) {
+	if len(dst.Data) != len(pre.Data) {
+		panic("tensor: ReluMask size mismatch")
+	}
+	pd := pre.Data[:len(dst.Data)]
+	for i := range dst.Data {
+		if pd[i] <= 0 {
+			dst.Data[i] = 0
+		}
+	}
+}
+
+// AddBiasRows adds a bias vector (length = dst.Shape[last]) to every row
+// of a rank-2 tensor.
+func AddBiasRows(dst, bias *Tensor) {
+	cols := dst.Shape[dst.Rank()-1]
+	if bias.Len() != cols {
+		panic("tensor: AddBiasRows bias length mismatch")
+	}
+	bd := bias.Data
+	for off := 0; off < len(dst.Data); off += cols {
+		row := dst.Data[off : off+cols]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+}
+
+// SumRowsAcc accumulates the column-wise sums of a rank-2 tensor into a
+// vector of length src.Shape[1] (the bias-gradient reduction).
+func SumRowsAcc(dst, src *Tensor) {
+	cols := src.Shape[src.Rank()-1]
+	if dst.Len() != cols {
+		panic("tensor: SumRowsAcc length mismatch")
+	}
+	dd := dst.Data
+	for off := 0; off < len(src.Data); off += cols {
+		row := src.Data[off : off+cols]
+		for j := range row {
+			dd[j] += row[j]
+		}
+	}
+}

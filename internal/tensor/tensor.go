@@ -133,26 +133,14 @@ func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
 }
 
 // MatMul computes C = A @ B for rank-2 tensors A (m×k) and B (k×n).
+// Allocating wrapper over MatMulInto; hot paths should call the *Into
+// variants directly with a workspace-owned destination.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	c := New(a.Shape[0], b.Shape[1])
+	gemmAcc(c.Data, a.Data, b.Data, a.Shape[0], a.Shape[1], b.Shape[1])
 	return c
 }
 
@@ -161,22 +149,8 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[0] != b.Shape[0] {
 		panic(fmt.Sprintf("tensor: matmulTransA shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	k, m, n := a.Shape[0], a.Shape[1], b.Shape[1]
-	c := New(m, n)
-	for p := 0; p < k; p++ {
-		arow := a.Data[p*m : (p+1)*m]
-		brow := b.Data[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
-			}
-			crow := c.Data[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
-			}
-		}
-	}
+	c := New(a.Shape[1], b.Shape[1])
+	gemmTAAcc(c.Data, a.Data, b.Data, a.Shape[0], a.Shape[1], b.Shape[1])
 	return c
 }
 
@@ -185,20 +159,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
 		panic(fmt.Sprintf("tensor: matmulTransB shape mismatch %v x %v", a.Shape, b.Shape))
 	}
-	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
-	c := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		crow := c.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for p := 0; p < k; p++ {
-				s += arow[p] * brow[p]
-			}
-			crow[j] = s
-		}
-	}
+	c := New(a.Shape[0], b.Shape[0])
+	gemmTBAcc(c.Data, a.Data, b.Data, a.Shape[0], a.Shape[1], b.Shape[0])
 	return c
 }
 
@@ -209,27 +171,7 @@ func Softmax(t *Tensor) *Tensor {
 		panic("tensor: Softmax requires rank-2 input")
 	}
 	out := New(t.Shape...)
-	rows, cols := t.Shape[0], t.Shape[1]
-	for i := 0; i < rows; i++ {
-		row := t.Data[i*cols : (i+1)*cols]
-		orow := out.Data[i*cols : (i+1)*cols]
-		max := row[0]
-		for _, v := range row[1:] {
-			if v > max {
-				max = v
-			}
-		}
-		sum := 0.0
-		for j, v := range row {
-			e := math.Exp(v - max)
-			orow[j] = e
-			sum += e
-		}
-		inv := 1.0 / sum
-		for j := range orow {
-			orow[j] *= inv
-		}
-	}
+	softmaxRows(out.Data, t.Data, t.Shape[0], t.Shape[1])
 	return out
 }
 
