@@ -3,10 +3,13 @@
 // evaluation) and writes a machine-readable BENCH_<n>.json so future
 // PRs can track the performance trajectory:
 //
-//	go run ./cmd/bench              # writes BENCH_1.json at the repo root
+//	go run ./cmd/bench              # writes the next unused BENCH_<n>.json
 //	go run ./cmd/bench -out my.json -benchtime 500ms
+//	go run ./cmd/bench -out BENCH_2.json -compare BENCH_1.json
 //
 // Each record is {op, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
+// With -compare, per-op deltas against the previous snapshot are printed
+// after the run (ns/op and B/op ratios, alloc changes).
 package main
 
 import (
@@ -45,10 +48,60 @@ var suites = []struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// compareTo prints per-op deltas of results against the snapshot at
+// path (written by a previous run).
+func compareTo(path string, results []BenchResult) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var prev []BenchResult
+	if err := json.Unmarshal(raw, &prev); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	prevByOp := make(map[string]BenchResult, len(prev))
+	for _, r := range prev {
+		prevByOp[r.Op] = r
+	}
+	fmt.Printf("%-28s %14s %14s %9s %12s %9s\n",
+		"op", "ns/op (prev)", "ns/op (now)", "speedup", "B/op", "allocs")
+	for _, r := range results {
+		p, ok := prevByOp[r.Op]
+		if !ok {
+			fmt.Printf("%-28s %14s %14.0f %9s %12d %9d  (new)\n",
+				r.Op, "-", r.NsPerOp, "-", r.BytesPerOp, r.AllocsPerOp)
+			continue
+		}
+		speedup := "-"
+		if r.NsPerOp > 0 {
+			speedup = fmt.Sprintf("%.2fx", p.NsPerOp/r.NsPerOp)
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %9s %5d→%-6d %4d→%-4d\n",
+			r.Op, p.NsPerOp, r.NsPerOp, speedup,
+			p.BytesPerOp, r.BytesPerOp, p.AllocsPerOp, r.AllocsPerOp)
+	}
+	return nil
+}
+
+// nextSnapshotName returns the first unused BENCH_<n>.json, so a bare
+// run never overwrites a committed baseline snapshot.
+func nextSnapshotName() string {
+	for n := 1; ; n++ {
+		name := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(name); os.IsNotExist(err) {
+			return name
+		}
+	}
+}
+
 func main() {
-	out := flag.String("out", "BENCH_1.json", "output file")
+	out := flag.String("out", "", "output file (default: first unused BENCH_<n>.json)")
 	benchtime := flag.String("benchtime", "300ms", "go test -benchtime value")
+	compare := flag.String("compare", "", "previous BENCH_<n>.json to print per-op deltas against")
 	flag.Parse()
+	if *out == "" {
+		*out = nextSnapshotName()
+	}
 
 	var results []BenchResult
 	for _, s := range suites {
@@ -92,4 +145,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d ops)\n", *out, len(results))
+	if *compare != "" {
+		if err := compareTo(*compare, results); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: compare:", err)
+			os.Exit(1)
+		}
+	}
 }

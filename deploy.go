@@ -27,7 +27,9 @@ type Deployed struct {
 
 // LoadModel deserializes a blob produced by Session.ExportModel.
 func LoadModel(blob []byte) (*Deployed, error) {
-	m, err := model.UnmarshalModel(blob)
+	// Scoped load: a deployment inside a parallel experiment grid must
+	// not perturb the shared process-wide ID counter.
+	m, err := model.UnmarshalModelScoped(blob, model.NewIDGen())
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +45,11 @@ func (d *Deployed) Predict(features []float64) (int, error) {
 	if len(features) != wantDim {
 		return 0, fmt.Errorf("fedtrans: feature dim %d, model expects %d", len(features), wantDim)
 	}
-	x := tensor.FromSlice(append([]float64(nil), features...), 1, wantDim)
+	buf := make([]tensor.Float, len(features))
+	for i, v := range features {
+		buf[i] = tensor.Float(v)
+	}
+	x := tensor.FromSlice(buf, 1, wantDim)
 	logits := d.m.Forward(x)
 	return logits.ArgMaxRow(0), nil
 }

@@ -43,14 +43,14 @@ func FedAvg(dst *model.Model, updates []Update) (meanLoss float64, samples int, 
 		lossSum += u.Loss * w
 		for i, t := range u.Weights {
 			for j, v := range t.Data {
-				acc[i][j] += v * w
+				acc[i][j] += float64(v) * w
 			}
 		}
 	}
 	inv := 1.0 / total
 	for i, p := range params {
 		for j := range p.Data {
-			p.Data[j] = acc[i][j] * inv
+			p.Data[j] = tensor.Float(acc[i][j] * inv)
 		}
 	}
 	return lossSum * inv, int(total), true
@@ -151,7 +151,7 @@ func SoftAggregate(suite []*model.Model, round int, cfg SoftConfig) {
 		inv := 1.0 / wsum
 		for i, p := range params {
 			for k := range p.Data {
-				p.Data[k] = acc[i][k] * inv
+				p.Data[k] = tensor.Float(acc[i][k] * inv)
 			}
 		}
 	}
@@ -165,13 +165,13 @@ func addAligned(acc [][]float64, dst *model.Model, src snapshot, weight float64)
 	pi := 0
 	addOwn := func(d *tensor.Tensor) {
 		for j := range acc[pi] {
-			acc[pi][j] += d.Data[j] * weight
+			acc[pi][j] += float64(d.Data[j]) * weight
 		}
 	}
 	addFrom := func(s, d *tensor.Tensor) {
 		if sameShape(s, d) {
 			for j, v := range s.Data {
-				acc[pi][j] += v * weight
+				acc[pi][j] += float64(v) * weight
 			}
 			return
 		}
@@ -234,7 +234,7 @@ func cropAdd(acc []float64, src, dst *tensor.Tensor, weight float64) {
 				so = so*src.Shape[i] + v
 				do = do*dst.Shape[i] + v
 			}
-			acc[do] += src.Data[so] * weight
+			acc[do] += float64(src.Data[so]) * weight
 			return
 		}
 		for v := 0; v < overlap[axis]; v++ {
@@ -252,7 +252,7 @@ func cropAdd(acc []float64, src, dst *tensor.Tensor, weight float64) {
 				for i, v := range idx {
 					do = do*dst.Shape[i] + v
 				}
-				acc[do] += dst.Data[do] * weight
+				acc[do] += float64(dst.Data[do]) * weight
 			}
 			return
 		}

@@ -205,7 +205,7 @@ func (rt *Runtime) Run() Result {
 			staleCnt++
 			for i, p := range params {
 				for j := range p.Data {
-					delta[i][j] += (b.weights[i].Data[j] - p.Data[j]) * w
+					delta[i][j] += float64(b.weights[i].Data[j]-p.Data[j]) * w
 				}
 			}
 		}
@@ -213,7 +213,7 @@ func (rt *Runtime) Run() Result {
 			scale := cfg.ServerLR / wsum
 			for i, p := range params {
 				for j := range p.Data {
-					p.Data[j] += delta[i][j] * scale
+					p.Data[j] += tensor.Float(delta[i][j] * scale)
 				}
 			}
 		}

@@ -9,6 +9,7 @@ import (
 	"fedtrans/internal/metrics"
 	"fedtrans/internal/model"
 	"fedtrans/internal/nn"
+	"fedtrans/internal/tensor"
 )
 
 // FedRolex implements rolling sub-model extraction (Alam et al., NeurIPS
@@ -148,7 +149,7 @@ func (f *FedRolex) aggregateRolex(updates []rolexUpdate) {
 	for i, p := range params {
 		for j := range p.Data {
 			if cnt[i][j] > 0 {
-				p.Data[j] = acc[i][j] / cnt[i][j]
+				p.Data[j] = tensor.Float(acc[i][j] / cnt[i][j])
 			}
 		}
 	}
@@ -180,12 +181,12 @@ func (f *FedRolex) scatter(u rolexUpdate, acc, cnt [][]float64) {
 		for si, gi := range inSet {
 			for sj, gj := range outSet {
 				idx := gi*gout + gj
-				gw[idx] += sd.W.At(si, sj)
+				gw[idx] += float64(sd.W.At(si, sj))
 				cw[idx]++
 			}
 		}
 		for sj, gj := range outSet {
-			gb[gj] += sd.B.Data[sj]
+			gb[gj] += float64(sd.B.Data[sj])
 			cb[gj]++
 		}
 		pi += 2
@@ -203,12 +204,12 @@ func (f *FedRolex) scatter(u rolexUpdate, acc, cnt [][]float64) {
 	for si, gi := range inSet {
 		for k := 0; k < gout; k++ {
 			idx := gi*gout + k
-			gw[idx] += sh.W.At(si, k)
+			gw[idx] += float64(sh.W.At(si, k))
 			cw[idx]++
 		}
 	}
 	for k := 0; k < gout; k++ {
-		gb[k] += sh.B.Data[k]
+		gb[k] += float64(sh.B.Data[k])
 		cb[k]++
 	}
 }

@@ -169,11 +169,11 @@ func (f *FLuID) mergeBack(sub *model.Model, sets [][]int) {
 			inSet = identitySet(gd.InDim())
 		}
 		for sj, gj := range outSet {
-			sumAbs := math.Abs(sd.B.Data[sj] - gd.B.Data[gj])
+			sumAbs := math.Abs(float64(sd.B.Data[sj] - gd.B.Data[gj]))
 			gd.B.Data[gj] = sd.B.Data[sj]
 			for si, gi := range inSet {
 				nv := sd.W.At(si, sj)
-				sumAbs += math.Abs(nv - gd.W.At(gi, gj))
+				sumAbs += math.Abs(float64(nv - gd.W.At(gi, gj)))
 				gd.W.Set(gi, gj, nv)
 			}
 			f.bumpMag(i, gj, sumAbs/float64(len(inSet)+1))
@@ -263,7 +263,9 @@ func (f *FLuID) Run() fl.Result {
 			acc := make([][]float64, len(params))
 			for i, p := range params {
 				acc[i] = make([]float64, p.Len())
-				copy(acc[i], p.Data)
+				for j, v := range p.Data {
+					acc[i][j] = float64(v)
+				}
 			}
 			total := 1.0
 			for _, u := range fullUpdates {
@@ -274,13 +276,13 @@ func (f *FLuID) Run() fl.Result {
 				total += w
 				for i := range params {
 					for j, v := range u.weights[i].Data {
-						acc[i][j] += v * w
+						acc[i][j] += float64(v) * w
 					}
 				}
 			}
 			for i, p := range params {
 				for j := range p.Data {
-					p.Data[j] = acc[i][j] / total
+					p.Data[j] = tensor.Float(acc[i][j] / total)
 				}
 			}
 		}

@@ -213,7 +213,7 @@ func (h *HeteroFL) aggregateUpdates(updates []levelUpdate) {
 	for i, p := range global {
 		for j := range p.Data {
 			if cnts[i][j] > 0 {
-				p.Data[j] = accs[i][j] / cnts[i][j]
+				p.Data[j] = tensor.Float(accs[i][j] / cnts[i][j])
 			}
 		}
 	}
@@ -235,7 +235,7 @@ func addRegion(acc, cnt []float64, src, global *tensor.Tensor) {
 				so = so*src.Shape[i] + v
 				do = do*global.Shape[i] + v
 			}
-			acc[do] += src.Data[so]
+			acc[do] += float64(src.Data[so])
 			cnt[do]++
 			return
 		}

@@ -18,6 +18,7 @@ import (
 	"fedtrans/internal/fl"
 	"fedtrans/internal/metrics"
 	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
 )
 
 // Config parameterizes clustered training.
@@ -129,7 +130,7 @@ func (rt *Runtime) Signatures(probe *model.Model) [][]float64 {
 			off := 0
 			for ti, t := range lr.Weights {
 				for j := range t.Data {
-					d := t.Data[j] - base[ti].Data[j]
+					d := float64(t.Data[j] - base[ti].Data[j])
 					for k := 0; k < cfg.SignatureDim; k++ {
 						acc[k] += proj[k][off+j] * d
 					}
@@ -321,7 +322,7 @@ func (rt *Runtime) trainAndAverage(m *model.Model, selected []int, round int, re
 		wsum += w
 		for i, t := range lr.Weights {
 			for j, v := range t.Data {
-				acc[i][j] += v * w
+				acc[i][j] += float64(v) * w
 			}
 		}
 		res.Costs.AddTraining(m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
@@ -332,7 +333,7 @@ func (rt *Runtime) trainAndAverage(m *model.Model, selected []int, round int, re
 	}
 	for i, p := range params {
 		for j := range p.Data {
-			p.Data[j] = acc[i][j] / wsum
+			p.Data[j] = tensor.Float(acc[i][j] / wsum)
 		}
 	}
 }

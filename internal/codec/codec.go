@@ -3,6 +3,9 @@
 // convention of real FL deployments, and the basis of the repository's
 // network-cost accounting), framed with tensor shapes and a checksum so
 // corrupted transfers are detected rather than silently trained on.
+// Since the compute backend stores tensors as float32 (tensor.Float),
+// encoding and decoding move raw element bits with no per-element
+// narrowing or widening — the wire format is lossless.
 //
 // Layout (big-endian):
 //
@@ -48,36 +51,44 @@ func EncodedSize(ts []*tensor.Tensor) int {
 	return n + 4 // crc
 }
 
-// Encode serializes the tensors (weights are narrowed to float32 on the
-// wire, as in deployment).
+// Encode serializes the tensors. The backend element type is already
+// float32, so the data section is a straight bit copy of each tensor's
+// buffer (big-endian framed).
 func Encode(ts []*tensor.Tensor) []byte {
-	out := make([]byte, 0, EncodedSize(ts))
-	out = append(out, magic[:]...)
-	out = binary.BigEndian.AppendUint32(out, uint32(len(ts)))
+	out := make([]byte, EncodedSize(ts))
+	copy(out, magic[:])
+	binary.BigEndian.PutUint32(out[4:], uint32(len(ts)))
+	off := 8
 	for _, t := range ts {
-		out = binary.BigEndian.AppendUint32(out, uint32(len(t.Shape)))
+		binary.BigEndian.PutUint32(out[off:], uint32(len(t.Shape)))
+		off += 4
 		for _, d := range t.Shape {
-			out = binary.BigEndian.AppendUint32(out, uint32(d))
+			binary.BigEndian.PutUint32(out[off:], uint32(d))
+			off += 4
 		}
 		for _, v := range t.Data {
-			out = binary.BigEndian.AppendUint32(out, math.Float32bits(float32(v)))
+			binary.BigEndian.PutUint32(out[off:], math.Float32bits(v))
+			off += 4
 		}
 	}
-	crc := crc32.ChecksumIEEE(out)
-	return binary.BigEndian.AppendUint32(out, crc)
+	crc := crc32.ChecksumIEEE(out[:off])
+	binary.BigEndian.PutUint32(out[off:], crc)
+	return out
 }
 
-// Decode parses a weight blob back into tensors.
+// Decode parses a weight blob back into tensors. The magic is verified
+// before the checksum so arbitrary non-FedTrans blobs report ErrBadMagic
+// rather than ErrChecksum.
 func Decode(blob []byte) ([]*tensor.Tensor, error) {
 	if len(blob) < 12 {
 		return nil, ErrTruncated
 	}
+	if blob[0] != magic[0] || blob[1] != magic[1] || blob[2] != magic[2] || blob[3] != magic[3] {
+		return nil, ErrBadMagic
+	}
 	body, crcBytes := blob[:len(blob)-4], blob[len(blob)-4:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
 		return nil, ErrChecksum
-	}
-	if body[0] != magic[0] || body[1] != magic[1] || body[2] != magic[2] || body[3] != magic[3] {
-		return nil, ErrBadMagic
 	}
 	off := 4
 	readU32 := func() (uint32, error) {
@@ -117,13 +128,13 @@ func Decode(blob []byte) ([]*tensor.Tensor, error) {
 				return nil, fmt.Errorf("%w: %d elements", ErrShapeBounds, elems)
 			}
 		}
+		if off+4*elems > len(body) {
+			return nil, ErrTruncated
+		}
 		t := tensor.New(shape...)
 		for j := 0; j < elems; j++ {
-			bits, err := readU32()
-			if err != nil {
-				return nil, err
-			}
-			t.Data[j] = float64(math.Float32frombits(bits))
+			t.Data[j] = math.Float32frombits(binary.BigEndian.Uint32(body[off:]))
+			off += 4
 		}
 		out = append(out, t)
 	}
@@ -134,13 +145,15 @@ func Decode(blob []byte) ([]*tensor.Tensor, error) {
 }
 
 // RoundTripLoss returns the maximum absolute error introduced by the
-// float32 wire narrowing for the given tensors — useful for asserting that
-// shipping weights does not materially perturb training.
+// wire format for the given tensors. With the float32 compute backend
+// the wire carries exact element bits, so this is always zero; it is
+// kept as the API hook asserting that shipping weights does not perturb
+// training.
 func RoundTripLoss(ts []*tensor.Tensor) float64 {
 	worst := 0.0
 	for _, t := range ts {
 		for _, v := range t.Data {
-			d := math.Abs(v - float64(float32(v)))
+			d := math.Abs(float64(v) - float64(float32(v)))
 			if d > worst {
 				worst = d
 			}

@@ -161,3 +161,22 @@ func TestWeightListSurvivesWire(t *testing.T) {
 // crc32ChecksumIEEE is a test-local alias to avoid importing hash/crc32 in
 // multiple places.
 func crc32ChecksumIEEE(b []byte) uint32 { return crcIEEE(b) }
+
+// TestDecodeRandomBlobReportsBadMagic is the regression test for the
+// magic-before-checksum ordering: an arbitrary non-FedTrans blob that
+// happens to carry a self-consistent CRC must be rejected as ErrBadMagic,
+// not misreported as a checksum failure.
+func TestDecodeRandomBlobReportsBadMagic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	body := make([]byte, 64)
+	for i := range body {
+		body[i] = byte(rng.Intn(256))
+	}
+	body[0] = 'X' // ensure the magic really is wrong
+	crc := crcIEEE(body)
+	blob := append(body,
+		byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	if _, err := Decode(blob); err != ErrBadMagic {
+		t.Errorf("random self-consistent blob: err = %v, want ErrBadMagic", err)
+	}
+}

@@ -14,6 +14,10 @@ import (
 	"fedtrans/internal/tensor"
 )
 
+// maxDim guards against hostile or corrupted size fields, mirroring the
+// bound enforced by internal/codec.
+const maxDim = 1 << 24
+
 // QuantizedTensor is an 8-bit linear quantization of a tensor:
 // value ≈ Min + code × (Max−Min)/255.
 type QuantizedTensor struct {
@@ -31,22 +35,23 @@ func Quantize(t *tensor.Tensor) QuantizedTensor {
 	if t.Len() == 0 {
 		return q
 	}
-	q.Min, q.Max = t.Data[0], t.Data[0]
+	min, max := t.Data[0], t.Data[0]
 	for _, v := range t.Data {
-		if v < q.Min {
-			q.Min = v
+		if v < min {
+			min = v
 		}
-		if v > q.Max {
-			q.Max = v
+		if v > max {
+			max = v
 		}
 	}
+	q.Min, q.Max = float64(min), float64(max)
 	span := q.Max - q.Min
 	if span <= 0 {
 		return q // all codes zero, Dequantize yields Min everywhere
 	}
 	inv := 255.0 / span
 	for i, v := range t.Data {
-		c := math.Round((v - q.Min) * inv)
+		c := math.Round((float64(v) - q.Min) * inv)
 		if c < 0 {
 			c = 0
 		}
@@ -63,7 +68,7 @@ func (q QuantizedTensor) Dequantize() *tensor.Tensor {
 	t := tensor.New(q.Shape...)
 	step := (q.Max - q.Min) / 255.0
 	for i, c := range q.Codes {
-		t.Data[i] = q.Min + float64(c)*step
+		t.Data[i] = tensor.Float(q.Min + float64(c)*step)
 	}
 	return t
 }
@@ -89,7 +94,7 @@ func MaxError(t *tensor.Tensor) float64 {
 			max = v
 		}
 	}
-	return (max - min) / 255.0 / 2
+	return float64(max-min) / 255.0 / 2
 }
 
 // QuantizeAll compresses a full weight list and reports the compressed
@@ -124,25 +129,82 @@ type SparseDelta struct {
 // ErrBadSparse reports an inconsistent sparse delta.
 var ErrBadSparse = errors.New("compress: indices/values length mismatch")
 
-// TopK sparsifies delta = new − old, keeping the k largest |entries|.
+// topkEntry is one candidate in the TopK selection heap.
+type topkEntry struct {
+	i   int
+	v   float64
+	abs float64
+}
+
+// weaker reports whether a ranks strictly below b in the TopK order:
+// larger |v| wins, ties broken by ascending index (the smaller index is
+// the stronger entry). The total order makes selection deterministic
+// across runs, preserving the repository's byte-identical-results
+// guarantee for tied magnitudes.
+func weaker(a, b topkEntry) bool {
+	if a.abs != b.abs {
+		return a.abs < b.abs
+	}
+	return a.i > b.i
+}
+
+// TopK sparsifies delta = new − old, keeping the k largest |entries|
+// (ties broken by ascending index). Selection is a bounded min-heap
+// pass — O(n log k) instead of a full O(n log n) sort — followed by a
+// sort of just the k survivors, so the common small-k case touches the
+// delta once.
 func TopK(oldW, newW *tensor.Tensor, k int) SparseDelta {
 	n := oldW.Len()
 	if k > n {
 		k = n
 	}
-	type iv struct {
-		i int
-		v float64
-	}
-	all := make([]iv, n)
-	for i := range all {
-		all[i] = iv{i, newW.Data[i] - oldW.Data[i]}
-	}
-	sort.Slice(all, func(a, b int) bool {
-		return math.Abs(all[a].v) > math.Abs(all[b].v)
-	})
 	sd := SparseDelta{Shape: append([]int(nil), oldW.Shape...)}
-	for _, e := range all[:k] {
+	if k <= 0 {
+		return sd
+	}
+	// heap[0] is the weakest kept entry; a candidate displaces it only
+	// if the candidate ranks strictly higher.
+	heap := make([]topkEntry, 0, k)
+	siftDown := func(i int) {
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(heap) && weaker(heap[l], heap[small]) {
+				small = l
+			}
+			if r < len(heap) && weaker(heap[r], heap[small]) {
+				small = r
+			}
+			if small == i {
+				return
+			}
+			heap[i], heap[small] = heap[small], heap[i]
+			i = small
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := float64(newW.Data[i]) - float64(oldW.Data[i])
+		e := topkEntry{i: i, v: v, abs: math.Abs(v)}
+		if len(heap) < k {
+			heap = append(heap, e)
+			for c := len(heap) - 1; c > 0; {
+				p := (c - 1) / 2
+				if !weaker(heap[c], heap[p]) {
+					break
+				}
+				heap[c], heap[p] = heap[p], heap[c]
+				c = p
+			}
+			continue
+		}
+		if weaker(e, heap[0]) {
+			continue
+		}
+		heap[0] = e
+		siftDown(0)
+	}
+	sort.Slice(heap, func(a, b int) bool { return weaker(heap[b], heap[a]) })
+	for _, e := range heap {
 		if e.v == 0 {
 			break
 		}
@@ -161,7 +223,7 @@ func (s SparseDelta) Apply(w *tensor.Tensor) error {
 		if int(idx) >= w.Len() {
 			return errors.New("compress: sparse index out of range")
 		}
-		w.Data[idx] += s.Values[i]
+		w.Data[idx] += tensor.Float(s.Values[i])
 	}
 	return nil
 }
@@ -194,7 +256,10 @@ func (q QuantizedTensor) Marshal() []byte {
 	return append(out, q.Codes...)
 }
 
-// UnmarshalQuantized parses a blob produced by Marshal.
+// UnmarshalQuantized parses a blob produced by Marshal. Dimensions are
+// bounds-checked (no zero or > maxDim dims, no element-count overflow)
+// so corrupted or hostile size fields are rejected instead of driving
+// huge allocations or mismatched reconstructions.
 func UnmarshalQuantized(b []byte) (QuantizedTensor, error) {
 	var q QuantizedTensor
 	if len(b) < 4 {
@@ -208,8 +273,14 @@ func UnmarshalQuantized(b []byte) (QuantizedTensor, error) {
 	elems := 1
 	for i := uint32(0); i < rank; i++ {
 		d := int(binary.BigEndian.Uint32(b[off:]))
+		if d == 0 || d > maxDim {
+			return QuantizedTensor{}, errors.New("compress: unreasonable dim")
+		}
 		q.Shape = append(q.Shape, d)
 		elems *= d
+		if elems > maxDim {
+			return QuantizedTensor{}, errors.New("compress: unreasonable element count")
+		}
 		off += 4
 	}
 	q.Min = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
@@ -217,7 +288,7 @@ func UnmarshalQuantized(b []byte) (QuantizedTensor, error) {
 	q.Max = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
 	off += 8
 	if len(b)-off != elems {
-		return q, errors.New("compress: code count mismatch")
+		return QuantizedTensor{}, errors.New("compress: code count mismatch")
 	}
 	q.Codes = append(q.Codes, b[off:]...)
 	return q, nil

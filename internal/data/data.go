@@ -246,7 +246,7 @@ func sampleSet(n int, sp sampleParams, rng *rand.Rand) (*tensor.Tensor, []int) {
 			v := p[src] + rng.NormFloat64()*sp.noise
 			// Mild client-specific input shift (sensor/writer variation):
 			// per-feature gain and offset jitter.
-			row[j] = v*sp.scales[j] + sp.biases[j]
+			row[j] = tensor.Float(v*sp.scales[j] + sp.biases[j])
 		}
 		y[i] = c
 	}

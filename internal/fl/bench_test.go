@@ -62,3 +62,30 @@ func BenchmarkLocalTrainStep(b *testing.B) {
 		m.TrainStep(bx, by, opt)
 	}
 }
+
+// TestTrainStepAllocationRegression pins the allocation-free training
+// inner loop on the float32 backend: after workspace warmup, one SGD
+// step of the conv model must allocate at most once per step (the single
+// surviving allocation is the batch index slice inside the harness-free
+// TrainStep path — everything tensor-sized is pooled).
+func TestTrainStepAllocationRegression(t *testing.T) {
+	rt := benchRuntime("cifar10")
+	m := rt.Suite()[0].Clone()
+	defer m.ReleaseWorkspaces()
+	cl := &rt.ds.Clients[0]
+	rng := rand.New(rand.NewSource(7))
+	cfg := DefaultLocalConfig()
+	opt := nn.NewSGD(cfg.LR)
+	idx := make([]int, cfg.BatchSize)
+	for i := range idx {
+		idx[i] = rng.Intn(len(cl.TrainY))
+	}
+	bx, by := data.Batch(cl.TrainX, cl.TrainY, idx)
+	m.TrainStep(bx, by, opt) // warm the workspaces
+	allocs := testing.AllocsPerRun(20, func() {
+		m.TrainStep(bx, by, opt)
+	})
+	if allocs > 1 {
+		t.Errorf("TrainStep allocates %.1f times per step, want <= 1", allocs)
+	}
+}

@@ -47,7 +47,7 @@ func ClipAndNoise(weights, anchor []*tensor.Tensor, clipNorm, noiseStd float64, 
 	var sq float64
 	for i, w := range weights {
 		for j := range w.Data {
-			d := w.Data[j] - anchor[i].Data[j]
+			d := float64(w.Data[j] - anchor[i].Data[j])
 			sq += d * d
 		}
 	}
@@ -58,11 +58,11 @@ func ClipAndNoise(weights, anchor []*tensor.Tensor, clipNorm, noiseStd float64, 
 	}
 	for i, w := range weights {
 		for j := range w.Data {
-			d := (w.Data[j] - anchor[i].Data[j]) * scale
+			d := float64(w.Data[j]-anchor[i].Data[j]) * scale
 			if noiseStd > 0 {
 				d += rng.NormFloat64() * noiseStd
 			}
-			w.Data[j] = anchor[i].Data[j] + d
+			w.Data[j] = anchor[i].Data[j] + tensor.Float(d)
 		}
 	}
 	return norm

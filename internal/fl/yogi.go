@@ -22,7 +22,7 @@ func (o *yogiOpt) apply(m *model.Model, prev []*tensor.Tensor) {
 	for i, p := range params {
 		g := make([]float64, p.Len())
 		for j := range g {
-			g[j] = prev[i].Data[j] - p.Data[j]
+			g[j] = float64(prev[i].Data[j] - p.Data[j])
 		}
 		pg[i] = g
 		// Restore the server weights; Yogi steps from them.

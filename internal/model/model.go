@@ -311,9 +311,9 @@ func (m *Model) CellDeltaActiveness(prev []*tensor.Tensor, scale float64) []floa
 			pv := prev[idx]
 			idx++
 			for j := range p.Data {
-				d := (pv.Data[j] - p.Data[j]) / scale
+				d := float64(pv.Data[j]-p.Data[j]) / scale
 				gSq += d * d
-				wSq += p.Data[j] * p.Data[j]
+				wSq += float64(p.Data[j]) * float64(p.Data[j])
 			}
 		}
 		if wSq > 0 {

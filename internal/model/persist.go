@@ -78,10 +78,24 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 	return append(out, blob...), nil
 }
 
-// UnmarshalModel reconstructs a model serialized by MarshalBinary. The
-// loaded model computes exactly the same function (up to float32 wire
-// precision) and starts a fresh lineage.
+// UnmarshalModel reconstructs a model serialized by MarshalBinary,
+// minting its ID from the shared process-wide scope. The loaded model
+// computes exactly the same function (the float32 wire format carries
+// backend precision losslessly) and starts a fresh lineage.
+//
+// Runtime-adjacent loaders — anything running inside a parallel
+// experiment grid — must use UnmarshalModelScoped instead: drawing from
+// the global scope would perturb the shared counter and break run-level
+// ID determinism.
 func UnmarshalModel(b []byte) (*Model, error) {
+	return UnmarshalModelScoped(b, globalIDs)
+}
+
+// UnmarshalModelScoped reconstructs a model serialized by MarshalBinary,
+// minting its ID (and any IDs of cells later derived from it) from the
+// given per-run IDGen scope, so loading a model inside one run cannot
+// perturb the ID sequences of concurrent runs.
+func UnmarshalModelScoped(b []byte, gen *IDGen) (*Model, error) {
 	if len(b) < 4 {
 		return nil, ErrCorruptModel
 	}
@@ -113,10 +127,11 @@ func UnmarshalModel(b []byte) (*Model, error) {
 	}
 
 	m := &Model{
-		ID:         globalIDs.nextModelID(),
+		ID:         gen.nextModelID(),
 		ParentID:   -1,
 		InputShape: append([]int(nil), h.Input...),
 		Classes:    h.Classes,
+		ids:        gen,
 	}
 	rng := rand.New(rand.NewSource(1)) // placeholder init; overwritten below
 	idx := 0
@@ -157,10 +172,10 @@ func UnmarshalModel(b []byte) (*Model, error) {
 			c.GW, c.GB = tensor.New(ws[0].Shape...), tensor.New(ws[1].Shape...)
 			if spatialH > 0 {
 				c.SetSpatial(spatialH, spatialW)
-				if stride == 2 {
-					spatialH = (spatialH + 1) / 2
-					spatialW = (spatialW + 1) / 2
-				}
+				// "same" padding downsamples by ceil(size/stride) for any
+				// stride, so MACs accounting stays exact after load.
+				spatialH = (spatialH + stride - 1) / stride
+				spatialW = (spatialW + stride - 1) / stride
 			}
 			cell = c
 		case "attention":

@@ -107,3 +107,69 @@ func TestPersistFreshLineage(t *testing.T) {
 		t.Error("loaded model must not share lineage with the original")
 	}
 }
+
+// TestUnmarshalModelScopedIsolatedFromGlobal is the regression test for
+// loading models inside parallel experiment grids: a scoped load must
+// not consume IDs from the shared global scope (which would make
+// concurrent runs' ID sequences scheduling-dependent), and repeated
+// scoped loads must be deterministic.
+func TestUnmarshalModelScopedIsolatedFromGlobal(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(5))
+	m := Spec{Family: "dense", Input: []int{4}, Hidden: []int{3}, Classes: 2}.Build(rng)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadScoped := func() *Model {
+		back, err := UnmarshalModelScoped(blob, NewIDGen())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return back
+	}
+	a := loadScoped()
+	b := loadScoped()
+	if a.ID != b.ID {
+		t.Errorf("scoped loads not deterministic: IDs %d vs %d", a.ID, b.ID)
+	}
+	if a.ID != 1 {
+		t.Errorf("fresh-scope load got ID %d, want 1", a.ID)
+	}
+	// The global scope must be untouched: the next globally-built model
+	// follows m directly.
+	next := Spec{Family: "dense", Input: []int{4}, Hidden: []int{3}, Classes: 2}.Build(rng)
+	if next.ID != m.ID+1 {
+		t.Errorf("global scope perturbed by scoped loads: next ID %d, want %d", next.ID, m.ID+1)
+	}
+	// Derivations of a scoped-loaded model stay inside its scope too.
+	beforeCell := globalIDs.cell.Load()
+	a.DeepenCell(0)
+	if globalIDs.cell.Load() != beforeCell {
+		t.Error("DeepenCell on a scoped-loaded model consumed a global cell ID")
+	}
+}
+
+// TestPersistMultiStrideSpatialTracking checks the generalized
+// ceil(size/stride) spatial tracking in UnmarshalModel: a conv stack
+// with several stride-2 downsamples must report identical MACs before
+// and after persistence.
+func TestPersistMultiStrideSpatialTracking(t *testing.T) {
+	ResetIDs()
+	rng := rand.New(rand.NewSource(6))
+	// Hidden{2,2,3,3,4}: Build assigns stride 2 at indices 2 and 4, so
+	// the spatial size downsamples twice (9x9 -> 5x5 -> 3x3).
+	spec := Spec{Family: "conv", Input: []int{1, 9, 9}, Hidden: []int{2, 2, 3, 3, 4}, Classes: 3}
+	m := spec.Build(rng)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.MACsPerSample(), m.MACsPerSample(); got != want {
+		t.Errorf("MACs after load = %v, want %v", got, want)
+	}
+}

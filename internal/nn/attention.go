@@ -173,15 +173,16 @@ func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		dVb := c.views.of(dV.Data[b*t*d:(b+1)*t*d], t, d)
 		tensor.MatMulTransAInto(dVb, ab, dHb)
 		// softmax backward per row, then 1/sqrt(d) scale.
+		scale := tensor.Float(invSqrt)
 		for i := 0; i < t; i++ {
 			arow := ab.Data[i*t : (i+1)*t]
 			darow := dA.Data[i*t : (i+1)*t]
-			dot := 0.0
+			var dot tensor.Float
 			for j := range arow {
 				dot += arow[j] * darow[j]
 			}
 			for j := range arow {
-				darow[j] = arow[j] * (darow[j] - dot) * invSqrt
+				darow[j] = arow[j] * (darow[j] - dot) * scale
 			}
 		}
 		dQb := c.views.of(dQ.Data[b*t*d:(b+1)*t*d], t, d)
@@ -258,7 +259,7 @@ func (c *AttentionCell) WidenSelf(factor float64, rng *rand.Rand) {
 	// W2 (ff, d): widen input rows with 1/count scaling.
 	w2 := tensor.New(newFF, d)
 	for j, src := range mapping {
-		scale := 1.0 / float64(counts[src])
+		scale := tensor.Float(1.0 / float64(counts[src]))
 		for k := 0; k < d; k++ {
 			w2.Data[j*d+k] = c.W2.At(src, k) * scale
 		}

@@ -38,14 +38,14 @@ func TestAttentionGradientCheck(t *testing.T) {
 	for pi, p := range params {
 		for i := 0; i < p.Len(); i++ {
 			want := numericalGrad(forward, p, i)
-			if math.Abs(grads[pi].Data[i]-want) > 2e-4*(1+math.Abs(want)) {
+			if math.Abs(float64(grads[pi].Data[i])-want) > 3e-2*(1+math.Abs(want)) {
 				t.Fatalf("param %d idx %d: analytic %.6f vs numeric %.6f", pi, i, grads[pi].Data[i], want)
 			}
 		}
 	}
 	for i := 0; i < x.Len(); i++ {
 		want := numericalGrad(forward, x, i)
-		if math.Abs(gin.Data[i]-want) > 2e-4*(1+math.Abs(want)) {
+		if math.Abs(float64(gin.Data[i])-want) > 3e-2*(1+math.Abs(want)) {
 			t.Fatalf("input grad idx %d: analytic %.6f vs numeric %.6f", i, gin.Data[i], want)
 		}
 	}
@@ -74,7 +74,7 @@ func TestAttentionWidenSelfPreservesFunction(t *testing.T) {
 		t.Fatalf("FF after widen = %d, want 12", c.FF())
 	}
 	got := c.Forward(x)
-	if !tensor.Equal(want, got, 1e-9) {
+	if !tensor.Equal(want, got, 1e-5) {
 		t.Error("WidenSelf changed the function")
 	}
 }
@@ -117,15 +117,15 @@ func TestAttentionMACsGrowWithFF(t *testing.T) {
 func TestMeanTokens(t *testing.T) {
 	c := NewMeanTokensCell()
 	x := tensor.New(1, 2, 3)
-	copy(x.Data, []float64{1, 2, 3, 5, 6, 7})
+	copy(x.Data, []tensor.Float{1, 2, 3, 5, 6, 7})
 	out := c.Forward(x)
-	want := []float64{3, 4, 5}
+	want := []tensor.Float{3, 4, 5}
 	for i, w := range want {
-		if math.Abs(out.Data[i]-w) > 1e-12 {
+		if math.Abs(float64(out.Data[i]-w)) > 1e-12 {
 			t.Fatalf("mean tokens = %v, want %v", out.Data, want)
 		}
 	}
-	g := tensor.FromSlice([]float64{2, 4, 6}, 1, 3)
+	g := tensor.FromSlice([]tensor.Float{2, 4, 6}, 1, 3)
 	gin := c.Backward(g)
 	for tok := 0; tok < 2; tok++ {
 		for j := 0; j < 3; j++ {

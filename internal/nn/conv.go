@@ -123,7 +123,7 @@ func (c *Conv2DCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 // position. Out-of-bounds taps are zero. Per-row the source reads and
 // destination writes are contiguous in kx, with the bounds checks
 // hoisted out of the inner copy.
-func (c *Conv2DCell) im2colT(dst, src []float64, inCh, h, w, oh, ow int) {
+func (c *Conv2DCell) im2colT(dst, src []tensor.Float, inCh, h, w, oh, ow int) {
 	k, s := c.K(), c.Stride
 	pad := k / 2
 	ck := inCh * k * k
@@ -189,7 +189,7 @@ func (c *Conv2DCell) im2colT(dst, src []float64, inCh, h, w, oh, ow int) {
 // col2imT scatter-adds a transposed column-gradient matrix (oh·ow ×
 // inCh·k·k) back into one batch item's input-gradient planes — the
 // adjoint of im2colT with the same contiguous inner loops.
-func (c *Conv2DCell) col2imT(dst, src []float64, inCh, h, w, oh, ow int) {
+func (c *Conv2DCell) col2imT(dst, src []tensor.Float, inCh, h, w, oh, ow int) {
 	k, s := c.K(), c.Stride
 	pad := k / 2
 	ck := inCh * k * k
@@ -249,7 +249,10 @@ func (c *Conv2DCell) col2imT(dst, src []float64, inCh, h, w, oh, ow int) {
 }
 
 // NaiveForward is the original 7-deep loop-nest convolution, kept as the
-// reference implementation for parity tests and benchmarks.
+// float64 reference implementation for parity tests and benchmarks: the
+// per-output reduction accumulates in float64 regardless of the backend
+// element type, so it pins the float32 GEMM path against a
+// higher-precision ground truth.
 func (c *Conv2DCell) NaiveForward(x *tensor.Tensor) *tensor.Tensor {
 	batch, inCh, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	c.inH, c.inW = h, w
@@ -259,7 +262,7 @@ func (c *Conv2DCell) NaiveForward(x *tensor.Tensor) *tensor.Tensor {
 	out := tensor.New(batch, outCh, oh, ow)
 	for b := 0; b < batch; b++ {
 		for oc := 0; oc < outCh; oc++ {
-			bias := c.B.Data[oc]
+			bias := float64(c.B.Data[oc])
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
 					sum := bias
@@ -278,11 +281,11 @@ func (c *Conv2DCell) NaiveForward(x *tensor.Tensor) *tensor.Tensor {
 								if ix < 0 || ix >= w {
 									continue
 								}
-								sum += x.Data[xBase+iy*w+ix] * c.W.Data[wBase+ky*k+kx]
+								sum += float64(x.Data[xBase+iy*w+ix]) * float64(c.W.Data[wBase+ky*k+kx])
 							}
 						}
 					}
-					out.Data[((b*outCh+oc)*oh+oy)*ow+ox] = sum
+					out.Data[((b*outCh+oc)*oh+oy)*ow+ox] = tensor.Float(sum)
 				}
 			}
 		}
@@ -325,7 +328,7 @@ func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		gB := setView(&c.gView, g.Data[b*outCh*cn:(b+1)*outCh*cn], outCh, cn)
 		for oc := 0; oc < outCh; oc++ {
 			row := gB.Data[oc*cn : (oc+1)*cn]
-			s := 0.0
+			var s tensor.Float
 			for _, v := range row {
 				s += v
 			}
@@ -342,8 +345,10 @@ func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 }
 
 // NaiveBackward is the original loop-nest backward pass, kept as the
-// reference implementation for parity tests and benchmarks. It must be
-// paired with NaiveForward (which caches input and pre-activation).
+// float64 reference implementation for parity tests and benchmarks: all
+// gradient accumulation runs in float64 scratch and is narrowed once at
+// the end. It must be paired with NaiveForward (which caches input and
+// pre-activation).
 func (c *Conv2DCell) NaiveBackward(grad *tensor.Tensor) *tensor.Tensor {
 	g := grad
 	if c.ReLU {
@@ -360,15 +365,18 @@ func (c *Conv2DCell) NaiveBackward(grad *tensor.Tensor) *tensor.Tensor {
 	pad := k / 2
 	oh, ow := g.Shape[2], g.Shape[3]
 	gin := tensor.New(batch, inCh, h, w)
+	gw64 := make([]float64, c.GW.Len())
+	gb64 := make([]float64, c.GB.Len())
+	gin64 := make([]float64, gin.Len())
 	for b := 0; b < batch; b++ {
 		for oc := 0; oc < outCh; oc++ {
 			for oy := 0; oy < oh; oy++ {
 				for ox := 0; ox < ow; ox++ {
-					gv := g.Data[((b*outCh+oc)*oh+oy)*ow+ox]
+					gv := float64(g.Data[((b*outCh+oc)*oh+oy)*ow+ox])
 					if gv == 0 {
 						continue
 					}
-					c.GB.Data[oc] += gv
+					gb64[oc] += gv
 					iy0 := oy*s - pad
 					ix0 := ox*s - pad
 					for ic := 0; ic < inCh; ic++ {
@@ -384,14 +392,23 @@ func (c *Conv2DCell) NaiveBackward(grad *tensor.Tensor) *tensor.Tensor {
 								if ix < 0 || ix >= w {
 									continue
 								}
-								c.GW.Data[wBase+ky*k+kx] += gv * x.Data[xBase+iy*w+ix]
-								gin.Data[xBase+iy*w+ix] += gv * c.W.Data[wBase+ky*k+kx]
+								gw64[wBase+ky*k+kx] += gv * float64(x.Data[xBase+iy*w+ix])
+								gin64[xBase+iy*w+ix] += gv * float64(c.W.Data[wBase+ky*k+kx])
 							}
 						}
 					}
 				}
 			}
 		}
+	}
+	for i, v := range gw64 {
+		c.GW.Data[i] += tensor.Float(v)
+	}
+	for i, v := range gb64 {
+		c.GB.Data[i] += tensor.Float(v)
+	}
+	for i, v := range gin64 {
+		gin.Data[i] = tensor.Float(v)
 	}
 	return gin
 }
@@ -461,7 +478,7 @@ func (c *Conv2DCell) WidenInput(mapping []int, counts []int) {
 	ksz := k * k
 	for oc := 0; oc < outCh; oc++ {
 		for j, src := range mapping {
-			scale := 1.0 / float64(counts[src])
+			scale := tensor.Float(1.0 / float64(counts[src]))
 			dst := ((oc*newIn + j) * k) * k
 			from := ((oc*oldIn + src) * k) * k
 			for i := 0; i < ksz; i++ {
@@ -521,11 +538,11 @@ func (c *GlobalAvgPoolCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, ch, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
 	c.inShape = append(c.inShape[:0], x.Shape...)
 	out := c.ws.Ensure(&c.out, batch, ch)
-	inv := 1.0 / float64(h*w)
+	inv := tensor.Float(1.0 / float64(h*w))
 	for b := 0; b < batch; b++ {
 		for cc := 0; cc < ch; cc++ {
 			base := ((b*ch + cc) * h) * w
-			s := 0.0
+			var s tensor.Float
 			for i := 0; i < h*w; i++ {
 				s += x.Data[base+i]
 			}
@@ -539,7 +556,7 @@ func (c *GlobalAvgPoolCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (c *GlobalAvgPoolCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, ch, h, w := c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3]
 	gin := c.ws.Ensure(&c.gin, batch, ch, h, w)
-	inv := 1.0 / float64(h*w)
+	inv := tensor.Float(1.0 / float64(h*w))
 	for b := 0; b < batch; b++ {
 		for cc := 0; cc < ch; cc++ {
 			gv := grad.Data[b*ch+cc] * inv

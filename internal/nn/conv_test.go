@@ -17,7 +17,7 @@ func TestConvForwardKnown(t *testing.T) {
 	c.B.Zero()
 	x := tensor.New(1, 1, 3, 3)
 	for i := range x.Data {
-		x.Data[i] = float64(i)
+		x.Data[i] = tensor.Float(i)
 	}
 	out := c.Forward(x)
 	if !tensor.Equal(x, out, 1e-12) {
@@ -75,14 +75,14 @@ func TestConvGradientCheck(t *testing.T) {
 		g := c.Grads()[pi]
 		for i := 0; i < p.Len(); i++ {
 			want := numericalGrad(forward, p, i)
-			if math.Abs(g.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+			if math.Abs(float64(g.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
 				t.Fatalf("param %d idx %d: analytic %.6f vs numeric %.6f", pi, i, g.Data[i], want)
 			}
 		}
 	}
 	for i := 0; i < x.Len(); i++ {
 		want := numericalGrad(forward, x, i)
-		if math.Abs(gin.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+		if math.Abs(float64(gin.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
 			t.Fatalf("input grad idx %d: analytic %.6f vs numeric %.6f", i, gin.Data[i], want)
 		}
 	}
@@ -100,7 +100,7 @@ func TestConvGradientCheckStride2(t *testing.T) {
 	p := c.W
 	for i := 0; i < p.Len(); i++ {
 		want := numericalGrad(forward, p, i)
-		if math.Abs(c.GW.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+		if math.Abs(float64(c.GW.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
 			t.Fatalf("W idx %d: analytic %.6f vs numeric %.6f", i, c.GW.Data[i], want)
 		}
 	}
@@ -118,7 +118,7 @@ func TestConvWidenPairPreservesFunction(t *testing.T) {
 		a.WidenOutput(mapping)
 		b.WidenInput(mapping, counts)
 		got := b.Forward(a.Forward(x))
-		if !tensor.Equal(want, got, 1e-9) {
+		if !tensor.Equal(want, got, 1e-5) {
 			t.Fatalf("iter %d: conv widen pair changed the function", iter)
 		}
 	}
@@ -136,7 +136,7 @@ func TestConvWidenThroughGAPToDense(t *testing.T) {
 	conv.WidenOutput(mapping)
 	head.WidenInput(mapping, counts)
 	got := head.Forward(gap.Forward(conv.Forward(x)))
-	if !tensor.Equal(want, got, 1e-9) {
+	if !tensor.Equal(want, got, 1e-5) {
 		t.Error("widen through GAP changed the function")
 	}
 }
@@ -148,7 +148,7 @@ func TestConvIdentityLike(t *testing.T) {
 	id := c.IdentityLike().(*Conv2DCell)
 	x := tensor.New(1, 3, 4, 4)
 	for i := range x.Data {
-		x.Data[i] = rng.Float64() // non-negative for ReLU identity
+		x.Data[i] = tensor.Float(rng.Float64()) // non-negative for ReLU identity
 	}
 	out := id.Forward(x)
 	if !tensor.Equal(x, out, 1e-12) {
@@ -170,17 +170,17 @@ func TestGlobalAvgPool(t *testing.T) {
 	gap := NewGlobalAvgPoolCell()
 	x := tensor.New(1, 2, 2, 2)
 	for i := range x.Data {
-		x.Data[i] = float64(i) // ch0: 0,1,2,3 avg 1.5; ch1: 4,5,6,7 avg 5.5
+		x.Data[i] = tensor.Float(i) // ch0: 0,1,2,3 avg 1.5; ch1: 4,5,6,7 avg 5.5
 	}
 	out := gap.Forward(x)
 	if out.Shape[0] != 1 || out.Shape[1] != 2 {
 		t.Fatalf("gap shape %v", out.Shape)
 	}
-	if math.Abs(out.Data[0]-1.5) > 1e-12 || math.Abs(out.Data[1]-5.5) > 1e-12 {
+	if math.Abs(float64(out.Data[0])-1.5) > 1e-12 || math.Abs(float64(out.Data[1])-5.5) > 1e-12 {
 		t.Errorf("gap values %v", out.Data)
 	}
 	// Backward distributes evenly.
-	g := tensor.FromSlice([]float64{4, 8}, 1, 2)
+	g := tensor.FromSlice([]tensor.Float{4, 8}, 1, 2)
 	gin := gap.Backward(g)
 	for i := 0; i < 4; i++ {
 		if gin.Data[i] != 1 {

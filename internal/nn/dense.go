@@ -129,7 +129,7 @@ func (c *DenseCell) WidenInput(mapping []int, counts []int) {
 	newIn, out := len(mapping), c.W.Shape[1]
 	w := tensor.New(newIn, out)
 	for j, src := range mapping {
-		scale := 1.0 / float64(counts[src])
+		scale := tensor.Float(1.0 / float64(counts[src]))
 		for k := 0; k < out; k++ {
 			w.Data[j*out+k] = c.W.At(src, k) * scale
 		}

@@ -28,7 +28,7 @@ func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) float64 
 	loss := 0.0
 	inv := 1.0 / float64(batch)
 	for i, y := range labels {
-		p := grad.Data[i*classes+y]
+		p := float64(grad.Data[i*classes+y])
 		if p < 1e-12 {
 			p = 1e-12
 		}
@@ -74,7 +74,7 @@ func (c *MeanTokensCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
 	c.inShape = append(c.inShape[:0], x.Shape...)
 	out := c.ws.EnsureZero(&c.out, batch, d)
-	inv := 1.0 / float64(t)
+	inv := tensor.Float(1.0 / float64(t))
 	for b := 0; b < batch; b++ {
 		for i := 0; i < t; i++ {
 			base := (b*t + i) * d
@@ -90,7 +90,7 @@ func (c *MeanTokensCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (c *MeanTokensCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := c.inShape[0], c.inShape[1], c.inShape[2]
 	gin := c.ws.Ensure(&c.gin, batch, t, d)
-	inv := 1.0 / float64(t)
+	inv := tensor.Float(1.0 / float64(t))
 	for b := 0; b < batch; b++ {
 		for i := 0; i < t; i++ {
 			base := (b*t + i) * d

@@ -17,8 +17,8 @@ type SGD struct {
 	// mu*(w - w_anchor) using the anchors registered via SetProxAnchor.
 	ProxMu float64
 
-	vel     map[*tensor.Tensor][]float64
-	anchors map[*tensor.Tensor][]float64
+	vel     map[*tensor.Tensor][]tensor.Float
+	anchors map[*tensor.Tensor][]tensor.Float
 }
 
 // NewSGD returns an SGD optimizer with the given learning rate.
@@ -26,42 +26,47 @@ func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
 
 // SetProxAnchor registers the FedProx anchor weights (typically the global
 // model at round start) for a parameter tensor.
-func (o *SGD) SetProxAnchor(p *tensor.Tensor, anchor []float64) {
+func (o *SGD) SetProxAnchor(p *tensor.Tensor, anchor []tensor.Float) {
 	if o.anchors == nil {
-		o.anchors = make(map[*tensor.Tensor][]float64)
+		o.anchors = make(map[*tensor.Tensor][]tensor.Float)
 	}
-	cp := make([]float64, len(anchor))
+	cp := make([]tensor.Float, len(anchor))
 	copy(cp, anchor)
 	o.anchors[p] = cp
 }
 
-// Step applies one update to each parameter given its gradient.
+// Step applies one update to each parameter given its gradient. The
+// hyperparameters are narrowed to the backend element type once so the
+// inner loops run entirely in backend precision.
 func (o *SGD) Step(params, grads []*tensor.Tensor) {
+	lr := tensor.Float(o.LR)
+	mom := tensor.Float(o.Momentum)
+	mu := tensor.Float(o.ProxMu)
 	for i, p := range params {
 		g := grads[i]
-		if o.ProxMu > 0 && o.anchors != nil {
+		if mu > 0 && o.anchors != nil {
 			if a, ok := o.anchors[p]; ok && len(a) == len(p.Data) {
 				for j := range p.Data {
-					g.Data[j] += o.ProxMu * (p.Data[j] - a[j])
+					g.Data[j] += mu * (p.Data[j] - a[j])
 				}
 			}
 		}
-		if o.Momentum > 0 {
+		if mom > 0 {
 			if o.vel == nil {
-				o.vel = make(map[*tensor.Tensor][]float64)
+				o.vel = make(map[*tensor.Tensor][]tensor.Float)
 			}
 			v, ok := o.vel[p]
 			if !ok || len(v) != len(p.Data) {
-				v = make([]float64, len(p.Data))
+				v = make([]tensor.Float, len(p.Data))
 				o.vel[p] = v
 			}
 			for j := range p.Data {
-				v[j] = o.Momentum*v[j] + g.Data[j]
-				p.Data[j] -= o.LR * v[j]
+				v[j] = mom*v[j] + g.Data[j]
+				p.Data[j] -= lr * v[j]
 			}
 		} else {
 			for j := range p.Data {
-				p.Data[j] -= o.LR * g.Data[j]
+				p.Data[j] -= lr * g.Data[j]
 			}
 		}
 	}
@@ -120,7 +125,7 @@ func (y *Yogi) Apply(slot int, weights []*tensor.Tensor, pseudoGrad [][]float64)
 			if v[idx] < 0 {
 				v[idx] = 0
 			}
-			w.Data[j] -= y.LR * m[idx] / (math.Sqrt(v[idx]) + y.Tau)
+			w.Data[j] -= tensor.Float(y.LR * m[idx] / (math.Sqrt(v[idx]) + y.Tau))
 		}
 		off += len(g)
 	}

@@ -143,7 +143,7 @@ func (c *ResidualDenseCell) WidenSelf(factor float64, rng *rand.Rand) {
 	}
 	w2 := tensor.New(newH, d)
 	for j, src := range mapping {
-		scale := 1.0 / float64(counts[src])
+		scale := tensor.Float(1.0 / float64(counts[src]))
 		for k := 0; k < d; k++ {
 			w2.Data[j*d+k] = c.W2.At(src, k) * scale
 		}

@@ -35,14 +35,14 @@ func TestResidualGradientCheck(t *testing.T) {
 		g := c.Grads()[pi]
 		for i := 0; i < p.Len(); i++ {
 			want := numericalGrad(forward, p, i)
-			if math.Abs(g.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+			if math.Abs(float64(g.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
 				t.Fatalf("param %d idx %d: analytic %.6f vs numeric %.6f", pi, i, g.Data[i], want)
 			}
 		}
 	}
 	for i := 0; i < x.Len(); i++ {
 		want := numericalGrad(forward, x, i)
-		if math.Abs(gin.Data[i]-want) > 1e-4*(1+math.Abs(want)) {
+		if math.Abs(float64(gin.Data[i])-want) > 2e-2*(1+math.Abs(want)) {
 			t.Fatalf("input grad idx %d: analytic %.6f vs numeric %.6f", i, gin.Data[i], want)
 		}
 	}
@@ -71,7 +71,7 @@ func TestResidualWidenSelfPreservesFunction(t *testing.T) {
 		t.Fatalf("hidden after widen = %d, want 12", c.Hidden())
 	}
 	got := c.Forward(x)
-	if !tensor.Equal(want, got, 1e-9) {
+	if !tensor.Equal(want, got, 1e-5) {
 		t.Error("residual WidenSelf changed the function")
 	}
 }

@@ -23,7 +23,7 @@ func ReleaseCell(c Cell) {
 // windows into workspace- or parameter-owned memory and must never be
 // registered with a Workspace (releasing a sub-slice would corrupt the
 // pool).
-func setView(vp **tensor.Tensor, data []float64, shape ...int) *tensor.Tensor {
+func setView(vp **tensor.Tensor, data []tensor.Float, shape ...int) *tensor.Tensor {
 	v := *vp
 	if v == nil {
 		v = &tensor.Tensor{}
@@ -44,7 +44,7 @@ type viewSet struct {
 
 func (s *viewSet) reset() { s.n = 0 }
 
-func (s *viewSet) of(data []float64, shape ...int) *tensor.Tensor {
+func (s *viewSet) of(data []tensor.Float, shape ...int) *tensor.Tensor {
 	if s.n == len(s.vs) {
 		s.vs = append(s.vs, &tensor.Tensor{})
 	}

@@ -5,14 +5,14 @@ import (
 	"sync"
 )
 
-// The workspace arena recycles float64 buffers through size-class
+// The workspace arena recycles Float buffers through size-class
 // sync.Pools so the training inner loop (one Forward/Backward per SGD
 // step, repeated thousands of times across clients and rounds) reuses
 // scratch memory instead of allocating per step. Cells hold their
 // scratch tensors across steps via Ensure and hand them back to the
 // pool through Workspace.Release when a local-training session ends.
 
-const maxPoolClass = 26 // buffers up to 2^26 elements (512 MiB) are pooled
+const maxPoolClass = 26 // buffers up to 2^26 elements (256 MiB at float32) are pooled
 
 var bufPools [maxPoolClass + 1]sync.Pool
 
@@ -23,21 +23,21 @@ func sizeClass(n int) int {
 	return bits.Len(uint(n - 1))
 }
 
-// getBuf returns a length-n float64 slice with power-of-two capacity,
+// getBuf returns a length-n Float slice with power-of-two capacity,
 // drawn from the pool when available. Contents are unspecified.
-func getBuf(n int) []float64 {
+func getBuf(n int) []Float {
 	c := sizeClass(n)
 	if c > maxPoolClass {
-		return make([]float64, n)
+		return make([]Float, n)
 	}
 	if v := bufPools[c].Get(); v != nil {
-		return (*v.(*[]float64))[:n]
+		return (*v.(*[]Float))[:n]
 	}
-	return make([]float64, 1<<c)[:n]
+	return make([]Float, 1<<c)[:n]
 }
 
 // putBuf returns a buffer obtained from getBuf to its pool.
-func putBuf(b []float64) {
+func putBuf(b []Float) {
 	c := sizeClass(cap(b))
 	if c > maxPoolClass || cap(b) != 1<<c {
 		return

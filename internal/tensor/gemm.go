@@ -11,15 +11,27 @@ import (
 // overwrite a caller-owned destination and the *AccInto variants
 // accumulate into it, so steady-state training performs no allocation.
 //
+// The kernels are generic over the element type: the public Tensor API
+// instantiates them at the backend type Float (float32 — half the cache
+// and memory traffic per element of the historical float64 core), while
+// the float64 instantiation survives as the reference path behind the
+// Ref64 entry points used by parity tests.
+//
 // The inner loops are cache-blocked: the k (reduction) and j (output
 // column) axes are tiled so the active panel of B and the destination
 // rows stay resident in L1/L2 while A is streamed. Per-element
 // accumulation order over the reduction axis is preserved (ascending p),
-// so MatMulInto is bit-identical to the historical naive loop.
+// so results are deterministic regardless of blocking.
 const (
-	gemmBlockK = 128
-	gemmBlockJ = 240
+	gemmBlockK = 256
+	gemmBlockJ = 480
 )
+
+// elem is the kernel element-type constraint: the float32 backend plus
+// the float64 reference instantiation.
+type elem interface {
+	~float32 | ~float64
+}
 
 func checkMatMul(dst, a, b *Tensor, m, n int, kind string) {
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
@@ -31,7 +43,7 @@ func checkMatMul(dst, a, b *Tensor, m, n int, kind string) {
 }
 
 // axpy computes dst[i] += alpha*src[i] with an 8-way unrolled loop.
-func axpy(dst, src []float64, alpha float64) {
+func axpy[E elem](dst, src []E, alpha E) {
 	n := len(dst)
 	src = src[:n]
 	i := 0
@@ -54,9 +66,9 @@ func axpy(dst, src []float64, alpha float64) {
 
 // dot returns the inner product of two equal-length slices using four
 // independent accumulators so the FP additions pipeline.
-func dot(a, b []float64) float64 {
+func dot[E elem](a, b []E) E {
 	b = b[:len(a)]
-	var s0, s1, s2, s3 float64
+	var s0, s1, s2, s3 E
 	i := 0
 	for ; i+4 <= len(a); i += 4 {
 		s0 += a[i] * b[i]
@@ -72,7 +84,7 @@ func dot(a, b []float64) float64 {
 }
 
 // gemmAcc computes C += A@B on raw row-major buffers.
-func gemmAcc(c, a, b []float64, m, k, n int) {
+func gemmAcc[E elem](c, a, b []E, m, k, n int) {
 	for j0 := 0; j0 < n; j0 += gemmBlockJ {
 		jmax := j0 + gemmBlockJ
 		if jmax > n {
@@ -99,7 +111,7 @@ func gemmAcc(c, a, b []float64, m, k, n int) {
 }
 
 // gemmTAAcc computes C += Aᵀ@B for A (k×m), B (k×n).
-func gemmTAAcc(c, a, b []float64, k, m, n int) {
+func gemmTAAcc[E elem](c, a, b []E, k, m, n int) {
 	for j0 := 0; j0 < n; j0 += gemmBlockJ {
 		jmax := j0 + gemmBlockJ
 		if jmax > n {
@@ -120,7 +132,7 @@ func gemmTAAcc(c, a, b []float64, k, m, n int) {
 }
 
 // gemmTBAcc computes C += A@Bᵀ for A (m×k), B (n×k).
-func gemmTBAcc(c, a, b []float64, m, k, n int) {
+func gemmTBAcc[E elem](c, a, b []E, m, k, n int) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
@@ -194,14 +206,32 @@ func MatMulTransBAccInto(dst, a, b *Tensor) {
 	gemmTBAcc(dst.Data, a.Data, b.Data, m, k, n)
 }
 
+// Ref64Gemm computes C += A@B on float64 buffers — the float64 reference
+// instantiation of the backend GEMM kernel, used by parity tests to pin
+// the float32 path against a higher-precision ground truth.
+func Ref64Gemm(c, a, b []float64, m, k, n int) { gemmAcc(c, a, b, m, k, n) }
+
+// Ref64GemmTransA computes C += Aᵀ@B for A (k×m), B (k×n) on float64
+// buffers (reference instantiation).
+func Ref64GemmTransA(c, a, b []float64, k, m, n int) { gemmTAAcc(c, a, b, k, m, n) }
+
+// Ref64GemmTransB computes C += A@Bᵀ for A (m×k), B (n×k) on float64
+// buffers (reference instantiation).
+func Ref64GemmTransB(c, a, b []float64, m, k, n int) { gemmTBAcc(c, a, b, m, k, n) }
+
+// Ref64Softmax applies the row-wise softmax on float64 buffers
+// (reference instantiation).
+func Ref64Softmax(dst, src []float64, rows, cols int) { softmaxRows(dst, src, rows, cols) }
+
 // AddScaledInto computes dst = a + alpha*b element-wise. dst may alias a.
 func AddScaledInto(dst, a, b *Tensor, alpha float64) {
 	if len(dst.Data) != len(a.Data) || len(dst.Data) != len(b.Data) {
 		panic("tensor: AddScaledInto size mismatch")
 	}
+	al := Float(alpha)
 	ad, bd := a.Data[:len(dst.Data)], b.Data[:len(dst.Data)]
 	for i := range dst.Data {
-		dst.Data[i] = ad[i] + alpha*bd[i]
+		dst.Data[i] = ad[i] + al*bd[i]
 	}
 }
 
@@ -214,7 +244,11 @@ func SoftmaxInto(dst, src *Tensor) {
 	softmaxRows(dst.Data, src.Data, src.Shape[0], src.Shape[1])
 }
 
-func softmaxRows(dst, src []float64, rows, cols int) {
+// softmaxRows is the shared softmax kernel. The exponentials and the
+// row sum are evaluated in float64 for both instantiations, so the
+// float32 backend keeps the reference's numerical stability; only the
+// stored probabilities are narrowed.
+func softmaxRows[E elem](dst, src []E, rows, cols int) {
 	for i := 0; i < rows; i++ {
 		row := src[i*cols : (i+1)*cols]
 		orow := dst[i*cols : (i+1)*cols]
@@ -226,11 +260,11 @@ func softmaxRows(dst, src []float64, rows, cols int) {
 		}
 		sum := 0.0
 		for j, v := range row {
-			e := math.Exp(v - max)
-			orow[j] = e
+			e := math.Exp(float64(v - max))
+			orow[j] = E(e)
 			sum += e
 		}
-		inv := 1.0 / sum
+		inv := E(1.0 / sum)
 		for j := range orow {
 			orow[j] *= inv
 		}

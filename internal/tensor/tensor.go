@@ -1,7 +1,18 @@
 // Package tensor provides the minimal dense-tensor substrate used by the
-// neural-network stack. Tensors are row-major float64 buffers with an
-// explicit shape. The package favors clarity and determinism over raw
-// speed: all experiments in this repository run at CPU scale.
+// neural-network stack. Tensors are row-major buffers of the backend
+// element type Float with an explicit shape. The package favors clarity
+// and determinism over raw speed: all experiments in this repository run
+// at CPU scale.
+//
+// # The float32 compute backend
+//
+// Float is an alias for float32: the wire format (internal/codec) already
+// ships weights as float32, so computing in float32 loses nothing on the
+// network path and halves the memory traffic of every GEMM-bound hot
+// loop. The kernels in gemm.go are generic over float32/float64; the
+// float64 instantiation is retained as the high-precision reference used
+// by parity tests (see Ref64 helpers in gemm.go and the nn package's
+// NaiveForward/NaiveBackward, which accumulate in float64).
 package tensor
 
 import (
@@ -10,10 +21,16 @@ import (
 	"math/rand"
 )
 
-// Tensor is a dense row-major float64 tensor.
+// Float is the backend element type of all tensor storage and kernels.
+// It is a type alias, so []Float and []float32 are interchangeable —
+// codec and persistence code can move Data to and from the float32 wire
+// format without per-element conversion.
+type Float = float32
+
+// Tensor is a dense row-major tensor of the backend element type.
 type Tensor struct {
 	Shape []int
-	Data  []float64
+	Data  []Float
 }
 
 // New returns a zero tensor with the given shape.
@@ -25,11 +42,11 @@ func New(shape ...int) *Tensor {
 		}
 		n *= s
 	}
-	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]Float, n)}
 }
 
 // FromSlice wraps data (not copied) with the given shape.
-func FromSlice(data []float64, shape ...int) *Tensor {
+func FromSlice(data []Float, shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
 		n *= s
@@ -69,10 +86,10 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 }
 
 // At returns the element at a 2-D index of a rank-2 tensor.
-func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
+func (t *Tensor) At(i, j int) Float { return t.Data[i*t.Shape[1]+j] }
 
 // Set assigns the element at a 2-D index of a rank-2 tensor.
-func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Shape[1]+j] = v }
+func (t *Tensor) Set(i, j int, v Float) { t.Data[i*t.Shape[1]+j] = v }
 
 // Zero sets every element to zero.
 func (t *Tensor) Zero() {
@@ -82,7 +99,7 @@ func (t *Tensor) Zero() {
 }
 
 // Fill sets every element to v.
-func (t *Tensor) Fill(v float64) {
+func (t *Tensor) Fill(v Float) {
 	for i := range t.Data {
 		t.Data[i] = v
 	}
@@ -93,42 +110,48 @@ func (t *Tensor) AddScaled(other *Tensor, alpha float64) {
 	if len(t.Data) != len(other.Data) {
 		panic("tensor: AddScaled size mismatch")
 	}
+	al := Float(alpha)
 	for i, v := range other.Data {
-		t.Data[i] += alpha * v
+		t.Data[i] += al * v
 	}
 }
 
 // Scale multiplies every element by alpha.
 func (t *Tensor) Scale(alpha float64) {
+	al := Float(alpha)
 	for i := range t.Data {
-		t.Data[i] *= alpha
+		t.Data[i] *= al
 	}
 }
 
-// Norm returns the L2 norm of the tensor.
+// Norm returns the L2 norm of the tensor, accumulated in float64 so the
+// reduction does not lose precision on large tensors.
 func (t *Tensor) Norm() float64 {
 	s := 0.0
 	for _, v := range t.Data {
-		s += v * v
+		s += float64(v) * float64(v)
 	}
 	return math.Sqrt(s)
 }
 
 // MaxAbs returns the maximum absolute element value.
 func (t *Tensor) MaxAbs() float64 {
-	m := 0.0
+	m := Float(0)
 	for _, v := range t.Data {
-		if a := math.Abs(v); a > m {
-			m = a
+		if v < 0 {
+			v = -v
+		}
+		if v > m {
+			m = v
 		}
 	}
-	return m
+	return float64(m)
 }
 
 // RandNormal fills the tensor with N(0, std^2) samples from rng.
 func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
 	for i := range t.Data {
-		t.Data[i] = rng.NormFloat64() * std
+		t.Data[i] = Float(rng.NormFloat64() * std)
 	}
 }
 
@@ -201,9 +224,36 @@ func Equal(a, b *Tensor, tol float64) bool {
 		}
 	}
 	for i := range a.Data {
-		if math.Abs(a.Data[i]-b.Data[i]) > tol {
+		if math.Abs(float64(a.Data[i])-float64(b.Data[i])) > tol {
 			return false
 		}
 	}
 	return true
+}
+
+// MaxDiff returns the maximum absolute element-wise difference between a
+// backend-precision tensor and a float64 reference buffer of the same
+// element count — the parity metric used by the float32-vs-float64
+// kernel tests.
+func MaxDiff(a *Tensor, ref []float64) float64 {
+	if len(a.Data) != len(ref) {
+		panic("tensor: MaxDiff length mismatch")
+	}
+	worst := 0.0
+	for i, v := range a.Data {
+		if d := math.Abs(float64(v) - ref[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// Widen returns the tensor's elements widened to a float64 slice — the
+// entry point of the float64 reference path used by parity tests.
+func (t *Tensor) Widen() []float64 {
+	out := make([]float64, len(t.Data))
+	for i, v := range t.Data {
+		out[i] = float64(v)
+	}
+	return out
 }

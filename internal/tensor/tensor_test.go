@@ -35,7 +35,7 @@ func TestNewPanicsOnBadShape(t *testing.T) {
 }
 
 func TestFromSlice(t *testing.T) {
-	d := []float64{1, 2, 3, 4, 5, 6}
+	d := []Float{1, 2, 3, 4, 5, 6}
 	tt := FromSlice(d, 2, 3)
 	if tt.At(1, 2) != 6 {
 		t.Errorf("At(1,2) = %v, want 6", tt.At(1, 2))
@@ -52,7 +52,7 @@ func TestFromSlicePanicsOnMismatch(t *testing.T) {
 			t.Error("expected panic for size mismatch")
 		}
 	}()
-	FromSlice([]float64{1, 2, 3}, 2, 2)
+	FromSlice([]Float{1, 2, 3}, 2, 2)
 }
 
 func TestCloneIndependence(t *testing.T) {
@@ -87,8 +87,8 @@ func TestReshapePanicsOnMismatch(t *testing.T) {
 }
 
 func TestAddScaledAndScale(t *testing.T) {
-	a := FromSlice([]float64{1, 2}, 2)
-	b := FromSlice([]float64{10, 20}, 2)
+	a := FromSlice([]Float{1, 2}, 2)
+	b := FromSlice([]Float{10, 20}, 2)
 	a.AddScaled(b, 0.5)
 	if a.Data[0] != 6 || a.Data[1] != 12 {
 		t.Errorf("AddScaled = %v", a.Data)
@@ -100,7 +100,7 @@ func TestAddScaledAndScale(t *testing.T) {
 }
 
 func TestNorm(t *testing.T) {
-	a := FromSlice([]float64{3, 4}, 2)
+	a := FromSlice([]Float{3, 4}, 2)
 	if got := a.Norm(); math.Abs(got-5) > 1e-12 {
 		t.Errorf("Norm = %v, want 5", got)
 	}
@@ -110,12 +110,12 @@ func TestNorm(t *testing.T) {
 }
 
 func TestMatMulKnown(t *testing.T) {
-	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
-	b := FromSlice([]float64{5, 6, 7, 8}, 2, 2)
+	a := FromSlice([]Float{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]Float{5, 6, 7, 8}, 2, 2)
 	c := MatMul(a, b)
 	want := []float64{19, 22, 43, 50}
 	for i, w := range want {
-		if math.Abs(c.Data[i]-w) > 1e-12 {
+		if math.Abs(float64(c.Data[i])-w) > 1e-12 {
 			t.Fatalf("MatMul = %v, want %v", c.Data, want)
 		}
 	}
@@ -148,14 +148,14 @@ func TestMatMulTransposeVariantsAgree(t *testing.T) {
 		got := MatMulTransA(a, b)
 		at := transpose(a)
 		want := MatMul(at, b)
-		if !Equal(got, want, 1e-10) {
+		if !Equal(got, want, 1e-5) {
 			t.Fatalf("MatMulTransA mismatch at iter %d", iter)
 		}
 		a2 := randMat(rng, m, k)
 		b2 := randMat(rng, n, k)
 		got2 := MatMulTransB(a2, b2)
 		want2 := MatMul(a2, transpose(b2))
-		if !Equal(got2, want2, 1e-10) {
+		if !Equal(got2, want2, 1e-5) {
 			t.Fatalf("MatMulTransB mismatch at iter %d", iter)
 		}
 	}
@@ -187,7 +187,7 @@ func TestMatMulDistributive(t *testing.T) {
 		ab := MatMul(a, b)
 		ac := MatMul(a, c)
 		ab.AddScaled(ac, 1)
-		return Equal(left, ab, 1e-9)
+		return Equal(left, ab, 1e-4)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
 		t.Error(err)
@@ -204,13 +204,13 @@ func TestSoftmaxRowsSumToOne(t *testing.T) {
 		for i := 0; i < rows; i++ {
 			sum := 0.0
 			for j := 0; j < cols; j++ {
-				v := s.At(i, j)
+				v := float64(s.At(i, j))
 				if v < 0 || v > 1 || math.IsNaN(v) {
 					return false
 				}
 				sum += v
 			}
-			if math.Abs(sum-1) > 1e-9 {
+			if math.Abs(sum-1) > 1e-5 {
 				return false
 			}
 		}
@@ -222,15 +222,15 @@ func TestSoftmaxRowsSumToOne(t *testing.T) {
 }
 
 func TestSoftmaxInvariantToShift(t *testing.T) {
-	m := FromSlice([]float64{1, 2, 3}, 1, 3)
-	shifted := FromSlice([]float64{1001, 1002, 1003}, 1, 3)
+	m := FromSlice([]Float{1, 2, 3}, 1, 3)
+	shifted := FromSlice([]Float{1001, 1002, 1003}, 1, 3)
 	if !Equal(Softmax(m), Softmax(shifted), 1e-9) {
 		t.Error("softmax must be shift-invariant")
 	}
 }
 
 func TestArgMaxRow(t *testing.T) {
-	m := FromSlice([]float64{0, 5, 3, 9, 1, 2}, 2, 3)
+	m := FromSlice([]Float{0, 5, 3, 9, 1, 2}, 2, 3)
 	if m.ArgMaxRow(0) != 1 {
 		t.Errorf("ArgMaxRow(0) = %d, want 1", m.ArgMaxRow(0))
 	}
@@ -240,15 +240,15 @@ func TestArgMaxRow(t *testing.T) {
 }
 
 func TestEqual(t *testing.T) {
-	a := FromSlice([]float64{1, 2}, 2)
-	b := FromSlice([]float64{1, 2.0000001}, 2)
+	a := FromSlice([]Float{1, 2}, 2)
+	b := FromSlice([]Float{1, 2.0001}, 2)
 	if !Equal(a, b, 1e-3) {
 		t.Error("Equal within tolerance failed")
 	}
 	if Equal(a, b, 1e-9) {
 		t.Error("Equal should fail outside tolerance")
 	}
-	c := FromSlice([]float64{1, 2}, 1, 2)
+	c := FromSlice([]Float{1, 2}, 1, 2)
 	if Equal(a, c, 1) {
 		t.Error("Equal must compare shapes")
 	}
@@ -276,11 +276,11 @@ func TestRandNormalStd(t *testing.T) {
 	a.RandNormal(rng, 2)
 	mean, varSum := 0.0, 0.0
 	for _, v := range a.Data {
-		mean += v
+		mean += float64(v)
 	}
 	mean /= float64(a.Len())
 	for _, v := range a.Data {
-		varSum += (v - mean) * (v - mean)
+		varSum += (float64(v) - mean) * (float64(v) - mean)
 	}
 	std := math.Sqrt(varSum / float64(a.Len()))
 	if math.Abs(std-2) > 0.1 {
