@@ -40,6 +40,7 @@ var suites = []struct {
 }{
 	{"./internal/tensor/", "BenchmarkMatMul"},
 	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward"},
+	{"./internal/model/", "BenchmarkClone"},
 	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll"},
 }
 

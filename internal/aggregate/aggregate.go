@@ -49,6 +49,10 @@ func FedAvg(dst *model.Model, updates []Update) (meanLoss float64, samples int, 
 	}
 	inv := 1.0 / total
 	for i, p := range params {
+		// Params may be COW-shared with client clones or round snapshots;
+		// detach (discarding contents — every element is overwritten)
+		// before the in-place write.
+		p.EnsureOwnedDiscard()
 		for j := range p.Data {
 			p.Data[j] = tensor.Float(acc[i][j] * inv)
 		}
@@ -83,17 +87,20 @@ type snapshot struct {
 	head  []*tensor.Tensor
 }
 
+// snapshotOf takes COW snapshots: the suite's in-place updates below
+// detach the models' own headers, so the snapshot stays stable without
+// copying any buffer.
 func snapshotOf(m *model.Model) snapshot {
 	s := snapshot{cells: make(map[int64][]*tensor.Tensor, len(m.Cells))}
 	for i := range m.Cells {
 		var ps []*tensor.Tensor
 		for _, p := range m.Cells[i].Cell.Params() {
-			ps = append(ps, p.Clone())
+			ps = append(ps, p.LazyClone())
 		}
 		s.cells[m.Cells[i].AncestorID] = ps
 	}
 	for _, p := range m.Head.Params() {
-		s.head = append(s.head, p.Clone())
+		s.head = append(s.head, p.LazyClone())
 	}
 	return s
 }
@@ -150,6 +157,7 @@ func SoftAggregate(suite []*model.Model, round int, cfg SoftConfig) {
 		}
 		inv := 1.0 / wsum
 		for i, p := range params {
+			p.EnsureOwnedDiscard() // every element overwritten below
 			for k := range p.Data {
 				p.Data[k] = tensor.Float(acc[i][k] * inv)
 			}

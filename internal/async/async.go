@@ -212,6 +212,8 @@ func (rt *Runtime) Run() Result {
 		if wsum > 0 {
 			scale := cfg.ServerLR / wsum
 			for i, p := range params {
+				// Detach COW-shared params before the in-place update.
+				p.EnsureOwned()
 				for j := range p.Data {
 					p.Data[j] += tensor.Float(delta[i][j] * scale)
 				}

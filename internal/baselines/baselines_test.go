@@ -176,3 +176,29 @@ func TestFedRolexExtractPreservesWindowFunction(t *testing.T) {
 		}
 	}
 }
+
+// TestFLuIDSubModelCostAccounting pins the capacity-constrained FLuID
+// round loop end to end under COW submodels: with every client below
+// full capacity, each round must still merge trained submodel weights
+// and record per-round network transfer and completion times. (Bytes()
+// itself is shape-derived and survives Release; the ordering this guards
+// is that mergeBack/accounting run on a live submodel.)
+func TestFLuIDSubModelCostAccounting(t *testing.T) {
+	ds, _, spec, cfg := testWorkload(t)
+	// Every device far below the full model's MACs: all clients train
+	// width-reduced submodels.
+	trace := device.NewTrace(device.TraceConfig{
+		N: 24, MinCapacityMACs: 500, MaxCapacityMACs: 1_000, Seed: 5,
+	})
+	cfg.Rounds = 2
+	f := NewFLuID(cfg, ds, trace, spec)
+	res := f.Run()
+	if res.Costs.NetworkBytes <= 0 {
+		t.Errorf("network bytes = %d, want > 0 (submodel transfer accounting lost)", res.Costs.NetworkBytes)
+	}
+	for r, rt := range res.RoundTimes {
+		if rt <= 0 {
+			t.Errorf("round %d time = %v, want > 0", r, rt)
+		}
+	}
+}

@@ -147,6 +147,8 @@ func (f *FedRolex) aggregateRolex(updates []rolexUpdate) {
 		f.scatter(u, acc, cnt)
 	}
 	for i, p := range params {
+		// Detach COW-shared global params before the in-place overwrite.
+		p.EnsureOwned()
 		for j := range p.Data {
 			if cnt[i][j] > 0 {
 				p.Data[j] = tensor.Float(acc[i][j] / cnt[i][j])
@@ -242,6 +244,9 @@ func (f *FedRolex) Run() fl.Result {
 		}
 		res.RoundTimes = append(res.RoundTimes, roundTime)
 		f.aggregateRolex(updates)
+		for _, u := range updates {
+			u.sub.Release()
+		}
 		res.RoundsRun = round + 1
 		if (round+1)%evalEvery == 0 || round == cfg.Rounds-1 {
 			accs := f.evaluate(round)
@@ -268,6 +273,9 @@ func (f *FedRolex) evaluate(round int) []float64 {
 			m = f.extract(f.windowSets(f.ratios[l], round))
 		}
 		accs[c] = fl.EvaluateOn(m, &f.ds.Clients[c])
+		if m != f.global {
+			m.Release()
+		}
 	}
 	return accs
 }

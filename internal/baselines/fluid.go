@@ -122,6 +122,10 @@ func (f *FLuID) subModel(sets [][]int) *model.Model {
 	return sub
 }
 
+// shrinkDenseOut replaces the cell's weights with the kept-unit crop.
+// The old headers are COW-released so the global model the submodel was
+// cloned from regains exclusive ownership; gradients re-materialize
+// lazily at the new shapes.
 func shrinkDenseOut(d *nn.DenseCell, keep []int) {
 	in := d.InDim()
 	w := tensor.New(in, len(keep))
@@ -132,8 +136,10 @@ func shrinkDenseOut(d *nn.DenseCell, keep []int) {
 			w.Data[i*len(keep)+j] = d.W.At(i, src)
 		}
 	}
+	d.W.Release()
+	d.B.Release()
 	d.W, d.B = w, b
-	d.GW, d.GB = tensor.New(in, len(keep)), tensor.New(len(keep))
+	d.GW, d.GB = nil, nil
 }
 
 func shrinkDenseIn(d *nn.DenseCell, keep []int) {
@@ -144,8 +150,9 @@ func shrinkDenseIn(d *nn.DenseCell, keep []int) {
 			w.Data[j*out+k] = d.W.At(src, k)
 		}
 	}
+	d.W.Release()
 	d.W = w
-	d.GW = tensor.New(len(keep), out)
+	d.GW, d.GB = nil, nil
 }
 
 // mergeBack writes submodel weights into the global model at the kept
@@ -159,6 +166,10 @@ func (f *FLuID) mergeBack(sub *model.Model, sets [][]int) {
 			prevSet = nil
 			continue
 		}
+		// The global weights are about to be written element-wise and may
+		// be COW-shared with live submodel clones.
+		gd.W.EnsureOwned()
+		gd.B.EnsureOwned()
 		sd := sub.Cells[i].Cell.(*nn.DenseCell)
 		outSet := sets[i]
 		if outSet == nil {
@@ -186,6 +197,8 @@ func (f *FLuID) mergeBack(sub *model.Model, sets [][]int) {
 		inSet = identitySet(f.global.Head.InDim())
 	}
 	gh, sh := f.global.Head, sub.Head
+	gh.W.EnsureOwned()
+	gh.B.EnsureOwned()
 	for k := 0; k < gh.OutDim(); k++ {
 		gh.B.Data[k] = sh.B.Data[k]
 		for si, gi := range inSet {
@@ -255,6 +268,7 @@ func (f *FLuID) Run() fl.Result {
 			if t := f.trace.TrainingTime(c, sub.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, sub.Bytes()); t > roundTime {
 				roundTime = t
 			}
+			sub.Release()
 		}
 		// Average full-model updates (with current global as one voter so
 		// straggler merges are not erased).
@@ -281,6 +295,7 @@ func (f *FLuID) Run() fl.Result {
 				}
 			}
 			for i, p := range params {
+				p.EnsureOwnedDiscard() // every element overwritten below
 				for j := range p.Data {
 					p.Data[j] = tensor.Float(acc[i][j] / total)
 				}
@@ -312,6 +327,9 @@ func (f *FLuID) evaluate() []float64 {
 			m = f.subModel(f.keepSets(frac))
 		}
 		accs[c] = fl.EvaluateOn(m, &f.ds.Clients[c])
+		if m != f.global {
+			m.Release()
+		}
 	}
 	return accs
 }

@@ -99,11 +99,13 @@ func (h *HeteroFL) syncLevels() {
 	}
 }
 
-// cropInto copies the top-left overlap of src into dst.
+// cropInto copies the top-left overlap of src into dst, detaching dst
+// first if its buffer is COW-shared (e.g. with in-flight level clones).
 func cropInto(dst, src *tensor.Tensor) {
 	if dst.Rank() != src.Rank() {
 		return
 	}
+	dst.EnsureOwned()
 	overlap := make([]int, dst.Rank())
 	for i := range overlap {
 		overlap[i] = dst.Shape[i]
@@ -211,6 +213,8 @@ func (h *HeteroFL) aggregateUpdates(updates []levelUpdate) {
 		}
 	}
 	for i, p := range global {
+		// Detach COW-shared global params before the in-place overwrite.
+		p.EnsureOwned()
 		for j := range p.Data {
 			if cnts[i][j] > 0 {
 				p.Data[j] = tensor.Float(accs[i][j] / cnts[i][j])

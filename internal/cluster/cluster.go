@@ -332,6 +332,9 @@ func (rt *Runtime) trainAndAverage(m *model.Model, selected []int, round int, re
 		return
 	}
 	for i, p := range params {
+		// Detach COW-shared params (contents discarded — every element is
+		// overwritten) before the in-place write.
+		p.EnsureOwnedDiscard()
 		for j := range p.Data {
 			p.Data[j] = tensor.Float(acc[i][j] / wsum)
 		}

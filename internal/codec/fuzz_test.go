@@ -1,0 +1,55 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+// FuzzDecode hardens the wire-format parser: no input may panic or
+// over-allocate past the shape bounds, and any blob that decodes must
+// re-encode byte-identically (the format is canonical), pinning the
+// bounds/magic/CRC ordering fixes against regression.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	// Seed corpus: valid encodings of representative tensor lists...
+	seeds := [][]*tensor.Tensor{
+		{tensor.New(1)},
+		{tensor.New(3, 4), tensor.New(4)},
+		{tensor.New(2, 3, 3, 3), tensor.New(2), tensor.New(6, 5)},
+	}
+	for _, ts := range seeds {
+		for _, t := range ts {
+			t.RandNormal(rng, 1)
+		}
+		f.Add(Encode(ts))
+	}
+	// ...plus targeted corruptions: truncation, bad magic, bad CRC, and a
+	// hostile dim re-signed with a valid checksum.
+	valid := Encode(seeds[1])
+	f.Add(valid[:7])
+	bad := append([]byte(nil), valid...)
+	bad[0] = 'X'
+	f.Add(bad)
+	bad = append([]byte(nil), valid...)
+	bad[len(bad)-1] ^= 0xFF
+	f.Add(bad)
+	hostile := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(hostile[12:], 1<<31) // first dim absurd
+	binary.BigEndian.PutUint32(hostile[len(hostile)-4:], crcIEEE(hostile[:len(hostile)-4]))
+	f.Add(hostile)
+
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		ts, err := Decode(blob)
+		if err != nil {
+			return
+		}
+		re := Encode(ts)
+		if !bytes.Equal(re, blob) {
+			t.Fatalf("decode/encode not canonical: %d in, %d out", len(blob), len(re))
+		}
+	})
+}

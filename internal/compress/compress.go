@@ -214,11 +214,13 @@ func TopK(oldW, newW *tensor.Tensor, k int) SparseDelta {
 	return sd
 }
 
-// Apply adds the sparse delta onto w in place.
+// Apply adds the sparse delta onto w in place, detaching w first if its
+// buffer is COW-shared.
 func (s SparseDelta) Apply(w *tensor.Tensor) error {
 	if len(s.Indices) != len(s.Values) {
 		return ErrBadSparse
 	}
+	w.EnsureOwned()
 	for i, idx := range s.Indices {
 		if int(idx) >= w.Len() {
 			return errors.New("compress: sparse index out of range")

@@ -64,10 +64,11 @@ func BenchmarkLocalTrainStep(b *testing.B) {
 }
 
 // TestTrainStepAllocationRegression pins the allocation-free training
-// inner loop on the float32 backend: after workspace warmup, one SGD
-// step of the conv model must allocate at most once per step (the single
-// surviving allocation is the batch index slice inside the harness-free
-// TrainStep path — everything tensor-sized is pooled).
+// inner loop: after workspace warmup (which also unshares the clone's
+// COW weight buffers and materializes its lazy gradients), one SGD step
+// of the conv model must allocate at most once per step — everything
+// tensor-sized is pooled or owned, and since ZeroGrads started walking
+// the cached grad slice the steady state measures zero.
 func TestTrainStepAllocationRegression(t *testing.T) {
 	rt := benchRuntime("cifar10")
 	m := rt.Suite()[0].Clone()

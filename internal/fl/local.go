@@ -40,11 +40,15 @@ type LocalResult struct {
 	Samples int
 }
 
-// TrainLocal clones the given model, runs local SGD on the client's data,
-// and returns the result. The input model is not mutated.
+// TrainLocal lazily clones the given model (weights shared copy-on-write
+// until the first SGD step writes them), runs local SGD on the client's
+// data, and returns the result. The input model is not mutated, and the
+// clone is fully released before returning; the uploaded weights are a
+// COW snapshot of the trained parameters, so no copy is made for the
+// upload either.
 func TrainLocal(m *model.Model, cl *data.Client, cfg LocalConfig, rng *rand.Rand) LocalResult {
 	local := m.Clone()
-	defer local.ReleaseWorkspaces()
+	defer local.Release()
 	opt := nn.NewSGD(cfg.LR)
 	if cfg.ProxMu > 0 {
 		opt.ProxMu = cfg.ProxMu

@@ -57,6 +57,9 @@ func ClipAndNoise(weights, anchor []*tensor.Tensor, clipNorm, noiseStd float64, 
 		scale = clipNorm / norm
 	}
 	for i, w := range weights {
+		// Client uploads are COW snapshots of the trained weights;
+		// detach before rewriting them in place.
+		w.EnsureOwned()
 		for j := range w.Data {
 			d := float64(w.Data[j]-anchor[i].Data[j]) * scale
 			if noiseStd > 0 {

@@ -442,7 +442,9 @@ func (rt *Runtime) tryTransform(round int) bool {
 // model. Clients are evaluated in parallel across a GOMAXPROCS-bounded
 // worker pool; model selection is deterministic and each worker
 // evaluates on private model clones (Forward mutates activation caches),
-// so the results are identical to a serial evaluation.
+// so the results are identical to a serial evaluation. The clones are
+// copy-on-write: evaluation never writes weights, so no weight buffer is
+// copied and no gradient storage is allocated per worker.
 func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 	n := len(rt.ds.Clients)
 	accs = make([]float64, n)
@@ -468,7 +470,7 @@ func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 			bestMACs[c] = m.MACsPerSample()
 		}
 		for _, cm := range clones {
-			cm.ReleaseWorkspaces()
+			cm.Release()
 		}
 	})
 	return accs, bestMACs

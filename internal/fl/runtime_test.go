@@ -1,6 +1,8 @@
 package fl
 
 import (
+	"reflect"
+	"runtime"
 	"testing"
 
 	"fedtrans/internal/data"
@@ -42,5 +44,41 @@ func TestRuntimeLearnsAndTransforms(t *testing.T) {
 	}
 	if res.Costs.TrainMACs <= 0 || res.Costs.NetworkBytes <= 0 || res.Costs.StorageBytes <= 0 {
 		t.Errorf("cost accounting incomplete: %+v", res.Costs)
+	}
+}
+
+// TestRunDeterminismSerialParallelCOW is the determinism golden test for
+// the copy-on-write clone path: a full training run — transformation,
+// soft aggregation, quantized uploads, clipping+noise, and dropouts all
+// enabled, so every COW clone/unshare/snapshot path is exercised — must
+// produce a byte-identical result whether local training and evaluation
+// run serially or across the worker pool. This extends the PR 1
+// serial-equals-parallel guarantee to lazily shared weight buffers.
+func TestRunDeterminismSerialParallelCOW(t *testing.T) {
+	run := func() Result {
+		ds, tr, spec := smokeSetup(t, 16)
+		cfg := DefaultConfig()
+		cfg.Rounds = 12
+		cfg.ClientsPerRound = 6
+		cfg.EvalEvery = 3
+		cfg.ConvergePatience = 0
+		cfg.QuantizeUploads = true
+		cfg.ClipNorm = 5
+		cfg.NoiseStd = 0.001
+		cfg.DropoutRate = 0.1
+		cfg.RecordLog = true
+		cfg.Transform.Gamma = 3
+		cfg.Transform.Delta = 3
+		cfg.Transform.Beta = 0.05
+		rt := New(cfg, ds, tr, spec)
+		return rt.Run()
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	serial := run()
+	runtime.GOMAXPROCS(4)
+	parallel := run()
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("COW run differs between serial and parallel execution:\nserial:   %+v\nparallel: %+v", serial, parallel)
 	}
 }

@@ -25,7 +25,9 @@ func (o *yogiOpt) apply(m *model.Model, prev []*tensor.Tensor) {
 			g[j] = float64(prev[i].Data[j] - p.Data[j])
 		}
 		pg[i] = g
-		// Restore the server weights; Yogi steps from them.
+		// Restore the server weights; Yogi steps from them. The params
+		// may be COW-shared with live clones or snapshots.
+		p.EnsureOwned()
 		copy(p.Data, prev[i].Data)
 	}
 	o.y.Apply(m.ID, params, pg)

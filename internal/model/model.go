@@ -87,7 +87,15 @@ type Model struct {
 // NumCells returns the number of transformable cells.
 func (m *Model) NumCells() int { return len(m.Cells) }
 
-// Clone deep-copies the model (same ID and lineage metadata).
+// Clone returns an independent copy of the model (same ID and lineage
+// metadata). Weight buffers are shared copy-on-write with the receiver —
+// the clone costs O(tensor headers), and a buffer is physically copied
+// only when either side first writes it — so the round loop's
+// clone-per-client pattern no longer scales memory traffic with
+// participants. Gradients start logically zero and materialize at first
+// use; caches and workspaces are never shared. Concurrent Clone calls on
+// the same model are safe; writes race with clones exactly as they did
+// under deep copying.
 func (m *Model) Clone() *Model {
 	c := &Model{
 		ID: m.ID, ParentID: m.ParentID, BornRound: m.BornRound,
@@ -150,12 +158,13 @@ func (m *Model) Backward(gradLogits *tensor.Tensor) {
 	}
 }
 
-// ZeroGrads zeroes every gradient tensor in the model.
+// ZeroGrads zeroes every gradient tensor in the model. It works off the
+// cached Grads slice so steady-state steps do not re-collect the
+// per-cell gradient lists.
 func (m *Model) ZeroGrads() {
-	for i := range m.Cells {
-		nn.ZeroGrads(m.Cells[i].Cell)
+	for _, g := range m.Grads() {
+		g.Zero()
 	}
-	nn.ZeroGrads(m.Head)
 }
 
 // TrainStep performs one SGD step on a batch and returns the loss. The
@@ -190,6 +199,22 @@ func (m *Model) ReleaseWorkspaces() {
 	}
 	nn.ReleaseCell(m.Head)
 	m.ws.Release()
+}
+
+// Release disposes of a model the caller is completely done with:
+// workspaces go back to the shared pool and every parameter header drops
+// its interest in a COW-shared buffer, so the model this one was cloned
+// from regains exclusive ownership (and writes in place again) once all
+// clones are released. Unlike ReleaseWorkspaces, the model must not be
+// computed with afterwards — parameter Data is nilled so reuse fails
+// loudly. Shape-derived accounting (ParamCount, Bytes, MACsPerSample)
+// remains valid on a released model.
+func (m *Model) Release() {
+	m.ReleaseWorkspaces()
+	for _, p := range m.Params() {
+		p.Release()
+	}
+	m.invalidateParamCache()
 }
 
 // Params returns all trainable tensors (cells then head). The slice is
@@ -263,16 +288,21 @@ func (m *Model) SetWeights(src []*tensor.Tensor) {
 		if dst[i].Len() != src[i].Len() {
 			panic(fmt.Sprintf("model: SetWeights size mismatch at %d", i))
 		}
+		dst[i].EnsureOwnedDiscard() // fully overwritten by the copy
 		copy(dst[i].Data, src[i].Data)
 	}
 }
 
-// CopyWeights returns a deep copy of the parameter tensors.
+// CopyWeights returns a copy-on-write snapshot of the parameter tensors:
+// the returned headers alias the current buffers and keep their contents
+// stable even if the model is written afterwards (the write detaches the
+// model's side). Callers that mutate the snapshot through raw Data
+// indexing must call EnsureOwned on the tensor first.
 func (m *Model) CopyWeights() []*tensor.Tensor {
 	ps := m.Params()
 	out := make([]*tensor.Tensor, len(ps))
 	for i, p := range ps {
-		out[i] = p.Clone()
+		out[i] = p.LazyClone()
 	}
 	return out
 }

@@ -79,7 +79,7 @@ func TestTrainStepReducesLoss(t *testing.T) {
 	}
 }
 
-func TestCloneIsDeepAndEquivalent(t *testing.T) {
+func TestCloneIsIndependentAndEquivalent(t *testing.T) {
 	m := denseModel(t, 6, 6)
 	rng := rand.New(rand.NewSource(3))
 	x := probe(rng, 3, 8)
@@ -87,9 +87,12 @@ func TestCloneIsDeepAndEquivalent(t *testing.T) {
 	if !tensor.Equal(m.Forward(x), c.Forward(x), 1e-12) {
 		t.Error("clone computes different function")
 	}
-	c.Params()[0].Data[0] += 100
+	// The clone shares weight buffers copy-on-write: a write through a
+	// COW-aware entry point must detach the clone without touching m.
+	p := c.Params()[0]
+	p.Set(0, 0, p.At(0, 0)+100)
 	if tensor.Equal(m.Forward(x), c.Forward(x), 1e-6) {
-		t.Error("clone shares parameter storage")
+		t.Error("clone write leaked into parent (COW unshare failed)")
 	}
 	if c.ID != m.ID {
 		t.Error("Clone must preserve ID (Derive changes it)")
@@ -229,8 +232,10 @@ func TestTrainAfterTransformStillLearns(t *testing.T) {
 func TestCellDeltaActiveness(t *testing.T) {
 	m := denseModel(t, 6, 6)
 	prev := m.CopyWeights()
-	// Perturb only cell 1's weights.
+	// Perturb only cell 1's weights (EnsureOwned: the snapshot above
+	// shares the buffers copy-on-write).
 	cell1Params := m.Cells[1].Cell.Params()
+	cell1Params[0].EnsureOwned()
 	cell1Params[0].Data[0] += 1
 	act := m.CellDeltaActiveness(prev, 1)
 	if act[0] != 0 {

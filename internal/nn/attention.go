@@ -72,6 +72,14 @@ func (c *AttentionCell) allocGrads() {
 	c.GB2 = tensor.New(c.B2.Shape...)
 }
 
+// ensureGrads allocates the gradient tensors if a lazy Clone left them
+// nil, sized to the current parameter shapes.
+func (c *AttentionCell) ensureGrads() {
+	if c.GWq == nil {
+		c.allocGrads()
+	}
+}
+
 // Kind implements Cell.
 func (c *AttentionCell) Kind() string { return "attention" }
 
@@ -136,6 +144,7 @@ func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Cell.
 func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c.ensureGrads()
 	batch, t, d := grad.Shape[0], grad.Shape[1], grad.Shape[2]
 	n2 := batch * t
 	ff := c.FF()
@@ -214,18 +223,18 @@ func (c *AttentionCell) Params() []*tensor.Tensor {
 
 // Grads implements Cell.
 func (c *AttentionCell) Grads() []*tensor.Tensor {
+	c.ensureGrads()
 	return []*tensor.Tensor{c.GWq, c.GWk, c.GWv, c.GWo, c.GW1, c.GB1, c.GW2, c.GB2}
 }
 
-// Clone implements Cell.
+// Clone implements Cell: weight buffers are shared copy-on-write,
+// gradients materialize lazily, caches are dropped.
 func (c *AttentionCell) Clone() Cell {
-	n := &AttentionCell{
-		Wq: c.Wq.Clone(), Wk: c.Wk.Clone(), Wv: c.Wv.Clone(), Wo: c.Wo.Clone(),
-		W1: c.W1.Clone(), B1: c.B1.Clone(), W2: c.W2.Clone(), B2: c.B2.Clone(),
+	return &AttentionCell{
+		Wq: c.Wq.LazyClone(), Wk: c.Wk.LazyClone(), Wv: c.Wv.LazyClone(), Wo: c.Wo.LazyClone(),
+		W1: c.W1.LazyClone(), B1: c.B1.LazyClone(), W2: c.W2.LazyClone(), B2: c.B2.LazyClone(),
 		tokens: c.tokens,
 	}
-	n.allocGrads()
-	return n
 }
 
 // MACsPerSample implements Cell.
@@ -264,6 +273,9 @@ func (c *AttentionCell) WidenSelf(factor float64, rng *rand.Rand) {
 			w2.Data[j*d+k] = c.W2.At(src, k) * scale
 		}
 	}
+	c.W1.Release()
+	c.B1.Release()
+	c.W2.Release()
 	c.W1, c.B1, c.W2 = w1, b1, w2
 	c.allocGrads()
 }

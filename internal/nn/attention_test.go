@@ -92,9 +92,9 @@ func TestAttentionCloneIndependent(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	c := NewAttentionCell(4, 8, 3, rng)
 	cl := c.Clone().(*AttentionCell)
-	cl.Wq.Data[0] = 123
+	cl.Wq.Set(0, 0, 123)
 	if c.Wq.Data[0] == 123 {
-		t.Error("clone shares Wq")
+		t.Error("clone write leaked into parent Wq")
 	}
 	x := tensor.New(1, 3, 4)
 	x.RandNormal(rng, 1)

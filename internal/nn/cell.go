@@ -29,9 +29,15 @@ type Cell interface {
 	Backward(grad *tensor.Tensor) *tensor.Tensor
 	// Params returns the trainable parameter tensors (possibly empty).
 	Params() []*tensor.Tensor
-	// Grads returns gradient tensors aligned with Params.
+	// Grads returns gradient tensors aligned with Params, materializing
+	// them (zero-filled) if a lazy Clone has not needed them yet.
 	Grads() []*tensor.Tensor
-	// Clone returns a deep copy (parameters copied, caches dropped).
+	// Clone returns an independent copy: parameter buffers are shared
+	// copy-on-write (tensor.LazyClone — a write through either side
+	// unshares just the written tensor), gradients start logically zero
+	// and materialize on first use, and activation caches are dropped.
+	// Code that writes a cloned cell's weights through raw Data indexing
+	// must call tensor.EnsureOwned on the tensor first.
 	Clone() Cell
 	// MACsPerSample estimates multiply-accumulate operations for one
 	// forward pass of a single sample.
@@ -77,10 +83,17 @@ type WidthTransparent interface {
 }
 
 // ParamCount returns the total number of scalar parameters of a cell.
+// It counts from tensor shapes rather than buffer lengths, so size and
+// byte accounting stay correct even on a model whose buffers have been
+// COW-released (tensor.Release nils Data but keeps Shape).
 func ParamCount(c Cell) int64 {
 	var n int64
 	for _, p := range c.Params() {
-		n += int64(p.Len())
+		e := int64(1)
+		for _, d := range p.Shape {
+			e *= int64(d)
+		}
+		n += e
 	}
 	return n
 }

@@ -304,11 +304,23 @@ func (c *Conv2DCell) NaiveForward(x *tensor.Tensor) *tensor.Tensor {
 	return act
 }
 
+// ensureGrads allocates the gradient tensors if a lazy Clone left them
+// nil, sized to the current parameter shapes.
+func (c *Conv2DCell) ensureGrads() {
+	if c.GW == nil {
+		c.GW = tensor.New(c.W.Shape...)
+		c.GB = tensor.New(c.B.Shape...)
+	}
+}
+
 // Backward implements Cell. It reuses the column matrix built by the
 // matching Forward call: the weight gradient is one GEMM per batch item
 // against the cached columns, and the input gradient is one GEMM into a
-// column-gradient scratch followed by a col2im scatter.
+// column-gradient scratch followed by a col2im scatter. The GW product
+// runs through a view of GW's buffer, which bypasses COW tracking, so
+// grads are materialized (never shared) up front.
 func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c.ensureGrads()
 	g := grad
 	if c.ReLU {
 		g = c.ws.Ensure(&c.gbuf, grad.Shape...)
@@ -350,6 +362,7 @@ func (c *Conv2DCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // the end. It must be paired with NaiveForward (which caches input and
 // pre-activation).
 func (c *Conv2DCell) NaiveBackward(grad *tensor.Tensor) *tensor.Tensor {
+	c.ensureGrads()
 	g := grad
 	if c.ReLU {
 		g = grad.Clone()
@@ -420,13 +433,16 @@ func (c *Conv2DCell) ReleaseWorkspace() { c.ws.Release() }
 func (c *Conv2DCell) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
 
 // Grads implements Cell.
-func (c *Conv2DCell) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+func (c *Conv2DCell) Grads() []*tensor.Tensor {
+	c.ensureGrads()
+	return []*tensor.Tensor{c.GW, c.GB}
+}
 
-// Clone implements Cell.
+// Clone implements Cell: weight buffers are shared copy-on-write,
+// gradients materialize lazily, caches are dropped.
 func (c *Conv2DCell) Clone() Cell {
 	return &Conv2DCell{
-		W: c.W.Clone(), B: c.B.Clone(),
-		GW: tensor.New(c.W.Shape...), GB: tensor.New(c.B.Shape...),
+		W: c.W.LazyClone(), B: c.B.LazyClone(),
 		Stride: c.Stride, ReLU: c.ReLU,
 		inH: c.inH, inW: c.inW,
 	}
@@ -462,8 +478,10 @@ func (c *Conv2DCell) WidenOutput(mapping []int) {
 		copy(w.Data[j*sz:(j+1)*sz], c.W.Data[src*sz:(src+1)*sz])
 		b.Data[j] = c.B.Data[src]
 	}
+	c.W.Release()
+	c.B.Release()
 	c.W, c.B = w, b
-	c.GW, c.GB = tensor.New(newOut, inCh, k, k), tensor.New(newOut)
+	c.GW, c.GB = nil, nil
 }
 
 // InUnits implements InputWidener (units = input channels).
@@ -486,8 +504,9 @@ func (c *Conv2DCell) WidenInput(mapping []int, counts []int) {
 			}
 		}
 	}
+	c.W.Release()
 	c.W = w
-	c.GW = tensor.New(outCh, newIn, k, k)
+	c.GW, c.GB = nil, nil
 }
 
 // IdentityLike implements IdentityInserter: a stride-1 conv whose kernels

@@ -63,8 +63,18 @@ func (c *DenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return act
 }
 
+// ensureGrads allocates the gradient tensors if a lazy Clone left them
+// nil, sized to the current parameter shapes.
+func (c *DenseCell) ensureGrads() {
+	if c.GW == nil {
+		c.GW = tensor.New(c.W.Shape...)
+		c.GB = tensor.New(c.B.Shape...)
+	}
+}
+
 // Backward implements Cell.
 func (c *DenseCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c.ensureGrads()
 	g := grad
 	if c.ReLU {
 		g = c.ws.Ensure(&c.gbuf, grad.Shape...)
@@ -85,13 +95,17 @@ func (c *DenseCell) ReleaseWorkspace() { c.ws.Release() }
 func (c *DenseCell) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
 
 // Grads implements Cell.
-func (c *DenseCell) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.GW, c.GB} }
+func (c *DenseCell) Grads() []*tensor.Tensor {
+	c.ensureGrads()
+	return []*tensor.Tensor{c.GW, c.GB}
+}
 
-// Clone implements Cell.
+// Clone implements Cell: the weight buffers are shared copy-on-write
+// (O(headers) until first write), gradients materialize lazily at first
+// Backward/Grads, and caches are dropped.
 func (c *DenseCell) Clone() Cell {
 	return &DenseCell{
-		W: c.W.Clone(), B: c.B.Clone(),
-		GW: tensor.New(c.W.Shape...), GB: tensor.New(c.B.Shape...),
+		W: c.W.LazyClone(), B: c.B.LazyClone(),
 		ReLU: c.ReLU,
 	}
 }
@@ -116,8 +130,10 @@ func (c *DenseCell) WidenOutput(mapping []int) {
 			w.Data[i*newOut+j] = c.W.At(i, src)
 		}
 	}
+	c.W.Release()
+	c.B.Release()
 	c.W, c.B = w, b
-	c.GW, c.GB = tensor.New(in, newOut), tensor.New(newOut)
+	c.GW, c.GB = nil, nil
 }
 
 // InUnits implements InputWidener.
@@ -134,8 +150,9 @@ func (c *DenseCell) WidenInput(mapping []int, counts []int) {
 			w.Data[j*out+k] = c.W.At(src, k) * scale
 		}
 	}
+	c.W.Release()
 	c.W = w
-	c.GW = tensor.New(newIn, out)
+	c.GW, c.GB = nil, nil
 }
 
 // IdentityLike implements IdentityInserter: a square dense cell initialized

@@ -108,9 +108,15 @@ func TestDenseCloneIndependent(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	c := NewDenseCell(2, 2, true, rng)
 	cl := c.Clone().(*DenseCell)
-	cl.W.Data[0] = 99
+	if !cl.W.SharesBufferWith(c.W) {
+		t.Error("clone must alias the weight buffer until first write")
+	}
+	cl.W.Set(0, 0, 99)
 	if c.W.Data[0] == 99 {
-		t.Error("clone shares weights")
+		t.Error("clone write leaked into parent weights")
+	}
+	if cl.W.SharesBufferWith(c.W) {
+		t.Error("written clone must have detached its buffer")
 	}
 	if cl.ReLU != c.ReLU {
 		t.Error("clone lost ReLU flag")

@@ -44,6 +44,9 @@ func (o *SGD) Step(params, grads []*tensor.Tensor) {
 	mu := tensor.Float(o.ProxMu)
 	for i, p := range params {
 		g := grads[i]
+		// Weights may still be COW-shared with the model this one was
+		// cloned from; detach before the in-place update.
+		p.EnsureOwned()
 		if mu > 0 && o.anchors != nil {
 			if a, ok := o.anchors[p]; ok && len(a) == len(p.Data) {
 				for j := range p.Data {
@@ -111,6 +114,7 @@ func (y *Yogi) Apply(slot int, weights []*tensor.Tensor, pseudoGrad [][]float64)
 	v := y.v[slot]
 	off := 0
 	for wi, w := range weights {
+		w.EnsureOwned()
 		g := pseudoGrad[wi]
 		for j := range g {
 			idx := off + j

@@ -52,6 +52,14 @@ func (c *ResidualDenseCell) allocGrads() {
 	c.GB2 = tensor.New(c.B2.Shape...)
 }
 
+// ensureGrads allocates the gradient tensors if a lazy Clone left them
+// nil, sized to the current parameter shapes.
+func (c *ResidualDenseCell) ensureGrads() {
+	if c.GW1 == nil {
+		c.allocGrads()
+	}
+}
+
 // Kind implements Cell.
 func (c *ResidualDenseCell) Kind() string { return "residual" }
 
@@ -81,6 +89,7 @@ func (c *ResidualDenseCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Cell.
 func (c *ResidualDenseCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	c.ensureGrads()
 	// y = x + f(x): dx gets grad directly plus the branch contribution.
 	dU := c.ws.Ensure(&c.dU, grad.Shape[0], c.Hidden())
 	tensor.MatMulTransBInto(dU, grad, c.W2)
@@ -105,17 +114,17 @@ func (c *ResidualDenseCell) Params() []*tensor.Tensor {
 
 // Grads implements Cell.
 func (c *ResidualDenseCell) Grads() []*tensor.Tensor {
+	c.ensureGrads()
 	return []*tensor.Tensor{c.GW1, c.GB1, c.GW2, c.GB2}
 }
 
-// Clone implements Cell.
+// Clone implements Cell: weight buffers are shared copy-on-write,
+// gradients materialize lazily, caches are dropped.
 func (c *ResidualDenseCell) Clone() Cell {
-	n := &ResidualDenseCell{
-		W1: c.W1.Clone(), B1: c.B1.Clone(),
-		W2: c.W2.Clone(), B2: c.B2.Clone(),
+	return &ResidualDenseCell{
+		W1: c.W1.LazyClone(), B1: c.B1.LazyClone(),
+		W2: c.W2.LazyClone(), B2: c.B2.LazyClone(),
 	}
-	n.allocGrads()
-	return n
 }
 
 // MACsPerSample implements Cell.
@@ -148,6 +157,9 @@ func (c *ResidualDenseCell) WidenSelf(factor float64, rng *rand.Rand) {
 			w2.Data[j*d+k] = c.W2.At(src, k) * scale
 		}
 	}
+	c.W1.Release()
+	c.B1.Release()
+	c.W2.Release()
 	c.W1, c.B1, c.W2 = w1, b1, w2
 	c.allocGrads()
 }

@@ -85,9 +85,9 @@ func TestResidualCloneIndependent(t *testing.T) {
 	if !tensor.Equal(c.Forward(x), cl.Forward(x), 1e-12) {
 		t.Error("clone computes a different function")
 	}
-	cl.W1.Data[0] = 99
+	cl.W1.Set(0, 0, 99)
 	if c.W1.Data[0] == 99 {
-		t.Error("clone shares storage")
+		t.Error("clone write leaked into parent weights")
 	}
 }
 

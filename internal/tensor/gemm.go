@@ -33,10 +33,14 @@ type elem interface {
 	~float32 | ~float64
 }
 
+// checkMatMul validates the destination of a GEMM and unshares it: dst
+// is about to be written, so a COW-shared buffer is detached (copied if
+// another header still references it) before the alias check runs.
 func checkMatMul(dst, a, b *Tensor, m, n int, kind string) {
 	if dst.Rank() != 2 || dst.Shape[0] != m || dst.Shape[1] != n {
 		panic(fmt.Sprintf("tensor: %s dst shape %v, want [%d %d]", kind, dst.Shape, m, n))
 	}
+	dst.EnsureOwned()
 	if &dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0] {
 		panic("tensor: " + kind + " dst must not alias an operand")
 	}
@@ -228,6 +232,7 @@ func AddScaledInto(dst, a, b *Tensor, alpha float64) {
 	if len(dst.Data) != len(a.Data) || len(dst.Data) != len(b.Data) {
 		panic("tensor: AddScaledInto size mismatch")
 	}
+	dst.EnsureOwned()
 	al := Float(alpha)
 	ad, bd := a.Data[:len(dst.Data)], b.Data[:len(dst.Data)]
 	for i := range dst.Data {
@@ -241,6 +246,7 @@ func SoftmaxInto(dst, src *Tensor) {
 	if src.Rank() != 2 || dst.Rank() != 2 || dst.Shape[0] != src.Shape[0] || dst.Shape[1] != src.Shape[1] {
 		panic("tensor: SoftmaxInto requires matching rank-2 tensors")
 	}
+	dst.EnsureOwned()
 	softmaxRows(dst.Data, src.Data, src.Shape[0], src.Shape[1])
 }
 
@@ -276,6 +282,7 @@ func ReluInto(dst, src *Tensor) {
 	if len(dst.Data) != len(src.Data) {
 		panic("tensor: ReluInto size mismatch")
 	}
+	dst.EnsureOwned()
 	sd := src.Data[:len(dst.Data)]
 	for i := range dst.Data {
 		if v := sd[i]; v > 0 {
@@ -291,6 +298,7 @@ func ReluMask(dst, pre *Tensor) {
 	if len(dst.Data) != len(pre.Data) {
 		panic("tensor: ReluMask size mismatch")
 	}
+	dst.EnsureOwned()
 	pd := pre.Data[:len(dst.Data)]
 	for i := range dst.Data {
 		if pd[i] <= 0 {
@@ -306,6 +314,7 @@ func AddBiasRows(dst, bias *Tensor) {
 	if bias.Len() != cols {
 		panic("tensor: AddBiasRows bias length mismatch")
 	}
+	dst.EnsureOwned()
 	bd := bias.Data
 	for off := 0; off < len(dst.Data); off += cols {
 		row := dst.Data[off : off+cols]
@@ -322,6 +331,7 @@ func SumRowsAcc(dst, src *Tensor) {
 	if dst.Len() != cols {
 		panic("tensor: SumRowsAcc length mismatch")
 	}
+	dst.EnsureOwned()
 	dd := dst.Data
 	for off := 0; off < len(src.Data); off += cols {
 		row := src.Data[off : off+cols]

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Float is the backend element type of all tensor storage and kernels.
@@ -27,10 +28,17 @@ import (
 // format without per-element conversion.
 type Float = float32
 
-// Tensor is a dense row-major tensor of the backend element type.
+// Tensor is a dense row-major tensor of the backend element type. The
+// unexported cow field carries the copy-on-write share state installed
+// by LazyClone (see cow.go); a nil state means the header owns Data
+// exclusively. Code outside this package that writes Data directly (raw
+// index expressions rather than the mutating methods/kernels) must call
+// EnsureOwned first.
 type Tensor struct {
 	Shape []int
 	Data  []Float
+
+	cow atomic.Pointer[cowState]
 }
 
 // New returns a zero tensor with the given shape.
@@ -66,7 +74,8 @@ func (t *Tensor) Dim(i int) int { return t.Shape[i] }
 // Rank returns the number of axes.
 func (t *Tensor) Rank() int { return len(t.Shape) }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy with its own buffer. Prefer LazyClone when
+// the copy is read-mostly — it defers the buffer copy to first write.
 func (t *Tensor) Clone() *Tensor {
 	c := New(t.Shape...)
 	copy(c.Data, t.Data)
@@ -74,6 +83,8 @@ func (t *Tensor) Clone() *Tensor {
 }
 
 // Reshape returns a view with a new shape of identical element count.
+// The view aliases Data without COW tracking: do not write through a
+// view of a shared tensor.
 func (t *Tensor) Reshape(shape ...int) *Tensor {
 	n := 1
 	for _, s := range shape {
@@ -89,17 +100,26 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 func (t *Tensor) At(i, j int) Float { return t.Data[i*t.Shape[1]+j] }
 
 // Set assigns the element at a 2-D index of a rank-2 tensor.
-func (t *Tensor) Set(i, j int, v Float) { t.Data[i*t.Shape[1]+j] = v }
+func (t *Tensor) Set(i, j int, v Float) {
+	t.EnsureOwned()
+	t.Data[i*t.Shape[1]+j] = v
+}
 
-// Zero sets every element to zero.
+// Zero sets every element to zero. A shared tensor detaches onto a fresh
+// zeroed buffer instead of copying the old contents first.
 func (t *Tensor) Zero() {
+	if t.detach(false) {
+		return
+	}
 	for i := range t.Data {
 		t.Data[i] = 0
 	}
 }
 
-// Fill sets every element to v.
+// Fill sets every element to v (no-copy detach: contents are fully
+// overwritten).
 func (t *Tensor) Fill(v Float) {
+	t.detach(false)
 	for i := range t.Data {
 		t.Data[i] = v
 	}
@@ -110,6 +130,7 @@ func (t *Tensor) AddScaled(other *Tensor, alpha float64) {
 	if len(t.Data) != len(other.Data) {
 		panic("tensor: AddScaled size mismatch")
 	}
+	t.EnsureOwned()
 	al := Float(alpha)
 	for i, v := range other.Data {
 		t.Data[i] += al * v
@@ -118,6 +139,7 @@ func (t *Tensor) AddScaled(other *Tensor, alpha float64) {
 
 // Scale multiplies every element by alpha.
 func (t *Tensor) Scale(alpha float64) {
+	t.EnsureOwned()
 	al := Float(alpha)
 	for i := range t.Data {
 		t.Data[i] *= al
@@ -148,8 +170,10 @@ func (t *Tensor) MaxAbs() float64 {
 	return float64(m)
 }
 
-// RandNormal fills the tensor with N(0, std^2) samples from rng.
+// RandNormal fills the tensor with N(0, std^2) samples from rng
+// (no-copy detach: contents are fully overwritten).
 func (t *Tensor) RandNormal(rng *rand.Rand, std float64) {
+	t.detach(false)
 	for i := range t.Data {
 		t.Data[i] = Float(rng.NormFloat64() * std)
 	}
