@@ -9,7 +9,10 @@
 //
 // Each record is {op, iterations, ns_per_op, bytes_per_op, allocs_per_op}.
 // With -compare, per-op deltas against the previous snapshot are printed
-// after the run (ns/op and B/op ratios, alloc changes).
+// after the run (ns/op and B/op ratios, alloc changes), and the process
+// exits non-zero when any tracked op regresses by more than -maxregress
+// (default 10%) — the regression guard CI runs against the committed
+// baseline snapshot.
 package main
 
 import (
@@ -38,8 +41,8 @@ var suites = []struct {
 	pkg   string
 	bench string
 }{
-	{"./internal/tensor/", "BenchmarkMatMul"},
-	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward"},
+	{"./internal/tensor/", "BenchmarkMatMul|BenchmarkBatchedMatMul"},
+	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward|BenchmarkAttentionForward|BenchmarkAttentionBackward"},
 	{"./internal/model/", "BenchmarkClone"},
 	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll"},
 }
@@ -50,19 +53,34 @@ var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // compareTo prints per-op deltas of results against the snapshot at
-// path (written by a previous run).
-func compareTo(path string, results []BenchResult) error {
+// path (written by a previous run) and returns the ops whose ns/op
+// regressed by more than maxRegress (0.10 = 10% slower) — the
+// regression guard CI runs against the committed baseline. Ops absent
+// from the previous snapshot are reported as new and never count as
+// regressions; ops present in the snapshot but missing from this run
+// are returned in missing, so a renamed benchmark or a stale suites
+// regex cannot silently drop an op out of the guard.
+func compareTo(path string, results []BenchResult, maxRegress float64) (regressed, missing []string, err error) {
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
 	var prev []BenchResult
 	if err := json.Unmarshal(raw, &prev); err != nil {
-		return fmt.Errorf("%s: %w", path, err)
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
 	}
 	prevByOp := make(map[string]BenchResult, len(prev))
 	for _, r := range prev {
 		prevByOp[r.Op] = r
+	}
+	nowByOp := make(map[string]bool, len(results))
+	for _, r := range results {
+		nowByOp[r.Op] = true
+	}
+	for _, p := range prev {
+		if !nowByOp[p.Op] {
+			missing = append(missing, p.Op)
+		}
 	}
 	fmt.Printf("%-28s %14s %14s %9s %12s %9s\n",
 		"op", "ns/op (prev)", "ns/op (now)", "speedup", "B/op", "allocs")
@@ -77,11 +95,17 @@ func compareTo(path string, results []BenchResult) error {
 		if r.NsPerOp > 0 {
 			speedup = fmt.Sprintf("%.2fx", p.NsPerOp/r.NsPerOp)
 		}
-		fmt.Printf("%-28s %14.0f %14.0f %9s %5d→%-6d %4d→%-4d\n",
+		flag := ""
+		if p.NsPerOp > 0 && r.NsPerOp > p.NsPerOp*(1+maxRegress) {
+			regressed = append(regressed, fmt.Sprintf("%s (%.0f → %.0f ns/op, %+.1f%%)",
+				r.Op, p.NsPerOp, r.NsPerOp, 100*(r.NsPerOp/p.NsPerOp-1)))
+			flag = "  REGRESSED"
+		}
+		fmt.Printf("%-28s %14.0f %14.0f %9s %5d→%-6d %4d→%-4d%s\n",
 			r.Op, p.NsPerOp, r.NsPerOp, speedup,
-			p.BytesPerOp, r.BytesPerOp, p.AllocsPerOp, r.AllocsPerOp)
+			p.BytesPerOp, r.BytesPerOp, p.AllocsPerOp, r.AllocsPerOp, flag)
 	}
-	return nil
+	return regressed, missing, nil
 }
 
 // nextSnapshotName returns the first unused BENCH_<n>.json, so a bare
@@ -99,6 +123,8 @@ func main() {
 	out := flag.String("out", "", "output file (default: first unused BENCH_<n>.json)")
 	benchtime := flag.String("benchtime", "300ms", "go test -benchtime value")
 	compare := flag.String("compare", "", "previous BENCH_<n>.json to print per-op deltas against")
+	maxRegress := flag.Float64("maxregress", 0.10,
+		"with -compare: exit non-zero when any tracked op's ns/op regresses by more than this fraction")
 	flag.Parse()
 	if *out == "" {
 		*out = nextSnapshotName()
@@ -147,8 +173,26 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d ops)\n", *out, len(results))
 	if *compare != "" {
-		if err := compareTo(*compare, results); err != nil {
+		regressed, missing, err := compareTo(*compare, results, *maxRegress)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "bench: compare:", err)
+			os.Exit(1)
+		}
+		fail := false
+		if len(regressed) > 0 {
+			fail = true
+			fmt.Fprintf(os.Stderr, "bench: %d op(s) regressed more than %.0f%% vs %s:\n",
+				len(regressed), 100**maxRegress, *compare)
+			for _, r := range regressed {
+				fmt.Fprintln(os.Stderr, "  "+r)
+			}
+		}
+		if len(missing) > 0 {
+			fail = true
+			fmt.Fprintf(os.Stderr, "bench: %d op(s) in %s were not measured this run (renamed benchmark or stale suites regex?): %s\n",
+				len(missing), *compare, strings.Join(missing, ", "))
+		}
+		if fail {
 			os.Exit(1)
 		}
 	}

@@ -32,8 +32,10 @@ type AttentionCell struct {
 	tokens int // expected sequence length (for MACs accounting)
 
 	// Batched forward caches: activations for the whole batch are kept
-	// as single (batch·tokens, dim)-shaped workspace tensors; only the
-	// score/attention matrices are block-diagonal and handled per item.
+	// as single (batch·tokens, dim)-shaped workspace tensors, and the
+	// block-diagonal score/attention matrices as (batch, tokens, tokens)
+	// tensors consumed by the strided-batch GEMM kernels (dS holds the
+	// batched score gradient in Backward).
 	x                                *tensor.Tensor
 	q, k, v, attn, h, x1             *tensor.Tensor
 	pre1, u                          *tensor.Tensor
@@ -92,8 +94,10 @@ func (c *AttentionCell) FF() int { return c.W1.Shape[1] }
 // Forward implements Cell for input (batch, tokens, dim). The token
 // projections (Q, K, V, output, and both feed-forward layers) are
 // batched into single GEMMs over a (batch·tokens, dim) view of the
-// input; only the score/attention products, which are block-diagonal in
-// the batch, run per item. All scratch is pooled workspace memory.
+// input, and the block-diagonal score/attention products run as single
+// strided-batch GEMMs over (batch, tokens, ·) views — no per-item
+// loop remains. The 1/sqrt(d) score scale is folded into the batched
+// softmax pass. All scratch is pooled workspace memory.
 func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
 	c.tokens = t
@@ -110,21 +114,13 @@ func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulInto(v, x2, c.Wv)
 	attn := c.ws.Ensure(&c.attn, batch, t, t)
 	h := c.ws.Ensure(&c.h, n2, d)
-	invSqrt := 1.0 / math.Sqrt(float64(d))
-	for b := 0; b < batch; b++ {
-		c.views.reset()
-		qb := c.views.of(q.Data[b*t*d:(b+1)*t*d], t, d)
-		kb := c.views.of(k.Data[b*t*d:(b+1)*t*d], t, d)
-		vb := c.views.of(v.Data[b*t*d:(b+1)*t*d], t, d)
-		sb := c.views.of(attn.Data[b*t*t:(b+1)*t*t], t, t)
-		tensor.MatMulTransBInto(sb, qb, kb)
-		sb.Scale(invSqrt)
-		tensor.SoftmaxInto(sb, sb)
-		hb := c.views.of(h.Data[b*t*d:(b+1)*t*d], t, d)
-		tensor.MatMulInto(hb, sb, vb)
-	}
-	c.views.reset()
-	x2 = c.views.of(x.Data, n2, d)
+	q3 := c.views.of(q.Data, batch, t, d)
+	k3 := c.views.of(k.Data, batch, t, d)
+	v3 := c.views.of(v.Data, batch, t, d)
+	h3 := c.views.of(h.Data, batch, t, d)
+	tensor.BatchedMatMulTransBInto(attn, q3, k3)
+	tensor.BatchedSoftmaxInto(attn, attn, 1.0/math.Sqrt(float64(d)))
+	tensor.BatchedMatMulInto(h3, attn, v3)
 	o := c.ws.Ensure(&c.o, n2, d)
 	tensor.MatMulInto(o, h, c.Wo)
 	x1 := c.ws.Ensure(&c.x1, n2, d)
@@ -142,7 +138,10 @@ func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	return out
 }
 
-// Backward implements Cell.
+// Backward implements Cell. Like Forward, the score/attention gradient
+// products run as strided-batch GEMMs over (batch, tokens, ·) views,
+// and the softmax Jacobian product (with the folded 1/sqrt(d) scale)
+// is one batched kernel call over all score blocks.
 func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	c.ensureGrads()
 	batch, t, d := grad.Shape[0], grad.Shape[1], grad.Shape[2]
@@ -169,37 +168,19 @@ func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dQ := c.ws.Ensure(&c.dQ, n2, d)
 	dK := c.ws.Ensure(&c.dK, n2, d)
 	dV := c.ws.Ensure(&c.dV, n2, d)
-	dS := c.ws.Ensure(&c.dS, t, t)
-	for b := 0; b < batch; b++ {
-		c.views.reset()
-		qb := c.views.of(c.q.Data[b*t*d:(b+1)*t*d], t, d)
-		kb := c.views.of(c.k.Data[b*t*d:(b+1)*t*d], t, d)
-		vb := c.views.of(c.v.Data[b*t*d:(b+1)*t*d], t, d)
-		ab := c.views.of(c.attn.Data[b*t*t:(b+1)*t*t], t, t)
-		dHb := c.views.of(dH.Data[b*t*d:(b+1)*t*d], t, d)
-		dA := c.views.of(dS.Data, t, t) // reuse dS storage for dA, then overwrite
-		tensor.MatMulTransBInto(dA, dHb, vb)
-		dVb := c.views.of(dV.Data[b*t*d:(b+1)*t*d], t, d)
-		tensor.MatMulTransAInto(dVb, ab, dHb)
-		// softmax backward per row, then 1/sqrt(d) scale.
-		scale := tensor.Float(invSqrt)
-		for i := 0; i < t; i++ {
-			arow := ab.Data[i*t : (i+1)*t]
-			darow := dA.Data[i*t : (i+1)*t]
-			var dot tensor.Float
-			for j := range arow {
-				dot += arow[j] * darow[j]
-			}
-			for j := range arow {
-				darow[j] = arow[j] * (darow[j] - dot) * scale
-			}
-		}
-		dQb := c.views.of(dQ.Data[b*t*d:(b+1)*t*d], t, d)
-		dKb := c.views.of(dK.Data[b*t*d:(b+1)*t*d], t, d)
-		tensor.MatMulInto(dQb, dA, kb)
-		tensor.MatMulTransAInto(dKb, dA, qb)
-	}
-	c.views.reset()
+	dA := c.ws.Ensure(&c.dS, batch, t, t)
+	q3 := c.views.of(c.q.Data, batch, t, d)
+	k3 := c.views.of(c.k.Data, batch, t, d)
+	v3 := c.views.of(c.v.Data, batch, t, d)
+	dH3 := c.views.of(dH.Data, batch, t, d)
+	dQ3 := c.views.of(dQ.Data, batch, t, d)
+	dK3 := c.views.of(dK.Data, batch, t, d)
+	dV3 := c.views.of(dV.Data, batch, t, d)
+	tensor.BatchedMatMulTransBInto(dA, dH3, v3)
+	tensor.BatchedMatMulTransAInto(dV3, c.attn, dH3)
+	tensor.BatchedSoftmaxBackwardInto(dA, c.attn, dA, invSqrt)
+	tensor.BatchedMatMulInto(dQ3, dA, k3)
+	tensor.BatchedMatMulTransAInto(dK3, dA, q3)
 	x2 := c.views.of(c.x.Data, n2, d)
 	tensor.MatMulTransAAccInto(c.GWq, x2, dQ)
 	tensor.MatMulTransAAccInto(c.GWk, x2, dK)
@@ -237,12 +218,28 @@ func (c *AttentionCell) Clone() Cell {
 	}
 }
 
-// MACsPerSample implements Cell.
+// MACsPerSample implements Cell. The count is itemized per pass so the
+// batched score/attention products are accounted explicitly (they are
+// quadratic in the sequence length, unlike every projection):
+//
+//	qkv:    3·t·d²  — Q, K, V token projections
+//	scores:   t²·d  — batched Q·Kᵀ (one t×t block per item)
+//	attnV:    t²·d  — batched A·V
+//	outPrj:   t·d²  — attention output projection Wo
+//	ffn:    2·t·d·f — the two feed-forward layers
+//
+// using the sequence length of the most recent Forward (the
+// construction-time length until then).
 func (c *AttentionCell) MACsPerSample() float64 {
 	t := float64(c.tokens)
 	d := float64(c.Dim())
 	f := float64(c.FF())
-	return t*3*d*d + 2*t*t*d + t*d*d + 2*t*d*f
+	qkv := 3 * t * d * d
+	scores := t * t * d
+	attnV := t * t * d
+	outPrj := t * d * d
+	ffn := 2 * t * d * f
+	return qkv + scores + attnV + outPrj + ffn
 }
 
 // WidenSelf implements SelfWidener by Net2Wider-expanding the feed-forward

@@ -1,0 +1,46 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+// The attention benchmarks run the ViT-generality workload shape from
+// the perf trajectory (batch 8, 16 tokens, model dim 64, feed-forward
+// 128) — the configuration the BENCH_<n>.json acceptance numbers are
+// quoted at. Both passes must stay at 0 allocs/op: all scratch is
+// pooled workspace memory and the batched score/attention products
+// reuse the same views.
+func benchAttention(b *testing.B) (*AttentionCell, *tensor.Tensor) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(42))
+	const batch, tokens, d, ff = 8, 16, 64, 128
+	c := NewAttentionCell(d, ff, tokens, rng)
+	x := tensor.New(batch, tokens, d)
+	x.RandNormal(rng, 1)
+	return c, x
+}
+
+func BenchmarkAttentionForward(b *testing.B) {
+	c, x := benchAttention(b)
+	c.Forward(x) // warm the workspace so the loop measures steady state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(x)
+	}
+}
+
+func BenchmarkAttentionBackward(b *testing.B) {
+	c, x := benchAttention(b)
+	out := c.Forward(x)
+	g := out.Clone()
+	c.Backward(g) // warm the workspace and grads
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Backward(g)
+	}
+}

@@ -105,6 +105,32 @@ func TestAttentionCloneIndependent(t *testing.T) {
 	}
 }
 
+// TestAttentionMACsFormula pins the itemized MACs accounting: three
+// input projections plus the output projection (4·t·d²), the two
+// quadratic batched score/attention products (2·t²·d), and the
+// feed-forward pair (2·t·d·f) — and verifies the tokens term follows
+// the most recent Forward's sequence length.
+func TestAttentionMACsFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	macs := func(tokens, d, ff int) float64 {
+		return float64(3*tokens*d*d + 2*tokens*tokens*d + tokens*d*d + 2*tokens*d*ff)
+	}
+	for _, sz := range [][3]int{{3, 5, 2}, {6, 12, 4}, {64, 128, 16}} {
+		d, ff, tokens := sz[0], sz[1], sz[2]
+		c := NewAttentionCell(d, ff, tokens, rng)
+		if got, want := c.MACsPerSample(), macs(tokens, d, ff); got != want {
+			t.Errorf("MACs(d=%d, ff=%d, t=%d) = %v, want %v", d, ff, tokens, got, want)
+		}
+	}
+	c := NewAttentionCell(4, 8, 3, rng)
+	x := tensor.New(2, 5, 4) // sequence length 5 overrides the constructed 3
+	x.RandNormal(rng, 1)
+	c.Forward(x)
+	if got, want := c.MACsPerSample(), macs(5, 4, 8); got != want {
+		t.Errorf("MACs after t=5 Forward = %v, want %v", got, want)
+	}
+}
+
 func TestAttentionMACsGrowWithFF(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	small := NewAttentionCell(4, 4, 3, rng)

@@ -3,6 +3,7 @@ package tensor
 import (
 	"fmt"
 	"math"
+	"unsafe"
 )
 
 // This file holds the in-place GEMM kernels the whole NN stack lowers
@@ -46,14 +47,67 @@ func checkMatMul(dst, a, b *Tensor, m, n int, kind string) {
 	}
 }
 
-// axpy computes dst[i] += alpha*src[i] with an 8-way unrolled loop.
+// Vector-lane micro-kernels.
+//
+// The axpy/dot family below is written as fixed-width chunked loops:
+// each iteration converts the active window to an array pointer
+// ((*[16]E)(dst[i:])), which eliminates per-element bounds checks and
+// gives the compiler a constant-trip-count straight-line body it can
+// schedule onto vector lanes (GOAMD64=v3 builds select FMA/AVX2 forms;
+// on any target the independent accumulator lanes keep the FP units
+// pipelined). Every kernel ends with a remainder tail, so all lengths
+// are legal. The quad variants (axpy4, dot4) fuse four reduction steps
+// per pass, quartering the load/store traffic on the destination row —
+// the dominant cost of an axpy-style GEMM inner loop.
+//
+// The float64 instantiations are exported as Ref64Axpy/Ref64Dot and
+// serve as the parity reference for the backend (paritytest harness).
+//
+// On amd64 hosts with AVX2+FMA, the float32 instantiations dispatch to
+// the assembly kernels in simd_amd64.s (8 lanes per YMM register, fused
+// multiply-add). The isF32 guard is a compile-time constant in each
+// instantiation, so the float64 reference path never reaches the
+// assembly and the dispatch itself costs one predictable branch.
+
+// isF32 reports whether the instantiation element type is the float32
+// backend type — constant-folded per instantiation.
+func isF32[E elem]() bool { return unsafe.Sizeof(E(0)) == 4 }
+
+func f32s[E elem](s []E) []float32 { return *(*[]float32)(unsafe.Pointer(&s)) }
+
+// SetSIMDEnabled toggles the assembly fast paths for the float32
+// backend kernels (a no-op request to enable on hosts without
+// AVX2+FMA). It returns the previous setting. This is a testing and
+// debugging hook — the parity harness uses it to exercise the generic
+// float32 kernels on hosts where the assembly path would otherwise
+// always win the dispatch. Not safe to call concurrently with kernels.
+func SetSIMDEnabled(on bool) bool {
+	prev := simdF32
+	simdF32 = on && hasSIMD
+	return prev
+}
+
+// axpy computes dst[i] += alpha*src[i] in 16-wide chunks with 4-wide
+// and scalar remainder tails.
 func axpy[E elem](dst, src []E, alpha E) {
 	n := len(dst)
+	if n == 0 {
+		return
+	}
 	src = src[:n]
+	if isF32[E]() && simdF32 && n >= 8 {
+		nn := n &^ 7
+		d, s := f32s(dst), f32s(src)
+		axpyAsm(&d[0], &s[0], float32(alpha), nn)
+		for i := nn; i < n; i++ {
+			dst[i] += alpha * src[i]
+		}
+		return
+	}
 	i := 0
-	for ; i+8 <= n; i += 8 {
-		d := dst[i : i+8 : i+8]
-		s := src[i : i+8 : i+8]
+	for ; i+16 <= n; i += 16 {
+		d := (*[16]E)(dst[i:])
+		s := (*[16]E)(src[i:])
 		d[0] += alpha * s[0]
 		d[1] += alpha * s[1]
 		d[2] += alpha * s[2]
@@ -62,32 +116,161 @@ func axpy[E elem](dst, src []E, alpha E) {
 		d[5] += alpha * s[5]
 		d[6] += alpha * s[6]
 		d[7] += alpha * s[7]
+		d[8] += alpha * s[8]
+		d[9] += alpha * s[9]
+		d[10] += alpha * s[10]
+		d[11] += alpha * s[11]
+		d[12] += alpha * s[12]
+		d[13] += alpha * s[13]
+		d[14] += alpha * s[14]
+		d[15] += alpha * s[15]
+	}
+	for ; i+4 <= n; i += 4 {
+		d := (*[4]E)(dst[i:])
+		s := (*[4]E)(src[i:])
+		d[0] += alpha * s[0]
+		d[1] += alpha * s[1]
+		d[2] += alpha * s[2]
+		d[3] += alpha * s[3]
 	}
 	for ; i < n; i++ {
 		dst[i] += alpha * src[i]
 	}
 }
 
-// dot returns the inner product of two equal-length slices using four
-// independent accumulators so the FP additions pipeline.
-func dot[E elem](a, b []E) E {
-	b = b[:len(a)]
-	var s0, s1, s2, s3 E
+// axpy4 computes dst[i] += a0*s0[i] + a1*s1[i] + a2*s2[i] + a3*s3[i] —
+// four fused axpy steps that load and store the destination once. The
+// per-element addition order is ascending in the source index, so a
+// GEMM built on axpy4 keeps its reduction order deterministic.
+func axpy4[E elem](dst, s0, s1, s2, s3 []E, a0, a1, a2, a3 E) {
+	n := len(dst)
+	if n == 0 {
+		return
+	}
+	s0, s1, s2, s3 = s0[:n], s1[:n], s2[:n], s3[:n]
+	if isF32[E]() && simdF32 && n >= 8 {
+		nn := n &^ 7
+		d, x0, x1, x2, x3 := f32s(dst), f32s(s0), f32s(s1), f32s(s2), f32s(s3)
+		axpy4Asm(&d[0], &x0[0], &x1[0], &x2[0], &x3[0],
+			float32(a0), float32(a1), float32(a2), float32(a3), nn)
+		for i := nn; i < n; i++ {
+			dst[i] += a0*s0[i] + a1*s1[i] + a2*s2[i] + a3*s3[i]
+		}
+		return
+	}
 	i := 0
-	for ; i+4 <= len(a); i += 4 {
-		s0 += a[i] * b[i]
-		s1 += a[i+1] * b[i+1]
-		s2 += a[i+2] * b[i+2]
-		s3 += a[i+3] * b[i+3]
+	for ; i+8 <= n; i += 8 {
+		d := (*[8]E)(dst[i:])
+		x0 := (*[8]E)(s0[i:])
+		x1 := (*[8]E)(s1[i:])
+		x2 := (*[8]E)(s2[i:])
+		x3 := (*[8]E)(s3[i:])
+		d[0] += a0*x0[0] + a1*x1[0] + a2*x2[0] + a3*x3[0]
+		d[1] += a0*x0[1] + a1*x1[1] + a2*x2[1] + a3*x3[1]
+		d[2] += a0*x0[2] + a1*x1[2] + a2*x2[2] + a3*x3[2]
+		d[3] += a0*x0[3] + a1*x1[3] + a2*x2[3] + a3*x3[3]
+		d[4] += a0*x0[4] + a1*x1[4] + a2*x2[4] + a3*x3[4]
+		d[5] += a0*x0[5] + a1*x1[5] + a2*x2[5] + a3*x3[5]
+		d[6] += a0*x0[6] + a1*x1[6] + a2*x2[6] + a3*x3[6]
+		d[7] += a0*x0[7] + a1*x1[7] + a2*x2[7] + a3*x3[7]
 	}
-	s := s0 + s1 + s2 + s3
-	for ; i < len(a); i++ {
-		s += a[i] * b[i]
+	for ; i < n; i++ {
+		dst[i] += a0*s0[i] + a1*s1[i] + a2*s2[i] + a3*s3[i]
 	}
-	return s
 }
 
-// gemmAcc computes C += A@B on raw row-major buffers.
+// dot returns the inner product of two equal-length slices: 8-wide
+// chunks feeding four independent accumulator lanes, with a scalar
+// tail draining into lane 0.
+func dot[E elem](a, b []E) E {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	b = b[:n]
+	if isF32[E]() && simdF32 && n >= 8 {
+		nn := n &^ 7
+		x, y := f32s(a), f32s(b)
+		s := dotAsm(&x[0], &y[0], nn)
+		for i := nn; i < n; i++ {
+			s += float32(a[i] * b[i])
+		}
+		return E(s)
+	}
+	var s0, s1, s2, s3 E
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		x := (*[8]E)(a[i:])
+		y := (*[8]E)(b[i:])
+		s0 += x[0]*y[0] + x[4]*y[4]
+		s1 += x[1]*y[1] + x[5]*y[5]
+		s2 += x[2]*y[2] + x[6]*y[6]
+		s3 += x[3]*y[3] + x[7]*y[7]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s1) + (s2 + s3)
+}
+
+// dot4 returns the inner products of one row a against four rows
+// b0..b3, sharing each load of a across the four accumulators.
+func dot4[E elem](a, b0, b1, b2, b3 []E) (r0, r1, r2, r3 E) {
+	n := len(a)
+	if n == 0 {
+		return
+	}
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	if isF32[E]() && simdF32 && n >= 8 {
+		nn := n &^ 7
+		x, y0, y1, y2, y3 := f32s(a), f32s(b0), f32s(b1), f32s(b2), f32s(b3)
+		v0, v1, v2, v3 := dot4Asm(&x[0], &y0[0], &y1[0], &y2[0], &y3[0], nn)
+		for i := nn; i < n; i++ {
+			v0 += float32(a[i] * b0[i])
+			v1 += float32(a[i] * b1[i])
+			v2 += float32(a[i] * b2[i])
+			v3 += float32(a[i] * b3[i])
+		}
+		return E(v0), E(v1), E(v2), E(v3)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x := (*[4]E)(a[i:])
+		y0 := (*[4]E)(b0[i:])
+		y1 := (*[4]E)(b1[i:])
+		y2 := (*[4]E)(b2[i:])
+		y3 := (*[4]E)(b3[i:])
+		r0 += x[0]*y0[0] + x[1]*y0[1] + x[2]*y0[2] + x[3]*y0[3]
+		r1 += x[0]*y1[0] + x[1]*y1[1] + x[2]*y1[2] + x[3]*y1[3]
+		r2 += x[0]*y2[0] + x[1]*y2[1] + x[2]*y2[2] + x[3]*y2[3]
+		r3 += x[0]*y3[0] + x[1]*y3[1] + x[2]*y3[2] + x[3]*y3[3]
+	}
+	for ; i < n; i++ {
+		r0 += a[i] * b0[i]
+		r1 += a[i] * b1[i]
+		r2 += a[i] * b2[i]
+		r3 += a[i] * b3[i]
+	}
+	return
+}
+
+// Axpy computes dst[i] += alpha*src[i] on backend buffers — the
+// exported vector-lane primitive behind the GEMM inner loops.
+func Axpy(dst, src []Float, alpha Float) { axpy(dst, src, alpha) }
+
+// Dot returns the inner product of two backend buffers.
+func Dot(a, b []Float) Float { return dot(a, b) }
+
+// Ref64Axpy is the float64 reference instantiation of the axpy kernel.
+func Ref64Axpy(dst, src []float64, alpha float64) { axpy(dst, src, alpha) }
+
+// Ref64Dot is the float64 reference instantiation of the dot kernel.
+func Ref64Dot(a, b []float64) float64 { return dot(a, b) }
+
+// gemmAcc computes C += A@B on raw row-major buffers. The reduction
+// axis is consumed four steps at a time through axpy4 (one destination
+// pass per quad); the all-zero quad skip keeps ReLU-masked gradient
+// rows cheap, matching the zero-skip of the scalar tail.
 func gemmAcc[E elem](c, a, b []E, m, k, n int) {
 	for j0 := 0; j0 < n; j0 += gemmBlockJ {
 		jmax := j0 + gemmBlockJ
@@ -102,7 +285,18 @@ func gemmAcc[E elem](c, a, b []E, m, k, n int) {
 			for i := 0; i < m; i++ {
 				crow := c[i*n+j0 : i*n+jmax]
 				arow := a[i*k : (i+1)*k]
-				for p := k0; p < kmax; p++ {
+				p := k0
+				for ; p+4 <= kmax; p += 4 {
+					a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					axpy4(crow,
+						b[p*n+j0:p*n+jmax], b[(p+1)*n+j0:(p+1)*n+jmax],
+						b[(p+2)*n+j0:(p+2)*n+jmax], b[(p+3)*n+j0:(p+3)*n+jmax],
+						a0, a1, a2, a3)
+				}
+				for ; p < kmax; p++ {
 					av := arow[p]
 					if av == 0 {
 						continue
@@ -114,14 +308,34 @@ func gemmAcc[E elem](c, a, b []E, m, k, n int) {
 	}
 }
 
-// gemmTAAcc computes C += Aᵀ@B for A (k×m), B (k×n).
+// gemmTAAcc computes C += Aᵀ@B for A (k×m), B (k×n). Like gemmAcc, the
+// reduction axis advances in quads through axpy4; accumulation per
+// destination element stays in ascending-p order.
 func gemmTAAcc[E elem](c, a, b []E, k, m, n int) {
 	for j0 := 0; j0 < n; j0 += gemmBlockJ {
 		jmax := j0 + gemmBlockJ
 		if jmax > n {
 			jmax = n
 		}
-		for p := 0; p < k; p++ {
+		p := 0
+		for ; p+4 <= k; p += 4 {
+			a0row := a[p*m : (p+1)*m]
+			a1row := a[(p+1)*m : (p+2)*m]
+			a2row := a[(p+2)*m : (p+3)*m]
+			a3row := a[(p+3)*m : (p+4)*m]
+			b0 := b[p*n+j0 : p*n+jmax]
+			b1 := b[(p+1)*n+j0 : (p+1)*n+jmax]
+			b2 := b[(p+2)*n+j0 : (p+2)*n+jmax]
+			b3 := b[(p+3)*n+j0 : (p+3)*n+jmax]
+			for i := 0; i < m; i++ {
+				a0, a1, a2, a3 := a0row[i], a1row[i], a2row[i], a3row[i]
+				if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+					continue
+				}
+				axpy4(c[i*n+j0:i*n+jmax], b0, b1, b2, b3, a0, a1, a2, a3)
+			}
+		}
+		for ; p < k; p++ {
 			arow := a[p*m : (p+1)*m]
 			brow := b[p*n+j0 : p*n+jmax]
 			for i := 0; i < m; i++ {
@@ -135,12 +349,23 @@ func gemmTAAcc[E elem](c, a, b []E, k, m, n int) {
 	}
 }
 
-// gemmTBAcc computes C += A@Bᵀ for A (m×k), B (n×k).
+// gemmTBAcc computes C += A@Bᵀ for A (m×k), B (n×k): four output
+// columns per pass via dot4, sharing the A-row loads.
 func gemmTBAcc[E elem](c, a, b []E, m, k, n int) {
 	for i := 0; i < m; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			r0, r1, r2, r3 := dot4(arow,
+				b[j*k:(j+1)*k], b[(j+1)*k:(j+2)*k],
+				b[(j+2)*k:(j+3)*k], b[(j+3)*k:(j+4)*k])
+			crow[j] += r0
+			crow[j+1] += r1
+			crow[j+2] += r2
+			crow[j+3] += r3
+		}
+		for ; j < n; j++ {
 			crow[j] += dot(arow, b[j*k:(j+1)*k])
 		}
 	}
@@ -255,6 +480,18 @@ func SoftmaxInto(dst, src *Tensor) {
 // float32 backend keeps the reference's numerical stability; only the
 // stored probabilities are narrowed.
 func softmaxRows[E elem](dst, src []E, rows, cols int) {
+	softmaxRowsScaled(dst, src, rows, cols, 1)
+}
+
+// softmaxRowsScaled applies the row-wise softmax of alpha*src into dst.
+// alpha must be positive (the pre-scale is folded into the stabilized
+// exponent, alpha*(v-max), which requires the max of alpha*v to be
+// alpha*max). Attention uses alpha = 1/sqrt(d) to fuse the score scale
+// into the softmax pass.
+func softmaxRowsScaled[E elem](dst, src []E, rows, cols int, alpha float64) {
+	if alpha <= 0 {
+		panic("tensor: softmax scale must be positive")
+	}
 	for i := 0; i < rows; i++ {
 		row := src[i*cols : (i+1)*cols]
 		orow := dst[i*cols : (i+1)*cols]
@@ -266,13 +503,35 @@ func softmaxRows[E elem](dst, src []E, rows, cols int) {
 		}
 		sum := 0.0
 		for j, v := range row {
-			e := math.Exp(float64(v - max))
+			e := math.Exp(alpha * float64(v-max))
 			orow[j] = E(e)
 			sum += e
 		}
 		inv := E(1.0 / sum)
 		for j := range orow {
 			orow[j] *= inv
+		}
+	}
+}
+
+// softmaxBackwardRows computes, row by row,
+//
+//	dst[j] = a[j] * (g[j] − ⟨a_row, g_row⟩) * alpha
+//
+// — the softmax Jacobian-vector product with a folded post-scale (the
+// attention backward applies alpha = 1/sqrt(d) here so the score scale
+// never needs its own pass). The row inner product runs through the
+// chunked dot kernel. dst may alias a or g: the inner product is fully
+// reduced before the row is written, and the element writes only read
+// a[j]/g[j] at the same index.
+func softmaxBackwardRows[E elem](dst, a, g []E, rows, cols int, alpha E) {
+	for i := 0; i < rows; i++ {
+		arow := a[i*cols : (i+1)*cols]
+		grow := g[i*cols : (i+1)*cols]
+		drow := dst[i*cols : (i+1)*cols]
+		d := dot(arow, grow)
+		for j := range drow {
+			drow[j] = arow[j] * (grow[j] - d) * alpha
 		}
 	}
 }

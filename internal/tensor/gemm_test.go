@@ -280,54 +280,7 @@ func BenchmarkMatMul(b *testing.B) {
 	})
 }
 
-// TestFloat32KernelsAgainstRef64 pins the float32 backend kernels
-// against the float64 reference instantiation (Ref64Gemm*) on widened
-// copies of the same inputs — the backend-level half of the parity
-// sweep (the nn package covers conv/dense/attention shapes).
-func TestFloat32KernelsAgainstRef64(t *testing.T) {
-	rng := rand.New(rand.NewSource(12))
-	for _, sz := range gemmSizes {
-		m, k, n := sz[0], sz[1], sz[2]
-		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
-
-		got := New(m, n)
-		MatMulInto(got, a, b)
-		ref := make([]float64, m*n)
-		Ref64Gemm(ref, a.Widen(), b.Widen(), m, k, n)
-		if d := MaxDiff(got, ref); d > gemmTol {
-			t.Errorf("MatMulInto vs Ref64Gemm at %v: max diff %.3g", sz, d)
-		}
-
-		at := randTensor(rng, k, m)
-		gotTA := New(m, n)
-		MatMulTransAInto(gotTA, at, b)
-		refTA := make([]float64, m*n)
-		Ref64GemmTransA(refTA, at.Widen(), b.Widen(), k, m, n)
-		if d := MaxDiff(gotTA, refTA); d > gemmTol {
-			t.Errorf("MatMulTransAInto vs Ref64GemmTransA at %v: max diff %.3g", sz, d)
-		}
-
-		bt := randTensor(rng, n, k)
-		gotTB := New(m, n)
-		MatMulTransBInto(gotTB, a, bt)
-		refTB := make([]float64, m*n)
-		Ref64GemmTransB(refTB, a.Widen(), bt.Widen(), m, k, n)
-		if d := MaxDiff(gotTB, refTB); d > gemmTol {
-			t.Errorf("MatMulTransBInto vs Ref64GemmTransB at %v: max diff %.3g", sz, d)
-		}
-	}
-}
-
-// TestSoftmaxAgainstRef64 checks the float32 softmax against the
-// float64 reference instantiation.
-func TestSoftmaxAgainstRef64(t *testing.T) {
-	rng := rand.New(rand.NewSource(13))
-	x := randTensor(rng, 11, 17)
-	got := New(11, 17)
-	SoftmaxInto(got, x)
-	ref := make([]float64, x.Len())
-	Ref64Softmax(ref, x.Widen(), 11, 17)
-	if d := MaxDiff(got, ref); d > 1e-6 {
-		t.Errorf("SoftmaxInto vs Ref64Softmax: max diff %.3g", d)
-	}
-}
+// The float32-vs-Ref64 parity sweep for every kernel (rank-2 GEMMs,
+// the strided-batch family, softmax, and the vector-lane axpy/dot)
+// lives in parity_ref64_test.go, driven by the shared
+// internal/tensor/paritytest harness.

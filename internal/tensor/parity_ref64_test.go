@@ -1,0 +1,182 @@
+package tensor_test
+
+// The Ref64 parity sweep: every backend kernel — the rank-2 GEMM
+// family, the strided-batch kernels, and the vector-lane axpy/dot
+// micro-kernels — pinned against its float64 reference instantiation
+// by the shared paritytest harness (random shapes, seeded RNG, both
+// the assembly and the generic dispatch paths). This replaces the
+// former ad-hoc per-kernel parity checks in gemm_test.go.
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+	"fedtrans/internal/tensor/paritytest"
+)
+
+// tolerances: GEMM reductions here run a few hundred unit-variance
+// terms, whose float32 rounding stays well under 1e-4; softmax outputs
+// live in [0,1]; axpy is element-wise.
+const (
+	parityGemmTol    = 1e-4
+	paritySoftmaxTol = 1e-5
+	parityAxpyTol    = 1e-6
+	parityDotTol     = 5e-4
+)
+
+func TestKernelsAgainstRef64(t *testing.T) {
+	paritytest.Run(t, []paritytest.Kernel{
+		{
+			Name: "MatMulInto", Tol: parityGemmTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				m, k, n := paritytest.Dim(rng, 1, 40), paritytest.Dim(rng, 1, 300), paritytest.Dim(rng, 1, 40)
+				return tensor.New(m, n), []*tensor.Tensor{paritytest.Rand(rng, m, k), paritytest.Rand(rng, k, n)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.MatMulInto(dst, ops[0], ops[1]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				tensor.Ref64Gemm(ref, ops[0].Widen(), ops[1].Widen(), ops[0].Shape[0], ops[0].Shape[1], ops[1].Shape[1])
+			},
+		},
+		{
+			Name: "MatMulTransAInto", Tol: parityGemmTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				k, m, n := paritytest.Dim(rng, 1, 300), paritytest.Dim(rng, 1, 40), paritytest.Dim(rng, 1, 40)
+				return tensor.New(m, n), []*tensor.Tensor{paritytest.Rand(rng, k, m), paritytest.Rand(rng, k, n)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.MatMulTransAInto(dst, ops[0], ops[1]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				tensor.Ref64GemmTransA(ref, ops[0].Widen(), ops[1].Widen(), ops[0].Shape[0], ops[0].Shape[1], ops[1].Shape[1])
+			},
+		},
+		{
+			Name: "MatMulTransBInto", Tol: parityGemmTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				m, k, n := paritytest.Dim(rng, 1, 40), paritytest.Dim(rng, 1, 300), paritytest.Dim(rng, 1, 40)
+				return tensor.New(m, n), []*tensor.Tensor{paritytest.Rand(rng, m, k), paritytest.Rand(rng, n, k)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.MatMulTransBInto(dst, ops[0], ops[1]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				tensor.Ref64GemmTransB(ref, ops[0].Widen(), ops[1].Widen(), ops[0].Shape[0], ops[0].Shape[1], ops[1].Shape[0])
+			},
+		},
+		{
+			Name: "SoftmaxInto", Tol: paritySoftmaxTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				r, c := paritytest.Dim(rng, 1, 30), paritytest.Dim(rng, 1, 60)
+				return tensor.New(r, c), []*tensor.Tensor{paritytest.Rand(rng, r, c)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.SoftmaxInto(dst, ops[0]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				tensor.Ref64Softmax(ref, ops[0].Widen(), ops[0].Shape[0], ops[0].Shape[1])
+			},
+		},
+		{
+			Name: "BatchedMatMulInto", Tol: parityGemmTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				b := paritytest.Dim(rng, 1, 6)
+				m, k, n := paritytest.Dim(rng, 1, 24), paritytest.Dim(rng, 1, 100), paritytest.Dim(rng, 1, 24)
+				return tensor.New(b, m, n), []*tensor.Tensor{paritytest.Rand(rng, b, m, k), paritytest.Rand(rng, b, k, n)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.BatchedMatMulInto(dst, ops[0], ops[1]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				a, b := ops[0], ops[1]
+				tensor.Ref64BatchedGemm(ref, a.Widen(), b.Widen(), a.Shape[0], a.Shape[1], a.Shape[2], b.Shape[2])
+			},
+		},
+		{
+			Name: "BatchedMatMulTransAInto", Tol: parityGemmTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				b := paritytest.Dim(rng, 1, 6)
+				k, m, n := paritytest.Dim(rng, 1, 100), paritytest.Dim(rng, 1, 24), paritytest.Dim(rng, 1, 24)
+				return tensor.New(b, m, n), []*tensor.Tensor{paritytest.Rand(rng, b, k, m), paritytest.Rand(rng, b, k, n)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.BatchedMatMulTransAInto(dst, ops[0], ops[1]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				a, b := ops[0], ops[1]
+				tensor.Ref64BatchedGemmTransA(ref, a.Widen(), b.Widen(), a.Shape[0], a.Shape[1], a.Shape[2], b.Shape[2])
+			},
+		},
+		{
+			Name: "BatchedMatMulTransBInto", Tol: parityGemmTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				b := paritytest.Dim(rng, 1, 6)
+				m, k, n := paritytest.Dim(rng, 1, 24), paritytest.Dim(rng, 1, 100), paritytest.Dim(rng, 1, 24)
+				return tensor.New(b, m, n), []*tensor.Tensor{paritytest.Rand(rng, b, m, k), paritytest.Rand(rng, b, n, k)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) { tensor.BatchedMatMulTransBInto(dst, ops[0], ops[1]) },
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				a, b := ops[0], ops[1]
+				tensor.Ref64BatchedGemmTransB(ref, a.Widen(), b.Widen(), a.Shape[0], a.Shape[1], a.Shape[2], b.Shape[1])
+			},
+		},
+		{
+			// operands[1] is a 1-element tensor carrying the softmax
+			// pre-scale alpha (drawn positive, as the kernel requires).
+			Name: "BatchedSoftmaxInto", Tol: paritySoftmaxTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				b, r, c := paritytest.Dim(rng, 1, 6), paritytest.Dim(rng, 1, 20), paritytest.Dim(rng, 1, 50)
+				alpha := tensor.FromSlice([]tensor.Float{tensor.Float(0.05 + rng.Float64())}, 1)
+				return tensor.New(b, r, c), []*tensor.Tensor{paritytest.Rand(rng, b, r, c), alpha}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) {
+				tensor.BatchedSoftmaxInto(dst, ops[0], float64(ops[1].Data[0]))
+			},
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				s := ops[0]
+				tensor.Ref64BatchedSoftmax(ref, s.Widen(), s.Shape[0]*s.Shape[1], s.Shape[2], float64(ops[1].Data[0]))
+			},
+		},
+		{
+			// operands: attention weights (softmaxed so they look like
+			// the real input), upstream gradient, 1-element alpha.
+			Name: "BatchedSoftmaxBackwardInto", Tol: paritySoftmaxTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				b, r, c := paritytest.Dim(rng, 1, 6), paritytest.Dim(rng, 1, 20), paritytest.Dim(rng, 1, 50)
+				attn := tensor.New(b, r, c)
+				tensor.BatchedSoftmaxInto(attn, paritytest.Rand(rng, b, r, c), 1)
+				alpha := tensor.FromSlice([]tensor.Float{tensor.Float(0.05 + rng.Float64())}, 1)
+				return tensor.New(b, r, c), []*tensor.Tensor{attn, paritytest.Rand(rng, b, r, c), alpha}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) {
+				tensor.BatchedSoftmaxBackwardInto(dst, ops[0], ops[1], float64(ops[2].Data[0]))
+			},
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				a := ops[0]
+				tensor.Ref64BatchedSoftmaxBackward(ref, a.Widen(), ops[1].Widen(),
+					a.Shape[0]*a.Shape[1], a.Shape[2], float64(ops[2].Data[0]))
+			},
+		},
+		{
+			// operands: source vector, initial destination contents,
+			// 1-element alpha. dst starts as a copy of operands[1].
+			Name: "Axpy", Tol: parityAxpyTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				n := paritytest.Dim(rng, 1, 500)
+				src, dst0 := paritytest.Rand(rng, n), paritytest.Rand(rng, n)
+				alpha := tensor.FromSlice([]tensor.Float{tensor.Float(rng.NormFloat64())}, 1)
+				return dst0.Clone(), []*tensor.Tensor{src, dst0, alpha}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) {
+				tensor.Axpy(dst.Data, ops[0].Data, ops[2].Data[0])
+			},
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				copy(ref, ops[1].Widen())
+				tensor.Ref64Axpy(ref, ops[0].Widen(), float64(ops[2].Data[0]))
+			},
+		},
+		{
+			Name: "Dot", Tol: parityDotTol,
+			Make: func(rng *rand.Rand) (*tensor.Tensor, []*tensor.Tensor) {
+				n := paritytest.Dim(rng, 1, 500)
+				return tensor.New(1), []*tensor.Tensor{paritytest.Rand(rng, n), paritytest.Rand(rng, n)}
+			},
+			Run: func(dst *tensor.Tensor, ops []*tensor.Tensor) {
+				dst.Data[0] = tensor.Dot(ops[0].Data, ops[1].Data)
+			},
+			Ref: func(ref []float64, ops []*tensor.Tensor) {
+				ref[0] = tensor.Ref64Dot(ops[0].Widen(), ops[1].Widen())
+			},
+		},
+	})
+}

@@ -1,0 +1,100 @@
+// Package paritytest is the shared table-driven harness that pins the
+// backend (float32) instantiation of every compute kernel against its
+// float64 reference path (the Ref64* entry points of internal/tensor).
+//
+// Each kernel under test supplies three closures: Make draws one
+// random trial (destination plus operands, shapes drawn from a seeded
+// RNG), Run invokes the backend kernel, and Ref produces the same
+// result through the float64 reference instantiation. The harness
+// replays a fixed number of trials and fails when the max element-wise
+// difference exceeds the kernel's tolerance. Every kernel is exercised
+// under both dispatch modes — the vector-lane assembly path (where the
+// host supports it) and the generic chunked Go path — so a parity bug
+// in either cannot hide behind the other.
+//
+// Seeds derive from the kernel name, so shapes are reproducible per
+// kernel and independent of table order.
+package paritytest
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+// Kernel describes one backend kernel and its float64 reference.
+type Kernel struct {
+	Name string
+	// Tol is the max allowed |backend − ref64| per element.
+	Tol float64
+	// Trials overrides the default of 25 random trials when positive.
+	Trials int
+	// Make draws one random trial: a destination for the backend run
+	// and the operand tensors (shapes chosen from rng).
+	Make func(rng *rand.Rand) (dst *tensor.Tensor, operands []*tensor.Tensor)
+	// Run invokes the backend kernel, writing into dst.
+	Run func(dst *tensor.Tensor, operands []*tensor.Tensor)
+	// Ref fills ref (length dst.Len()) through the float64 reference
+	// path, typically by widening the operands into Ref64* calls.
+	Ref func(ref []float64, operands []*tensor.Tensor)
+}
+
+// Run replays every kernel's random-shape trials under both kernel
+// dispatch modes, comparing backend output to the float64 reference.
+func Run(t *testing.T, kernels []Kernel) {
+	t.Helper()
+	for _, mode := range []struct {
+		name string
+		simd bool
+	}{{"simd", true}, {"generic", false}} {
+		t.Run(mode.name, func(t *testing.T) {
+			prev := tensor.SetSIMDEnabled(mode.simd)
+			defer tensor.SetSIMDEnabled(prev)
+			for _, k := range kernels {
+				runKernel(t, k)
+			}
+		})
+	}
+}
+
+func runKernel(t *testing.T, k Kernel) {
+	t.Helper()
+	t.Run(k.Name, func(t *testing.T) {
+		trials := k.Trials
+		if trials <= 0 {
+			trials = 25
+		}
+		rng := rand.New(rand.NewSource(seed(k.Name)))
+		for i := 0; i < trials; i++ {
+			dst, ops := k.Make(rng)
+			k.Run(dst, ops)
+			ref := make([]float64, dst.Len())
+			k.Ref(ref, ops)
+			if d := tensor.MaxDiff(dst, ref); d > k.Tol {
+				t.Fatalf("trial %d (dst shape %v): max |backend − ref64| = %.3g > tolerance %.3g",
+					i, dst.Shape, d, k.Tol)
+			}
+		}
+	})
+}
+
+// seed maps a kernel name to a stable RNG seed.
+func seed(name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64() & (1<<62 - 1))
+}
+
+// Rand returns a tensor of the given shape filled with unit normals.
+func Rand(rng *rand.Rand, shape ...int) *tensor.Tensor {
+	t := tensor.New(shape...)
+	t.RandNormal(rng, 1)
+	return t
+}
+
+// Dim draws a random dimension in [lo, hi].
+func Dim(rng *rand.Rand, lo, hi int) int {
+	return lo + rng.Intn(hi-lo+1)
+}

@@ -1,0 +1,256 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2+FMA instantiations of the four vector-lane micro-kernels. See
+// simd_amd64.go for the dispatch contract (n is a multiple of 8; the
+// Go wrappers drain remainders through the generic tails).
+
+// func cpuid(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL eaxArg+0(FP), AX
+	MOVL ecxArg+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpyAsm(dst, src *float32, alpha float32, n int)
+// dst[i] += alpha * src[i], 32 elements per iteration (4 YMM FMAs),
+// then 8-wide groups.
+TEXT ·axpyAsm(SB), NOSPLIT, $0-32
+	MOVQ         dst+0(FP), DI
+	MOVQ         src+8(FP), SI
+	VBROADCASTSS alpha+16(FP), Y0
+	MOVQ         n+24(FP), CX
+
+axpy32:
+	CMPQ         CX, $32
+	JL           axpy8
+	VMOVUPS      (DI), Y1
+	VMOVUPS      32(DI), Y2
+	VMOVUPS      64(DI), Y3
+	VMOVUPS      96(DI), Y4
+	VFMADD231PS  (SI), Y0, Y1
+	VFMADD231PS  32(SI), Y0, Y2
+	VFMADD231PS  64(SI), Y0, Y3
+	VFMADD231PS  96(SI), Y0, Y4
+	VMOVUPS      Y1, (DI)
+	VMOVUPS      Y2, 32(DI)
+	VMOVUPS      Y3, 64(DI)
+	VMOVUPS      Y4, 96(DI)
+	ADDQ         $128, DI
+	ADDQ         $128, SI
+	SUBQ         $32, CX
+	JMP          axpy32
+
+axpy8:
+	CMPQ         CX, $8
+	JL           axpydone
+	VMOVUPS      (DI), Y1
+	VFMADD231PS  (SI), Y0, Y1
+	VMOVUPS      Y1, (DI)
+	ADDQ         $32, DI
+	ADDQ         $32, SI
+	SUBQ         $8, CX
+	JMP          axpy8
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func axpy4Asm(dst, s0, s1, s2, s3 *float32, a0, a1, a2, a3 float32, n int)
+// dst[i] += a0*s0[i] + a1*s1[i] + a2*s2[i] + a3*s3[i]: the destination
+// row is loaded and stored once per 16 elements while four FMA streams
+// accumulate into it (ascending source order, matching the Go kernel).
+TEXT ·axpy4Asm(SB), NOSPLIT, $0-64
+	MOVQ         dst+0(FP), DI
+	MOVQ         s0+8(FP), SI
+	MOVQ         s1+16(FP), R8
+	MOVQ         s2+24(FP), R9
+	MOVQ         s3+32(FP), R10
+	VBROADCASTSS a0+40(FP), Y0
+	VBROADCASTSS a1+44(FP), Y1
+	VBROADCASTSS a2+48(FP), Y2
+	VBROADCASTSS a3+52(FP), Y3
+	MOVQ         n+56(FP), CX
+
+axpy4x16:
+	CMPQ         CX, $16
+	JL           axpy4x8
+	VMOVUPS      (DI), Y4
+	VMOVUPS      32(DI), Y5
+	VFMADD231PS  (SI), Y0, Y4
+	VFMADD231PS  32(SI), Y0, Y5
+	VFMADD231PS  (R8), Y1, Y4
+	VFMADD231PS  32(R8), Y1, Y5
+	VFMADD231PS  (R9), Y2, Y4
+	VFMADD231PS  32(R9), Y2, Y5
+	VFMADD231PS  (R10), Y3, Y4
+	VFMADD231PS  32(R10), Y3, Y5
+	VMOVUPS      Y4, (DI)
+	VMOVUPS      Y5, 32(DI)
+	ADDQ         $64, DI
+	ADDQ         $64, SI
+	ADDQ         $64, R8
+	ADDQ         $64, R9
+	ADDQ         $64, R10
+	SUBQ         $16, CX
+	JMP          axpy4x16
+
+axpy4x8:
+	CMPQ         CX, $8
+	JL           axpy4done
+	VMOVUPS      (DI), Y4
+	VFMADD231PS  (SI), Y0, Y4
+	VFMADD231PS  (R8), Y1, Y4
+	VFMADD231PS  (R9), Y2, Y4
+	VFMADD231PS  (R10), Y3, Y4
+	VMOVUPS      Y4, (DI)
+	ADDQ         $32, DI
+	ADDQ         $32, SI
+	ADDQ         $32, R8
+	ADDQ         $32, R9
+	ADDQ         $32, R10
+	SUBQ         $8, CX
+	JMP          axpy4x8
+
+axpy4done:
+	VZEROUPPER
+	RET
+
+// func dotAsm(a, b *float32, n int) float32
+// Four independent YMM accumulator lanes (32 elements per iteration)
+// reduced horizontally at the end.
+TEXT ·dotAsm(SB), NOSPLIT, $0-28
+	MOVQ         a+0(FP), SI
+	MOVQ         b+8(FP), DI
+	MOVQ         n+16(FP), CX
+	VXORPS       Y0, Y0, Y0
+	VXORPS       Y1, Y1, Y1
+	VXORPS       Y2, Y2, Y2
+	VXORPS       Y3, Y3, Y3
+
+dot32:
+	CMPQ         CX, $32
+	JL           dot8
+	VMOVUPS      (SI), Y4
+	VMOVUPS      32(SI), Y5
+	VMOVUPS      64(SI), Y6
+	VMOVUPS      96(SI), Y7
+	VFMADD231PS  (DI), Y4, Y0
+	VFMADD231PS  32(DI), Y5, Y1
+	VFMADD231PS  64(DI), Y6, Y2
+	VFMADD231PS  96(DI), Y7, Y3
+	ADDQ         $128, SI
+	ADDQ         $128, DI
+	SUBQ         $32, CX
+	JMP          dot32
+
+dot8:
+	CMPQ         CX, $8
+	JL           dotreduce
+	VMOVUPS      (SI), Y4
+	VFMADD231PS  (DI), Y4, Y0
+	ADDQ         $32, SI
+	ADDQ         $32, DI
+	SUBQ         $8, CX
+	JMP          dot8
+
+dotreduce:
+	VADDPS       Y1, Y0, Y0
+	VADDPS       Y3, Y2, Y2
+	VADDPS       Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS       X1, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VMOVSS       X0, ret+24(FP)
+	VZEROUPPER
+	RET
+
+// func dot4Asm(a, b0, b1, b2, b3 *float32, n int) (r0, r1, r2, r3 float32)
+// One shared load of a per iteration feeds four FMA accumulators, one
+// per b row — the A-row reuse form of the score GEMM.
+TEXT ·dot4Asm(SB), NOSPLIT, $0-64
+	MOVQ         a+0(FP), SI
+	MOVQ         b0+8(FP), R8
+	MOVQ         b1+16(FP), R9
+	MOVQ         b2+24(FP), R10
+	MOVQ         b3+32(FP), R11
+	MOVQ         n+40(FP), CX
+	VXORPS       Y0, Y0, Y0
+	VXORPS       Y1, Y1, Y1
+	VXORPS       Y2, Y2, Y2
+	VXORPS       Y3, Y3, Y3
+
+dot4x16:
+	CMPQ         CX, $16
+	JL           dot4x8
+	VMOVUPS      (SI), Y4
+	VMOVUPS      32(SI), Y5
+	VFMADD231PS  (R8), Y4, Y0
+	VFMADD231PS  (R9), Y4, Y1
+	VFMADD231PS  (R10), Y4, Y2
+	VFMADD231PS  (R11), Y4, Y3
+	VFMADD231PS  32(R8), Y5, Y0
+	VFMADD231PS  32(R9), Y5, Y1
+	VFMADD231PS  32(R10), Y5, Y2
+	VFMADD231PS  32(R11), Y5, Y3
+	ADDQ         $64, SI
+	ADDQ         $64, R8
+	ADDQ         $64, R9
+	ADDQ         $64, R10
+	ADDQ         $64, R11
+	SUBQ         $16, CX
+	JMP          dot4x16
+
+dot4x8:
+	CMPQ         CX, $8
+	JL           dot4reduce
+	VMOVUPS      (SI), Y4
+	VFMADD231PS  (R8), Y4, Y0
+	VFMADD231PS  (R9), Y4, Y1
+	VFMADD231PS  (R10), Y4, Y2
+	VFMADD231PS  (R11), Y4, Y3
+	ADDQ         $32, SI
+	ADDQ         $32, R8
+	ADDQ         $32, R9
+	ADDQ         $32, R10
+	ADDQ         $32, R11
+	SUBQ         $8, CX
+	JMP          dot4x8
+
+dot4reduce:
+	VEXTRACTF128 $1, Y0, X4
+	VADDPS       X4, X0, X0
+	VHADDPS      X0, X0, X0
+	VHADDPS      X0, X0, X0
+	VMOVSS       X0, r0+48(FP)
+	VEXTRACTF128 $1, Y1, X4
+	VADDPS       X4, X1, X1
+	VHADDPS      X1, X1, X1
+	VHADDPS      X1, X1, X1
+	VMOVSS       X1, r1+52(FP)
+	VEXTRACTF128 $1, Y2, X4
+	VADDPS       X4, X2, X2
+	VHADDPS      X2, X2, X2
+	VHADDPS      X2, X2, X2
+	VMOVSS       X2, r2+56(FP)
+	VEXTRACTF128 $1, Y3, X4
+	VADDPS       X4, X3, X3
+	VHADDPS      X3, X3, X3
+	VHADDPS      X3, X3, X3
+	VMOVSS       X3, r3+60(FP)
+	VZEROUPPER
+	RET

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 targets run the portable chunked Go kernels everywhere.
+// The stubs below exist only to satisfy the guarded call sites in
+// gemm.go; with simdF32 pinned false they are unreachable.
+
+var hasSIMD = false
+
+var simdF32 = false
+
+func axpyAsm(dst, src *float32, alpha float32, n int) { panic("tensor: no simd") }
+
+func axpy4Asm(dst, s0, s1, s2, s3 *float32, a0, a1, a2, a3 float32, n int) {
+	panic("tensor: no simd")
+}
+
+func dotAsm(a, b *float32, n int) float32 { panic("tensor: no simd") }
+
+func dot4Asm(a, b0, b1, b2, b3 *float32, n int) (r0, r1, r2, r3 float32) {
+	panic("tensor: no simd")
+}
