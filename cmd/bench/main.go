@@ -44,7 +44,7 @@ var suites = []struct {
 	{"./internal/tensor/", "BenchmarkMatMul|BenchmarkBatchedMatMul"},
 	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward|BenchmarkAttentionForward|BenchmarkAttentionBackward"},
 	{"./internal/model/", "BenchmarkClone"},
-	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll"},
+	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll|BenchmarkRoundLoop"},
 }
 
 // benchLine matches e.g.

@@ -30,7 +30,8 @@ import (
 // paper defaults (Table 7) at reproduction scale.
 type Options struct {
 	// Profile selects the synthetic dataset profile: "femnist" (default),
-	// "cifar10", "speech", "openimage", or "vit".
+	// "cifar10", "speech", "openimage", "vit", or "scale" (a deliberately
+	// small task geometry for massive-client rounds; see ScaleOptions).
 	Profile string
 	// Clients is the number of federated clients (default 50).
 	Clients int
@@ -71,8 +72,31 @@ type Options struct {
 	// Oort-style guided selector (high statistical utility, acceptable
 	// system speed).
 	GuidedSelection bool
+	// StreamWindow bounds the number of in-flight client updates in the
+	// streaming aggregation pipeline; the coordinator's peak update
+	// memory is O(StreamWindow × model bytes) regardless of
+	// ClientsPerRound. 0 uses 2×GOMAXPROCS. Results are identical for
+	// every window size.
+	StreamWindow int
 	// Seed drives all randomness (default 1).
 	Seed int64
+}
+
+// ScaleOptions returns the massive-round stress profile: thousands of
+// clients per round on a deliberately small task, exercising the
+// streaming sharded aggregation pipeline (selection, assignment, local
+// training, clip/quantize, accumulator folding) rather than the compute
+// kernels. Peak coordinator memory stays O(StreamWindow × model bytes)
+// even at ClientsPerRound in the thousands.
+func ScaleOptions() Options {
+	o := DefaultOptions()
+	o.Profile = "scale"
+	o.Clients = 2000
+	o.ClientsPerRound = 1000
+	o.Rounds = 10
+	o.LocalSteps = 2
+	o.BatchSize = 8
+	return o
 }
 
 // DefaultOptions returns paper-default options at reproduction scale.
@@ -197,7 +221,7 @@ type Session struct {
 func NewSession(opts Options) (*Session, error) {
 	opts = opts.withDefaults()
 	switch opts.Profile {
-	case "femnist", "cifar10", "speech", "openimage", "vit":
+	case "femnist", "cifar10", "speech", "openimage", "vit", "scale":
 	default:
 		return nil, fmt.Errorf("fedtrans: unknown profile %q", opts.Profile)
 	}
@@ -206,12 +230,18 @@ func NewSession(opts Options) (*Session, error) {
 			opts.ClientsPerRound, opts.Clients)
 	}
 	model.ResetIDs()
-	ds := data.Generate(data.Config{
+	dcfg := data.Config{
 		Profile:       opts.Profile,
 		Clients:       opts.Clients,
 		Heterogeneity: opts.Heterogeneity,
 		Seed:          opts.Seed,
-	})
+	}
+	if opts.Profile == "scale" {
+		// Small per-client shards: the point is round volume, not local
+		// compute.
+		dcfg.MinSamples, dcfg.MaxSamples, dcfg.TestSamples = 8, 16, 8
+	}
+	ds := data.Generate(dcfg)
 	spec := initialSpec(opts.Profile, ds)
 	base := spec.Build(randFor(opts.Seed)).MACsPerSample()
 	trace := device.NewTrace(device.TraceConfig{
@@ -235,6 +265,7 @@ func NewSession(opts Options) (*Session, error) {
 	if opts.GuidedSelection {
 		cfg.Selector = selection.NewOort()
 	}
+	cfg.StreamWindow = opts.StreamWindow
 	cfg.Seed = opts.Seed
 	return &Session{
 		opts:    opts,

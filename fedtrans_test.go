@@ -110,6 +110,40 @@ func TestRunDeterminismAcrossProfiles(t *testing.T) {
 	}
 }
 
+// TestScaleProfileMassiveRound exercises the streaming aggregation
+// pipeline through the public API at a (CI-sized) massive round: many
+// more participants per round than the stream window, on the scale
+// profile's deliberately small task. The result must be byte-identical
+// across window sizes — the window is a memory knob, not a semantics
+// knob.
+func TestScaleProfileMassiveRound(t *testing.T) {
+	opts := ScaleOptions()
+	opts.Clients = 240
+	opts.ClientsPerRound = 200
+	opts.Rounds = 3
+	opts.LocalSteps = 2
+	opts.StreamWindow = 4
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rounds != 3 {
+		t.Fatalf("rounds = %d", a.Rounds)
+	}
+	if a.MeanAccuracy <= 0 || a.NetworkBytes <= 0 || a.TrainMACs <= 0 {
+		t.Fatalf("degenerate scale summary: %+v", a)
+	}
+	opts.StreamWindow = 64
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanAccuracy != b.MeanAccuracy || a.NetworkBytes != b.NetworkBytes {
+		t.Errorf("stream window changed results: %v/%d vs %v/%d",
+			a.MeanAccuracy, a.NetworkBytes, b.MeanAccuracy, b.NetworkBytes)
+	}
+}
+
 func TestMeanHelper(t *testing.T) {
 	if Mean([]float64{1, 3}) != 2 {
 		t.Error("Mean helper wrong")

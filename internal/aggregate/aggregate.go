@@ -22,42 +22,22 @@ type Update struct {
 // FedAvg replaces dst's weights with the sample-weighted average of the
 // updates (all shaped exactly like dst). It returns the weighted mean
 // training loss and the total sample count; with no updates it leaves dst
-// unchanged and returns ok=false.
+// unchanged and returns ok=false. It is the buffered-batch convenience
+// form of StreamingFedAvg — the updates are folded in slice order, so the
+// result is bit-identical to streaming the same batch — and panics on a
+// malformed update, preserving the historical "shaped exactly like dst"
+// contract for the baselines that still gather whole batches.
 func FedAvg(dst *model.Model, updates []Update) (meanLoss float64, samples int, ok bool) {
 	if len(updates) == 0 {
 		return 0, 0, false
 	}
-	params := dst.Params()
-	acc := make([][]float64, len(params))
-	for i, p := range params {
-		acc[i] = make([]float64, p.Len())
-	}
-	total := 0.0
-	lossSum := 0.0
+	s := NewStreaming()
 	for _, u := range updates {
-		w := float64(u.Samples)
-		if w <= 0 {
-			w = 1
-		}
-		total += w
-		lossSum += u.Loss * w
-		for i, t := range u.Weights {
-			for j, v := range t.Data {
-				acc[i][j] += float64(v) * w
-			}
+		if err := s.Add(dst, u); err != nil {
+			panic(err)
 		}
 	}
-	inv := 1.0 / total
-	for i, p := range params {
-		// Params may be COW-shared with client clones or round snapshots;
-		// detach (discarding contents — every element is overwritten)
-		// before the in-place write.
-		p.EnsureOwnedDiscard()
-		for j := range p.Data {
-			p.Data[j] = tensor.Float(acc[i][j] * inv)
-		}
-	}
-	return lossSum * inv, int(total), true
+	return s.Finalize(dst)
 }
 
 // SoftConfig parameterizes inter-model soft aggregation.

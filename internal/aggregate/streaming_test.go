@@ -1,0 +1,249 @@
+package aggregate
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fedtrans/internal/compress"
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+func randomUpdate(m *model.Model, rng *rand.Rand, samples int) Update {
+	w := m.CopyWeights()
+	for _, t := range w {
+		t.EnsureOwned()
+		for j := range t.Data {
+			t.Data[j] = tensor.Float(rng.NormFloat64())
+		}
+	}
+	return Update{ModelID: m.ID, Weights: w, Samples: samples, Loss: rng.Float64() * 3}
+}
+
+// TestStreamingMatchesBufferedFedAvg pins the core equivalence: folding
+// updates one at a time through the sharded accumulator produces
+// bit-identical weights, loss, and sample count to the buffered batch
+// average, for shard widths smaller than, comparable to, and larger
+// than the tensors.
+func TestStreamingMatchesBufferedFedAvg(t *testing.T) {
+	for _, shard := range []int{1, 3, 16, 1 << 20} {
+		model.ResetIDs()
+		ma := newModel(t, 5, 4)
+		model.ResetIDs()
+		mb := newModel(t, 5, 4)
+		rng := rand.New(rand.NewSource(11))
+		var batch []Update
+		for i := 0; i < 7; i++ {
+			u := randomUpdate(ma, rng, i%3) // includes zero-sample guard weights
+			batch = append(batch, u)
+		}
+		lossA, nA, okA := FedAvg(ma, batch)
+
+		s := NewStreamingSharded(shard)
+		for _, u := range batch {
+			if err := s.Add(mb, u); err != nil {
+				t.Fatalf("shard %d: Add: %v", shard, err)
+			}
+		}
+		if got := s.Updates(mb.ID); got != len(batch) {
+			t.Fatalf("shard %d: Updates = %d, want %d", shard, got, len(batch))
+		}
+		lossB, nB, okB := s.Finalize(mb)
+		if okA != okB || nA != nB || lossA != lossB {
+			t.Fatalf("shard %d: finalize (%v,%d,%v) != buffered (%v,%d,%v)",
+				shard, lossB, nB, okB, lossA, nA, okA)
+		}
+		pa, pb := ma.Params(), mb.Params()
+		for i := range pa {
+			for j := range pa[i].Data {
+				if pa[i].Data[j] != pb[i].Data[j] {
+					t.Fatalf("shard %d: weight [%d][%d] %v != buffered %v",
+						shard, i, j, pb[i].Data[j], pa[i].Data[j])
+				}
+			}
+		}
+		if s.Updates(mb.ID) != 0 {
+			t.Fatalf("shard %d: accumulator not reset after Finalize", shard)
+		}
+	}
+}
+
+// TestStreamingQuantizedDecodeMatchesMaterialized pins that decoding
+// codes straight into the accumulator equals Dequantize-then-Add
+// bit-for-bit (both round through float32 wire precision).
+func TestStreamingQuantizedDecodeMatchesMaterialized(t *testing.T) {
+	model.ResetIDs()
+	ma := newModel(t, 4)
+	model.ResetIDs()
+	mb := newModel(t, 4)
+	rng := rand.New(rand.NewSource(5))
+	sa, sb := NewStreaming(), NewStreaming()
+	for i := 0; i < 5; i++ {
+		u := randomUpdate(ma, rng, i+1)
+		qs, _ := compress.QuantizeAll(u.Weights)
+		deq := Update{ModelID: ma.ID, Weights: compress.DequantizeAll(qs), Samples: u.Samples, Loss: u.Loss}
+		if err := sa.Add(ma, deq); err != nil {
+			t.Fatal(err)
+		}
+		if err := sb.AddQuantized(mb, qs, u.Samples, u.Loss); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lossA, nA, _ := sa.Finalize(ma)
+	lossB, nB, _ := sb.Finalize(mb)
+	if lossA != lossB || nA != nB {
+		t.Fatalf("stats differ: (%v,%d) vs (%v,%d)", lossA, nA, lossB, nB)
+	}
+	pa, pb := ma.Params(), mb.Params()
+	for i := range pa {
+		if !tensor.Equal(pa[i], pb[i], 0) {
+			t.Fatalf("tensor %d: streaming quantized decode differs from materialized", i)
+		}
+	}
+}
+
+func TestStreamingRejectsMalformedAtomically(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	s := NewStreaming()
+	good := randomUpdate(m, rand.New(rand.NewSource(1)), 2)
+	if err := s.Add(m, good); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), s.accs[m.ID].sum...)
+
+	short := Update{ModelID: m.ID, Weights: good.Weights[:1], Samples: 1}
+	if err := s.Add(m, short); !errors.Is(err, ErrUpdateShape) {
+		t.Fatalf("short update err = %v, want ErrUpdateShape", err)
+	}
+	wrongLen := randomUpdate(m, rand.New(rand.NewSource(2)), 1)
+	wrongLen.Weights[0] = tensor.New(1)
+	if err := s.Add(m, wrongLen); !errors.Is(err, ErrUpdateShape) {
+		t.Fatalf("wrong-length update err = %v, want ErrUpdateShape", err)
+	}
+	if err := s.Add(m, Update{ModelID: m.ID, Weights: []*tensor.Tensor{nil, nil, nil, nil}}); !errors.Is(err, ErrUpdateShape) {
+		t.Fatal("nil tensors accepted")
+	}
+	var qs []compress.QuantizedTensor
+	if err := s.AddQuantized(m, qs, 1, 0); !errors.Is(err, ErrUpdateShape) {
+		t.Fatalf("empty quantized batch err = %v, want ErrUpdateShape", err)
+	}
+
+	for i, v := range s.accs[m.ID].sum {
+		if v != before[i] {
+			t.Fatal("malformed update partially folded")
+		}
+	}
+	if got := s.Updates(m.ID); got != 1 {
+		t.Fatalf("Updates = %d after rejected adds, want 1", got)
+	}
+}
+
+func TestStreamingFinalizeEmpty(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	before := m.CopyWeights()
+	s := NewStreaming()
+	if _, _, ok := s.Finalize(m); ok {
+		t.Fatal("ok on empty accumulator")
+	}
+	for i, p := range m.Params() {
+		if !tensor.Equal(before[i], p, 0) {
+			t.Fatal("empty finalize mutated the model")
+		}
+	}
+	if s.Pending() != 0 {
+		t.Fatal("pending on empty aggregator")
+	}
+}
+
+// TestStreamingFinalizeDetachesCOW pins the COW-aware write: a snapshot
+// taken before Finalize must keep its pre-aggregation contents.
+func TestStreamingFinalizeDetachesCOW(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	snap := m.CopyWeights()
+	orig := make([][]tensor.Float, len(snap))
+	for i, p := range snap {
+		orig[i] = append([]tensor.Float(nil), p.Data...)
+	}
+	s := NewStreaming()
+	if err := s.Add(m, randomUpdate(m, rand.New(rand.NewSource(9)), 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Finalize(m); !ok {
+		t.Fatal("finalize failed")
+	}
+	for i, p := range snap {
+		for j := range p.Data {
+			if p.Data[j] != orig[i][j] {
+				t.Fatal("Finalize wrote through a COW snapshot")
+			}
+		}
+	}
+}
+
+// TestStreamingConcurrentRoundsCOWStress is the -race stress test for
+// the accumulator's COW-aware writes: many goroutines run streaming
+// rounds against private clones of one shared suite, so every Finalize
+// detach (EnsureOwnedDiscard) races — by construction, and safely —
+// with other goroutines cloning and reading the same parent weights.
+func TestStreamingConcurrentRoundsCOWStress(t *testing.T) {
+	model.ResetIDs()
+	parents := []*model.Model{newModel(t, 6), newModel(t, 6, 3)}
+	const goroutines = 8
+	rounds := 6
+	if testing.Short() {
+		rounds = 2
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for r := 0; r < rounds; r++ {
+				for _, parent := range parents {
+					// A fresh aggregator per clone: accumulators are keyed
+					// by model ID, and every goroutine's clone of the same
+					// parent shares that ID.
+					s := NewStreamingSharded(7) // tiny shards: many segment walks
+					clone := parent.Clone()     // COW-shares parent buffers
+					for u := 0; u < 3; u++ {
+						if err := s.Add(clone, randomUpdate(clone, rng, u)); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					// Finalize detaches the clone's shared params while
+					// other goroutines clone/read the same parents.
+					if _, _, ok := s.Finalize(clone); !ok {
+						t.Error("finalize failed under concurrency")
+						return
+					}
+					for _, p := range clone.Params() {
+						for _, v := range p.Data {
+							if math.IsNaN(float64(v)) {
+								t.Error("NaN after concurrent finalize")
+								return
+							}
+						}
+					}
+					clone.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Parents must be untouched: every write went to detached clones.
+	for _, parent := range parents {
+		for _, p := range parent.Params() {
+			if p.Shared() {
+				t.Error("released clones left the parent marked shared")
+			}
+		}
+	}
+}

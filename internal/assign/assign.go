@@ -36,7 +36,15 @@ func NewManager(n int) *Manager {
 // the paper's setup where the initial model complexity corresponds to the
 // least capable client.
 func Compatible(suite []*model.Model, capacityMACs float64) []*model.Model {
-	var out []*model.Model
+	return CompatibleInto(nil, suite, capacityMACs)
+}
+
+// CompatibleInto is Compatible appending into a caller-owned buffer
+// (pass buf[:0] to reuse its capacity) — the streaming round loop runs
+// a compatibility query per participant and recycles one scratch slice
+// across all of them.
+func CompatibleInto(buf []*model.Model, suite []*model.Model, capacityMACs float64) []*model.Model {
+	out := buf
 	for i, m := range suite {
 		if i == 0 || m.MACsPerSample() <= capacityMACs {
 			out = append(out, m)
@@ -143,7 +151,22 @@ func (mg *Manager) InheritUtilities(parentID, childID int) {
 // single update (or zero variance) it returns zeros so utilities move only
 // on relative evidence.
 func StandardizeLosses(losses []float64) []float64 {
-	out := make([]float64, len(losses))
+	return StandardizeLossesInto(nil, losses)
+}
+
+// StandardizeLossesInto is StandardizeLosses writing into a caller-owned
+// buffer (reused when its capacity suffices, reallocated otherwise) —
+// the streaming round loop standardizes per round without allocating.
+func StandardizeLossesInto(buf, losses []float64) []float64 {
+	var out []float64
+	if cap(buf) >= len(losses) {
+		out = buf[:len(losses)]
+	} else {
+		out = make([]float64, len(losses))
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	if len(losses) < 2 {
 		return out
 	}

@@ -153,6 +153,55 @@ func TestStandardizeLosses(t *testing.T) {
 	}
 }
 
+func TestStandardizeLossesIntoReusesBuffer(t *testing.T) {
+	buf := make([]float64, 0, 8)
+	losses := []float64{1, 2, 3, 4}
+	got := StandardizeLossesInto(buf, losses)
+	want := StandardizeLosses(losses)
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("sufficient-capacity buffer was not reused")
+	}
+	// Stale contents must be overwritten on reuse with degenerate input.
+	for i := range got {
+		got[i] = 99
+	}
+	again := StandardizeLossesInto(got[:0], []float64{7})
+	if len(again) != 1 || again[0] != 0 {
+		t.Errorf("degenerate reuse gave %v, want [0]", again)
+	}
+}
+
+func TestCompatibleIntoReusesBuffer(t *testing.T) {
+	s := suite(t)
+	buf := make([]*model.Model, 0, 8)
+	got := CompatibleInto(buf, s, s[1].MACsPerSample())
+	want := Compatible(s, s[1].MACsPerSample())
+	if len(got) != len(want) {
+		t.Fatalf("len %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatal("CompatibleInto differs from Compatible")
+		}
+	}
+	if cap(got) != cap(buf) {
+		t.Error("sufficient-capacity buffer was not reused")
+	}
+	// Zero compatible models: an empty suite yields an empty result (the
+	// initial-model exemption only applies when a suite exists at all).
+	if got := CompatibleInto(buf[:0], nil, 1e12); len(got) != 0 {
+		t.Errorf("empty suite gave %d models", len(got))
+	}
+}
+
 func TestSampleSoftAssignmentExploresAfterBadLoss(t *testing.T) {
 	// End-to-end Client Manager behaviour: a client stuck on a model with
 	// repeated high loss should start exploring alternatives.

@@ -28,12 +28,26 @@ type QuantizedTensor struct {
 
 // Quantize compresses a tensor to 8-bit codes.
 func Quantize(t *tensor.Tensor) QuantizedTensor {
-	q := QuantizedTensor{
-		Shape: append([]int(nil), t.Shape...),
-		Codes: make([]uint8, t.Len()),
+	var q QuantizedTensor
+	QuantizeInto(&q, t)
+	return q
+}
+
+// QuantizeInto quantizes t into q, reusing q's Shape and Codes storage
+// when their capacity suffices — the streaming round loop quantizes
+// thousands of uploads per round through a handful of recycled scratch
+// records, so the uplink simulation allocates nothing in steady state.
+// The result is identical to Quantize.
+func QuantizeInto(q *QuantizedTensor, t *tensor.Tensor) {
+	q.Shape = append(q.Shape[:0], t.Shape...)
+	if cap(q.Codes) >= t.Len() {
+		q.Codes = q.Codes[:t.Len()]
+	} else {
+		q.Codes = make([]uint8, t.Len())
 	}
+	q.Min, q.Max = 0, 0
 	if t.Len() == 0 {
-		return q
+		return
 	}
 	min, max := t.Data[0], t.Data[0]
 	for _, v := range t.Data {
@@ -47,7 +61,10 @@ func Quantize(t *tensor.Tensor) QuantizedTensor {
 	q.Min, q.Max = float64(min), float64(max)
 	span := q.Max - q.Min
 	if span <= 0 {
-		return q // all codes zero, Dequantize yields Min everywhere
+		for i := range q.Codes {
+			q.Codes[i] = 0 // Dequantize yields Min everywhere
+		}
+		return
 	}
 	inv := 255.0 / span
 	for i, v := range t.Data {
@@ -60,7 +77,6 @@ func Quantize(t *tensor.Tensor) QuantizedTensor {
 		}
 		q.Codes[i] = uint8(c)
 	}
-	return q
 }
 
 // Dequantize reconstructs the tensor.

@@ -58,6 +58,39 @@ func TestQuantizePreservesExtremes(t *testing.T) {
 	}
 }
 
+func TestQuantizeIntoMatchesQuantizeAndReuses(t *testing.T) {
+	var q QuantizedTensor
+	for _, n := range []int{64, 16, 64} { // grow, shrink, regrow within cap
+		tt := randTensor(int64(n), n)
+		prevCap := cap(q.Codes)
+		QuantizeInto(&q, tt)
+		want := Quantize(tt)
+		if q.Min != want.Min || q.Max != want.Max || len(q.Codes) != len(want.Codes) {
+			t.Fatalf("n=%d: QuantizeInto header differs from Quantize", n)
+		}
+		for i := range q.Codes {
+			if q.Codes[i] != want.Codes[i] {
+				t.Fatalf("n=%d: code %d differs", n, i)
+			}
+		}
+		if prevCap >= n && cap(q.Codes) != prevCap {
+			t.Errorf("n=%d: sufficient capacity %d was not reused", n, prevCap)
+		}
+	}
+	// Constant tensor on a reused record: stale codes must be cleared.
+	for i := range q.Codes {
+		q.Codes[i] = 200
+	}
+	flat := tensor.New(16)
+	flat.Fill(3)
+	QuantizeInto(&q, flat)
+	for i, c := range q.Codes {
+		if c != 0 {
+			t.Fatalf("constant tensor code[%d] = %d, want 0", i, c)
+		}
+	}
+}
+
 func TestQuantizeBytesSaving(t *testing.T) {
 	tt := randTensor(1, 1000)
 	q := Quantize(tt)

@@ -93,6 +93,11 @@ func geometry(profile string, classes int) profileGeom {
 		g = profileGeom{classes: 20, featureDim: 3 * 8 * 8, inputShape: []int{3, 8, 8}}
 	case "vit":
 		g = profileGeom{classes: 16, featureDim: 64, inputShape: []int{8, 8}}
+	case "scale":
+		// Massive-round stress geometry: a deliberately small task so
+		// thousands of clients per round exercise the coordinator's
+		// aggregation pipeline instead of the compute kernels.
+		g = profileGeom{classes: 8, featureDim: 32, inputShape: []int{32}}
 	default:
 		panic(fmt.Sprintf("data: unknown profile %q", profile))
 	}
@@ -367,14 +372,30 @@ func (d *Dataset) Centralized(seed int64) (*tensor.Tensor, []int) {
 
 // Batch extracts a mini-batch of the given indices from (x, y).
 func Batch(x *tensor.Tensor, y []int, idx []int) (*tensor.Tensor, []int) {
-	d := x.Shape[1]
-	bx := tensor.New(len(idx), d)
+	bx := tensor.New(len(idx), x.Shape[1])
 	by := make([]int, len(idx))
+	BatchInto(bx, by, x, y, idx)
+	return bx, by
+}
+
+// BatchInto fills bx/by with the mini-batch of the given indices,
+// resizing bx (reusing its buffer when capacity allows) to
+// (len(idx), features). by must have length len(idx). The streaming
+// round loop's pooled client sessions batch through one recycled pair
+// instead of allocating two objects per local step.
+func BatchInto(bx *tensor.Tensor, by []int, x *tensor.Tensor, y []int, idx []int) {
+	d := x.Shape[1]
+	n := len(idx) * d
+	if cap(bx.Data) >= n {
+		bx.Data = bx.Data[:n]
+	} else {
+		bx.Data = make([]tensor.Float, n)
+	}
+	bx.Shape = append(bx.Shape[:0], len(idx), d)
 	for i, s := range idx {
 		copy(bx.Data[i*d:(i+1)*d], x.Data[s*d:(s+1)*d])
 		by[i] = y[s]
 	}
-	return bx, by
 }
 
 // newRand returns a seeded *rand.Rand; shared by tests.

@@ -4,10 +4,12 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"fedtrans/internal/tensor"
 )
 
 func TestGenerateProfiles(t *testing.T) {
-	for _, p := range []string{"femnist", "cifar10", "speech", "openimage", "vit"} {
+	for _, p := range []string{"femnist", "cifar10", "speech", "openimage", "vit", "scale"} {
 		ds := Generate(Config{Profile: p, Clients: 8, Seed: 1})
 		if len(ds.Clients) != 8 {
 			t.Fatalf("%s: clients = %d", p, len(ds.Clients))
@@ -183,6 +185,37 @@ func TestBatchExtracts(t *testing.T) {
 	}
 	if by[1] != c.TrainY[2] {
 		t.Fatal("batch label mismatch")
+	}
+}
+
+func TestBatchIntoReusesAndResizes(t *testing.T) {
+	ds := Generate(Config{Profile: "femnist", Clients: 1, Seed: 7})
+	c := ds.Clients[0]
+	bx := &tensor.Tensor{}
+	by := make([]int, 3)
+	BatchInto(bx, by, c.TrainX, c.TrainY, []int{0, 1, 2})
+	wantX, wantY := Batch(c.TrainX, c.TrainY, []int{0, 1, 2})
+	if !tensor.Equal(bx, wantX, 0) {
+		t.Fatal("BatchInto differs from Batch")
+	}
+	for i := range by {
+		if by[i] != wantY[i] {
+			t.Fatal("BatchInto labels differ from Batch")
+		}
+	}
+	// Shrinking reuses the same buffer; contents are fully rewritten.
+	prev := &bx.Data[0]
+	BatchInto(bx, by[:2], c.TrainX, c.TrainY, []int{2, 0})
+	if bx.Shape[0] != 2 {
+		t.Fatalf("resized shape %v", bx.Shape)
+	}
+	if &bx.Data[0] != prev {
+		t.Error("shrinking batch reallocated the buffer")
+	}
+	for j := 0; j < ds.FeatureDim; j++ {
+		if bx.At(0, j) != c.TrainX.At(2, j) {
+			t.Fatal("reused batch row 0 should copy sample 2")
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -25,6 +26,44 @@ func benchRuntime(profile string) *Runtime {
 	cfg := DefaultConfig()
 	cfg.Rounds = 3
 	return New(cfg, ds, tr, spec)
+}
+
+// BenchmarkRoundLoop measures one full streaming round — selection,
+// assignment, parallel local training, clip, accumulator folding,
+// finalize, utility updates — at increasing participants per round over
+// a fixed dataset and suite. The headline claim is the B/op column: with
+// the sharded streaming accumulator and pooled sessions/upload buffers,
+// round allocation no longer scales with ClientsPerRound (the buffered
+// loop retained every participant's full weight tensors), so the 1000-
+// client round must stay within ~2× of the 100-client round's B/op.
+func BenchmarkRoundLoop(b *testing.B) {
+	for _, cpr := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("clients=%d", cpr), func(b *testing.B) {
+			model.ResetIDs()
+			ds := data.Generate(data.Config{
+				Profile: "scale", Clients: 1200, Heterogeneity: 1,
+				MinSamples: 8, MaxSamples: 16, TestSamples: 8, Seed: 1,
+			})
+			spec := model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+			base := spec.Build(rand.New(rand.NewSource(0))).MACsPerSample()
+			tr := device.NewTrace(device.TraceConfig{
+				N: 1200, MinCapacityMACs: base, MaxCapacityMACs: base * 32, Seed: 101,
+			})
+			cfg := DefaultConfig()
+			cfg.ClientsPerRound = cpr
+			cfg.Local = LocalConfig{Steps: 2, BatchSize: 8, LR: 0.05}
+			cfg.DisableTransform = true // fixed suite across iterations
+			cfg.ConvergePatience = 0
+			rt := New(cfg, ds, tr, spec)
+			var res Result
+			rt.runRound(0, &res) // warm pools, sessions, accumulators
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.runRound(i+1, &res)
+			}
+		})
+	}
 }
 
 // BenchmarkEvaluateAll measures the parallel all-client evaluation that

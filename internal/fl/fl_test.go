@@ -30,6 +30,74 @@ func TestSelectClients(t *testing.T) {
 	if len(all) != 3 {
 		t.Errorf("n > total should select all, got %d", len(all))
 	}
+	if got := SelectClients(5, 5, rng); len(got) != 5 {
+		t.Errorf("n == total should select all, got %d", len(got))
+	}
+	if got := SelectClients(0, 3, rng); len(got) != 0 {
+		t.Errorf("zero clients should select none, got %d", len(got))
+	}
+}
+
+// TestRunRoundDropoutCostAccounting pins the failure-injection cost
+// model: a dropped participant costs exactly one model download — no
+// upload, no training MACs — and increments the dropout counter, on
+// both the dense and the quantized uplink paths.
+func TestRunRoundDropoutCostAccounting(t *testing.T) {
+	for _, quantize := range []bool{false, true} {
+		ds, tr, spec := smokeSetup(t, 8)
+		cfg := DefaultConfig()
+		cfg.Rounds = 4
+		cfg.ClientsPerRound = 5
+		cfg.DropoutRate = 1.0
+		cfg.QuantizeUploads = quantize
+		cfg.ConvergePatience = 0
+		rt := New(cfg, ds, tr, spec)
+		res := rt.Run()
+		wantDropouts := cfg.Rounds * cfg.ClientsPerRound
+		if res.Dropouts != wantDropouts {
+			t.Errorf("quantize=%v: dropouts = %d, want %d", quantize, res.Dropouts, wantDropouts)
+		}
+		// Every participant downloaded the (single, untransformed) initial
+		// model and uploaded nothing — even with quantized uplinks enabled.
+		wantNet := int64(wantDropouts) * rt.Suite()[0].Bytes()
+		if res.Costs.NetworkBytes != wantNet {
+			t.Errorf("quantize=%v: network = %d, want %d (downloads only)",
+				quantize, res.Costs.NetworkBytes, wantNet)
+		}
+		if res.Costs.TrainMACs != 0 {
+			t.Errorf("quantize=%v: training MACs %v without any survivor", quantize, res.Costs.TrainMACs)
+		}
+		if len(res.RoundTimes) != cfg.Rounds {
+			t.Fatalf("quantize=%v: %d round times", quantize, len(res.RoundTimes))
+		}
+		for r, rtime := range res.RoundTimes {
+			if rtime != 0 {
+				t.Errorf("quantize=%v: round %d has nonzero completion time with no survivors", quantize, r)
+			}
+		}
+	}
+}
+
+// TestRunRoundZeroCompatibleSkipsClient pins the zero-compatible-models
+// edge: with an empty-suite compatibility result the client is skipped
+// without costs. The public Compatible always admits the initial model,
+// so drive Sample directly the way runRound does.
+func TestRunRoundZeroCompatibleSkipsClient(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 6)
+	cfg := DefaultConfig()
+	cfg.Rounds = 2
+	cfg.ClientsPerRound = 3
+	cfg.ConvergePatience = 0
+	rt := New(cfg, ds, tr, spec)
+	if got := rt.Manager().Sample(0, nil, rand.New(rand.NewSource(1))); got != nil {
+		t.Fatal("Sample with zero compatible models must return nil")
+	}
+	// And the full round loop still runs when every client is compatible
+	// with only the initial model.
+	res := rt.Run()
+	if res.RoundsRun != cfg.Rounds {
+		t.Fatalf("rounds run = %d", res.RoundsRun)
+	}
 }
 
 func TestTrainLocalDoesNotMutateServerModel(t *testing.T) {

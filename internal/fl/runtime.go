@@ -2,6 +2,7 @@ package fl
 
 import (
 	"math/rand"
+	stdruntime "runtime"
 
 	"fedtrans/internal/aggregate"
 	"fedtrans/internal/assign"
@@ -12,6 +13,7 @@ import (
 	"fedtrans/internal/model"
 	"fedtrans/internal/par"
 	"fedtrans/internal/selection"
+	"fedtrans/internal/tensor"
 	"fedtrans/internal/transform"
 )
 
@@ -62,6 +64,13 @@ type Config struct {
 	ServerYogi bool
 	// YogiLR is the server Yogi learning rate (default 0.02).
 	YogiLR float64
+	// StreamWindow bounds how many trained-but-not-yet-aggregated client
+	// updates the streaming round loop keeps in flight: the coordinator's
+	// peak update memory is O(StreamWindow × model bytes) regardless of
+	// ClientsPerRound. 0 uses 2×GOMAXPROCS (minimum 4). The round result
+	// is byte-identical for every window size — the window trades only
+	// pipeline overlap against memory.
+	StreamWindow int
 	// Selector picks each round's participants; nil means uniform random
 	// (the paper's setup). An Oort-style guided selector is available in
 	// internal/selection.
@@ -162,6 +171,32 @@ type Runtime struct {
 	serverOpt *yogiOpt
 
 	maxCapacity float64
+
+	// Streaming-aggregation state, all recycled across rounds so the
+	// steady-state round loop allocates O(1) regardless of participants:
+	// the per-model sharded accumulators, pooled training sessions and
+	// upload buffers, quantization scratch, and the per-round task /
+	// loss-standardization / compatibility scratch slices.
+	agg        *aggregate.StreamingFedAvg
+	sessions   sessionPool
+	uploads    uploadPool
+	qscratch   map[int][]compress.QuantizedTensor
+	roundTasks []roundTask
+	lossBuf    []float64
+	stdBuf     []float64
+	compatBuf  []*model.Model
+}
+
+// roundTask is one selected, non-dropped participant's slot in the
+// streaming round pipeline: produce fills the upload buffers and the
+// scalar outcomes, consume folds the upload into the accumulator and
+// releases the buffers back to the pool.
+type roundTask struct {
+	client  int
+	m       *model.Model
+	up      []*tensor.Tensor
+	loss    float64
+	samples int
 }
 
 // New builds a runtime from an initial model spec. The device trace must
@@ -285,26 +320,58 @@ func (rt *Runtime) Run() Result {
 	return res
 }
 
-// runRound executes one FL round and returns the weighted mean training
-// loss, the simulated round completion time, and the per-model update
-// counts.
+// streamWindow returns the bounded number of in-flight client updates.
+func (rt *Runtime) streamWindow() int {
+	if rt.cfg.StreamWindow > 0 {
+		return rt.cfg.StreamWindow
+	}
+	w := 2 * stdruntime.GOMAXPROCS(0)
+	if w < 4 {
+		w = 4
+	}
+	return w
+}
+
+// quantScratch returns the model's reusable quantization scratch records
+// (consumer-side only, so no synchronization is needed).
+func (rt *Runtime) quantScratch(m *model.Model) []compress.QuantizedTensor {
+	if rt.qscratch == nil {
+		rt.qscratch = make(map[int][]compress.QuantizedTensor)
+	}
+	qs := rt.qscratch[m.ID]
+	if qs == nil {
+		qs = make([]compress.QuantizedTensor, len(m.Params()))
+		rt.qscratch[m.ID] = qs
+	}
+	return qs
+}
+
+// runRound executes one FL round as a streaming, sharded aggregation
+// pipeline and returns the weighted mean training loss, the simulated
+// round completion time, and the per-model update counts.
+//
+// As each parallel local-training task finishes, the completion stream
+// (par.Stream) hands it to the consumer in deterministic submission
+// order: the update is clipped/noised, its uplink is (optionally)
+// quantized, and it is folded straight into the per-model sharded
+// accumulator — after which its upload buffers go back to the pool for
+// the next client. The coordinator therefore holds O(StreamWindow)
+// updates at peak instead of all ClientsPerRound of them, and the
+// post-round stages (FedAvg finalize, Yogi, activeness, joint utility,
+// soft aggregation) consume accumulator state plus per-task scalars
+// rather than retained weight tensors.
 func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]int) {
 	cfg := rt.cfg
 	selected := cfg.Selector.Select(round, len(rt.ds.Clients), cfg.ClientsPerRound, rt.rng)
 
-	type pending struct {
-		client int
-		m      *model.Model
-		res    LocalResult
-	}
 	// Model assignment is sequential (it consumes the round RNG in a
 	// deterministic order); local training runs in parallel with
-	// per-client derived RNGs so results are reproducible regardless of
+	// per-client reseeded RNGs so results are reproducible regardless of
 	// scheduling.
-	updates := make([]pending, 0, len(selected))
+	tasks := rt.roundTasks[:0]
 	for _, c := range selected {
-		compatible := assign.Compatible(rt.suite, rt.trace.Devices[c].CapacityMACs)
-		m := rt.mgr.Sample(c, compatible, rt.rng)
+		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[c].CapacityMACs)
+		m := rt.mgr.Sample(c, rt.compatBuf, rt.rng)
 		if m == nil {
 			continue
 		}
@@ -315,56 +382,77 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 			res.Dropouts++
 			continue
 		}
-		updates = append(updates, pending{client: c, m: m})
+		tasks = append(tasks, roundTask{client: c, m: m})
 	}
-	par.ForN(len(updates), func(i int) {
-		u := &updates[i]
-		crng := rand.New(rand.NewSource(cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919))
-		u.res = TrainLocal(u.m, &rt.ds.Clients[u.client], cfg.Local, crng)
-	})
+	rt.roundTasks = tasks // keep the grown capacity for the next round
+
+	if rt.agg == nil {
+		rt.agg = aggregate.NewStreaming()
+	}
+	// Prime each model's lazily built Params and ParamCount caches before
+	// the parallel section: stream workers read suite params concurrently
+	// (session downloads, upload-buffer shaping, cost accounting) and
+	// must never race the cache build.
+	for _, m := range rt.suite {
+		m.Params()
+		m.ParamCount()
+	}
 	roundTime := 0.0
-	for i := range updates {
-		u := &updates[i]
+	par.Stream(len(tasks), rt.streamWindow(), func(i int) {
+		u := &tasks[i]
+		sess := rt.sessions.get(u.m)
+		u.up = rt.uploads.get(u.m)
+		seed := cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919
+		u.loss, u.samples = sess.run(u.m, &rt.ds.Clients[u.client], cfg.Local, seed, u.up)
+		rt.sessions.put(u.m.ID, sess)
+	}, func(i int) {
+		u := &tasks[i]
 		m := u.m
 		if cfg.ClipNorm > 0 || cfg.NoiseStd > 0 {
-			ClipAndNoise(u.res.Weights, m.Params(), cfg.ClipNorm, cfg.NoiseStd, rt.rng)
+			ClipAndNoise(u.up, m.Params(), cfg.ClipNorm, cfg.NoiseStd, rt.rng)
 		}
 		res.Costs.AddTraining(m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
 		if cfg.QuantizeUploads {
-			qs, upBytes := compress.QuantizeAll(u.res.Weights)
-			u.res.Weights = compress.DequantizeAll(qs)
+			qs := rt.quantScratch(m)
+			upBytes := 0
+			for pi, t := range u.up {
+				compress.QuantizeInto(&qs[pi], t)
+				upBytes += qs[pi].Bytes()
+			}
 			res.Costs.NetworkBytes += m.Bytes() + int64(upBytes)
+			if err := rt.agg.AddQuantized(m, qs, u.samples, u.loss); err != nil {
+				panic(err) // uploads are shaped by the model itself
+			}
 		} else {
 			res.Costs.AddTransfer(m.Bytes())
+			err := rt.agg.Add(m, aggregate.Update{
+				ModelID: m.ID, Weights: u.up, Samples: u.samples, Loss: u.loss,
+			})
+			if err != nil {
+				panic(err)
+			}
 		}
 		t := rt.trace.TrainingTime(u.client, m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, m.Bytes())
 		if t > roundTime {
 			roundTime = t
 		}
-		cfg.Selector.Feedback(u.client, u.res.Loss, t)
-	}
+		cfg.Selector.Feedback(u.client, u.loss, t)
+		// The update is reduced; release its buffers immediately.
+		rt.uploads.put(m.ID, u.up)
+		u.up = nil
+	})
 
-	// Per-model FedAvg (+ optional Yogi server step) and activeness.
+	// Per-model finalize (+ optional Yogi server step) and activeness,
+	// all fed from the accumulator instead of retained updates.
 	perModel := make(map[int]int)
-	for _, u := range updates {
-		perModel[u.m.ID]++
-	}
 	lossSum, lossWeight := 0.0, 0.0
 	for _, m := range rt.suite {
-		var batch []aggregate.Update
-		for _, u := range updates {
-			if u.m.ID == m.ID {
-				batch = append(batch, aggregate.Update{
-					ModelID: m.ID, Weights: u.res.Weights,
-					Samples: u.res.Samples, Loss: u.res.Loss,
-				})
-			}
-		}
-		if len(batch) == 0 {
+		if rt.agg.Updates(m.ID) == 0 {
 			continue
 		}
+		perModel[m.ID] = rt.agg.Updates(m.ID)
 		prev := m.CopyWeights()
-		meanLoss, n, _ := aggregate.FedAvg(m, batch)
+		meanLoss, n, _ := rt.agg.Finalize(m)
 		if cfg.ServerYogi {
 			if rt.serverOpt == nil {
 				rt.serverOpt = newYogiOpt(rt.yogiLR())
@@ -380,18 +468,24 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 		}
 		scale := cfg.Local.LR * float64(cfg.Local.Steps)
 		tracker.Observe(m, m.CellDeltaActiveness(prev, scale))
+		for _, p := range prev {
+			p.Release()
+		}
 	}
 
 	// Joint utility learning (Eq. 4) with round-standardized losses.
-	losses := make([]float64, len(updates))
-	for i, u := range updates {
-		losses[i] = u.res.Loss
+	losses := rt.lossBuf[:0]
+	for i := range tasks {
+		losses = append(losses, tasks[i].loss)
 	}
-	std := assign.StandardizeLosses(losses)
-	for i, u := range updates {
-		compatible := assign.Compatible(rt.suite, rt.trace.Devices[u.client].CapacityMACs)
-		rt.mgr.UpdateJoint(u.client, u.m, std[i], compatible)
-		res.Overhead.UtilityUpdates += int64(len(compatible))
+	rt.lossBuf = losses
+	rt.stdBuf = assign.StandardizeLossesInto(rt.stdBuf[:0], losses)
+	std := rt.stdBuf
+	for i := range tasks {
+		u := &tasks[i]
+		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[u.client].CapacityMACs)
+		rt.mgr.UpdateJoint(u.client, u.m, std[i], rt.compatBuf)
+		res.Overhead.UtilityUpdates += int64(len(rt.compatBuf))
 	}
 
 	// Soft inter-model aggregation (Eq. 5).

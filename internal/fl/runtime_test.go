@@ -48,14 +48,19 @@ func TestRuntimeLearnsAndTransforms(t *testing.T) {
 }
 
 // TestRunDeterminismSerialParallelCOW is the determinism golden test for
-// the copy-on-write clone path: a full training run — transformation,
-// soft aggregation, quantized uploads, clipping+noise, and dropouts all
-// enabled, so every COW clone/unshare/snapshot path is exercised — must
-// produce a byte-identical result whether local training and evaluation
-// run serially or across the worker pool. This extends the PR 1
-// serial-equals-parallel guarantee to lazily shared weight buffers.
+// the streaming aggregation pipeline over copy-on-write clones: a full
+// training run — transformation, soft aggregation, quantized uploads,
+// clipping+noise, and dropouts all enabled, so every COW
+// clone/unshare/snapshot path, the ordered completion stream, and the
+// sharded accumulator folds are all exercised — must produce a
+// byte-identical result whether local training runs serially
+// (GOMAXPROCS=1, where the stream degrades to produce-then-consume) or
+// across the worker pool, and regardless of the stream window size
+// (full backpressure at window 1 through effectively-unbounded). This
+// extends the PR 1 serial-equals-parallel guarantee through the PR 3
+// COW layer to the PR 5 streaming round loop.
 func TestRunDeterminismSerialParallelCOW(t *testing.T) {
-	run := func() Result {
+	run := func(window int) Result {
 		ds, tr, spec := smokeSetup(t, 16)
 		cfg := DefaultConfig()
 		cfg.Rounds = 12
@@ -67,6 +72,7 @@ func TestRunDeterminismSerialParallelCOW(t *testing.T) {
 		cfg.NoiseStd = 0.001
 		cfg.DropoutRate = 0.1
 		cfg.RecordLog = true
+		cfg.StreamWindow = window
 		cfg.Transform.Gamma = 3
 		cfg.Transform.Delta = 3
 		cfg.Transform.Beta = 0.05
@@ -75,10 +81,13 @@ func TestRunDeterminismSerialParallelCOW(t *testing.T) {
 	}
 	prev := runtime.GOMAXPROCS(1)
 	defer runtime.GOMAXPROCS(prev)
-	serial := run()
+	serial := run(0)
 	runtime.GOMAXPROCS(4)
-	parallel := run()
-	if !reflect.DeepEqual(serial, parallel) {
-		t.Fatalf("COW run differs between serial and parallel execution:\nserial:   %+v\nparallel: %+v", serial, parallel)
+	for _, window := range []int{0, 1, 2, 64} {
+		parallel := run(window)
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("streaming run (window %d) differs from serial execution:\nserial:   %+v\nparallel: %+v",
+				window, serial, parallel)
+		}
 	}
 }

@@ -82,6 +82,7 @@ type Model struct {
 	ids        *IDGen         // ID scope this model allocates from
 	paramCache []*tensor.Tensor
 	gradCache  []*tensor.Tensor
+	paramCount int64 // cached ParamCount; 0 = not computed yet
 }
 
 // NumCells returns the number of transformable cells.
@@ -244,9 +245,12 @@ func (m *Model) Grads() []*tensor.Tensor {
 	return m.gradCache
 }
 
-// invalidateParamCache drops the cached Params/Grads slices after a
-// structural transformation.
-func (m *Model) invalidateParamCache() { m.paramCache, m.gradCache = nil, nil }
+// invalidateParamCache drops the cached Params/Grads slices and the
+// parameter count after a structural transformation.
+func (m *Model) invalidateParamCache() {
+	m.paramCache, m.gradCache = nil, nil
+	m.paramCount = 0
+}
 
 // InvalidateParamCache must be called by any code outside this package
 // that swaps a cell's parameter or gradient tensors directly (e.g. the
@@ -254,13 +258,20 @@ func (m *Model) invalidateParamCache() { m.paramCache, m.gradCache = nil, nil }
 // returning stale pointers.
 func (m *Model) InvalidateParamCache() { m.invalidateParamCache() }
 
-// ParamCount returns the total number of scalar parameters.
+// ParamCount returns the total number of scalar parameters. The count is
+// cached (cleared on structural transformation) because the round loop's
+// cost accounting asks for Bytes per participant; like Params, a first
+// call must not race with concurrent callers — the runtime primes both
+// caches before fanning out.
 func (m *Model) ParamCount() int64 {
-	var n int64
-	for i := range m.Cells {
-		n += nn.ParamCount(m.Cells[i].Cell)
+	if m.paramCount == 0 {
+		var n int64
+		for i := range m.Cells {
+			n += nn.ParamCount(m.Cells[i].Cell)
+		}
+		m.paramCount = n + nn.ParamCount(m.Head)
 	}
-	return n + nn.ParamCount(m.Head)
+	return m.paramCount
 }
 
 // Bytes returns the serialized model size (float32 on the wire, matching

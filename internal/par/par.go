@@ -78,6 +78,131 @@ func ForN(n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Stream is the bounded producer/consumer pipeline behind the streaming
+// round loop: produce(i) runs for every i in [0, n) across the worker
+// pool (the same process-wide token budget as ForN), while consume(i) is
+// called exactly once per index, in strictly ascending index order, on
+// the calling goroutine, overlapping with production. At most window
+// results are outstanding — claimed for production but not yet consumed
+// — at any moment, so peak memory for per-item results is O(window)
+// instead of O(n): a producer that runs ahead of the consumption
+// frontier blocks until the frontier catches up.
+//
+// Because consume runs single-threaded in index order, it may use shared
+// state (an RNG, accumulators) without synchronization and the overall
+// result is byte-identical to the serial loop
+//
+//	for i := 0; i < n; i++ { produce(i); consume(i) }
+//
+// which is exactly what Stream degrades to at GOMAXPROCS=1 or when the
+// token budget is exhausted. produce must confine its writes to
+// index-owned state; consume(i) happens-after produce(i).
+func Stream(n, window int, produce, consume func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if window < 1 {
+		window = 1
+	}
+	w := Limit(n)
+	// At most window items are ever claimable at once, so workers beyond
+	// that would only park on the condvar while pinning process-wide pool
+	// tokens — cap the crew (caller included) at the window.
+	if w > window {
+		w = window
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			produce(i)
+			consume(i)
+		}
+		return
+	}
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		next     int // next index to claim for production
+		frontier int // next index to consume
+		done     = make([]bool, n)
+	)
+	claim := func() (int, bool) {
+		// Caller holds mu. Claims the next index if the window allows.
+		if next < n && next < frontier+window {
+			i := next
+			next++
+			return i, true
+		}
+		return 0, false
+	}
+	finish := func(i int) {
+		mu.Lock()
+		done[i] = true
+		cond.Broadcast()
+		mu.Unlock()
+	}
+	worker := func() {
+		for {
+			mu.Lock()
+			for next < n && next >= frontier+window {
+				cond.Wait()
+			}
+			i, ok := claim()
+			mu.Unlock()
+			if !ok {
+				return // all indices claimed
+			}
+			produce(i)
+			finish(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w-1; g++ {
+		select {
+		case tokens <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer func() {
+					<-tokens
+					wg.Done()
+				}()
+				worker()
+			}()
+		default:
+			g = w // budget exhausted; the caller alone produces the rest
+		}
+	}
+	// The calling goroutine drains the completion stream in index order,
+	// producing itself whenever the frontier item is not ready and the
+	// window still has room.
+	for frontier < n {
+		mu.Lock()
+		if done[frontier] {
+			i := frontier
+			mu.Unlock()
+			consume(i)
+			mu.Lock()
+			frontier++
+			cond.Broadcast()
+			mu.Unlock()
+			continue
+		}
+		if i, ok := claim(); ok {
+			mu.Unlock()
+			produce(i)
+			finish(i)
+			continue
+		}
+		for !done[frontier] && !(next < n && next < frontier+window) {
+			cond.Wait()
+		}
+		mu.Unlock()
+	}
+	mu.Lock()
+	cond.Broadcast() // frontier == n: release any worker still waiting
+	mu.Unlock()
+	wg.Wait()
+}
+
 // Chunked splits [0, n) into one contiguous range per worker and runs
 // fn(lo, hi) on each. Use it when workers amortize per-worker state
 // (e.g. model clones) across their range. Chunks whose worker cannot be

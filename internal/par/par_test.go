@@ -2,9 +2,98 @@ package par
 
 import (
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
+
+func TestStreamConsumesInOrderOnce(t *testing.T) {
+	for _, window := range []int{1, 2, 7, 64} {
+		const n = 200
+		produced := make([]int32, n)
+		var order []int
+		Stream(n, window, func(i int) {
+			atomic.AddInt32(&produced[i], 1)
+		}, func(i int) {
+			if atomic.LoadInt32(&produced[i]) != 1 {
+				t.Errorf("window %d: consume(%d) before/without produce", window, i)
+			}
+			order = append(order, i)
+		})
+		if len(order) != n {
+			t.Fatalf("window %d: consumed %d of %d", window, len(order), n)
+		}
+		for i, v := range order {
+			if v != i {
+				t.Fatalf("window %d: consume order %v... not ascending", window, order[:i+1])
+			}
+		}
+		for i := range produced {
+			if produced[i] != 1 {
+				t.Fatalf("window %d: produce(%d) ran %d times", window, i, produced[i])
+			}
+		}
+	}
+}
+
+// TestStreamBoundsOutstanding pins the memory guarantee: at no moment
+// are more than window items claimed-for-production but not yet
+// consumed.
+func TestStreamBoundsOutstanding(t *testing.T) {
+	const n, window = 300, 5
+	var mu sync.Mutex
+	outstanding, maxOut := 0, 0
+	Stream(n, window, func(i int) {
+		mu.Lock()
+		outstanding++
+		if outstanding > maxOut {
+			maxOut = outstanding
+		}
+		mu.Unlock()
+	}, func(i int) {
+		mu.Lock()
+		outstanding--
+		mu.Unlock()
+	})
+	if maxOut > window {
+		t.Fatalf("%d items outstanding, window %d", maxOut, window)
+	}
+	if maxOut == 0 {
+		t.Fatal("no item ever produced")
+	}
+}
+
+// TestStreamMatchesSerial pins byte-identical results to the serial
+// produce-then-consume loop when the consumer owns shared state (here a
+// running checksum whose value depends on consumption order).
+func TestStreamMatchesSerial(t *testing.T) {
+	const n = 128
+	run := func(window int) uint64 {
+		results := make([]uint64, n)
+		var sum uint64 = 1
+		Stream(n, window, func(i int) {
+			results[i] = uint64(i)*2654435761 + 1
+		}, func(i int) {
+			sum = sum*31 + results[i]
+		})
+		return sum
+	}
+	want := run(1)
+	for _, w := range []int{2, 3, 16, n} {
+		if got := run(w); got != want {
+			t.Fatalf("window %d checksum %d != serial %d", w, got, want)
+		}
+	}
+}
+
+func TestStreamEmptyAndSingle(t *testing.T) {
+	Stream(0, 4, func(int) { t.Fatal("produce on n=0") }, func(int) { t.Fatal("consume on n=0") })
+	ran := false
+	Stream(1, 0, func(i int) {}, func(i int) { ran = true }) // window clamps to 1
+	if !ran {
+		t.Fatal("single-item stream did not consume")
+	}
+}
 
 func withGOMAXPROCS(n int, fn func()) {
 	prev := runtime.GOMAXPROCS(n)
