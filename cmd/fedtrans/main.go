@@ -33,6 +33,12 @@ func main() {
 	flag.Float64Var(&opts.CapacitySpread, "spread", opts.CapacitySpread, "device capacity max/min ratio")
 	flag.BoolVar(&opts.AllowL2S, "l2s", opts.AllowL2S, "allow large-to-small weight sharing")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
+	flag.StringVar(&opts.CheckpointPath, "checkpoint", opts.CheckpointPath,
+		"write a resumable checkpoint to this file every -checkpoint-every rounds")
+	flag.IntVar(&opts.CheckpointEvery, "checkpoint-every", opts.CheckpointEvery,
+		"checkpoint cadence in rounds (default 10 when -checkpoint is set)")
+	resumePath := flag.String("resume", "",
+		"resume from a checkpoint file written by a previous -checkpoint run")
 	exportPath := flag.String("export", "", "write the largest trained model to this file")
 	flag.Parse()
 
@@ -42,7 +48,25 @@ func main() {
 	}
 	fmt.Printf("profile=%s clients=%d rounds=%d participants=%d disparity=%.1fx\n",
 		opts.Profile, opts.Clients, opts.Rounds, opts.ClientsPerRound, session.DeviceDisparity())
-	summary := session.Run()
+	var summary fedtrans.Summary
+	if *resumePath != "" {
+		blob, err := os.ReadFile(*resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Notice goes to stderr so stdout stays byte-comparable with the
+		// uninterrupted run.
+		fmt.Fprintf(os.Stderr, "resuming from %s (%d bytes)\n", *resumePath, len(blob))
+		summary, err = session.Resume(blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		summary = session.Run()
+	}
+	if err := session.CheckpointError(); err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("\nmean accuracy : %.2f%%\n", summary.MeanAccuracy*100)
 	fmt.Printf("accuracy IQR  : %.2f%%\n", summary.AccuracyIQR*100)
 	fmt.Printf("train cost    : %.4g MACs\n", summary.TrainMACs)

@@ -17,7 +17,10 @@ package fedtrans
 
 import (
 	"fmt"
+	"os"
+	"sync"
 
+	"fedtrans/internal/chaos"
 	"fedtrans/internal/data"
 	"fedtrans/internal/device"
 	"fedtrans/internal/fl"
@@ -80,6 +83,67 @@ type Options struct {
 	StreamWindow int
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Quorum enables elastic rounds: a round commits when at least
+	// ceil(Quorum × selected) client updates fold successfully, and is
+	// aborted (weights untouched) otherwise. 0 keeps the strict legacy
+	// behavior where every update must arrive.
+	Quorum float64
+	// RetryBudget is the number of deterministic re-training attempts per
+	// failed client upload before the client counts as a round failure.
+	RetryBudget int
+	// RetryBackoff is the simulated delay (seconds) added before the first
+	// retry; each subsequent attempt doubles it.
+	RetryBackoff float64
+	// ClientTimeout drops any client whose simulated round time exceeds
+	// this many seconds (0 = no timeout). Timed-out clients still charge
+	// their training compute and download bytes.
+	ClientTimeout float64
+	// Chaos configures the deterministic fault-injection harness. All
+	// rates zero (the default) leaves the run fault-free.
+	Chaos ChaosOptions
+	// ChurnJoinRate and ChurnLeaveRate enable client churn: each round,
+	// every offline client rejoins with probability ChurnJoinRate and
+	// every online client leaves with probability ChurnLeaveRate. Both
+	// zero disables churn. The online population never drops below
+	// ClientsPerRound.
+	ChurnJoinRate  float64
+	ChurnLeaveRate float64
+	// CheckpointPath, when non-empty, makes the coordinator write a
+	// resumable checkpoint to this file every CheckpointEvery rounds
+	// (atomically, via a temp file + rename). Session.Resume restores a
+	// run from such a blob and reproduces the uninterrupted run
+	// bit-for-bit.
+	CheckpointPath string
+	// CheckpointEvery is the checkpoint cadence in rounds (default 10
+	// when CheckpointPath is set).
+	CheckpointEvery int
+}
+
+// ChaosOptions configures seeded fault injection for robustness testing.
+// Faults are drawn from a dedicated RNG stream, so a given (Seed, rates)
+// pair yields the same fault schedule on every run.
+type ChaosOptions struct {
+	// Seed drives the fault stream. 0 derives one from Options.Seed.
+	Seed int64
+	// CrashRate is the per-attempt probability that a client crashes
+	// mid-round: it downloads the model but never trains or uploads.
+	CrashRate float64
+	// CorruptUploadRate is the per-attempt probability that a client's
+	// upload arrives structurally corrupted and is rejected by the
+	// aggregator.
+	CorruptUploadRate float64
+	// NonFiniteRate is the per-attempt probability that a client's update
+	// contains NaN/Inf values, rejected at the aggregation boundary.
+	NonFiniteRate float64
+	// StragglerRate is the per-attempt probability that a client is
+	// delayed by StragglerDelay simulated seconds (interacting with
+	// ClientTimeout, if set).
+	StragglerRate  float64
+	StragglerDelay float64
+}
+
+func (c ChaosOptions) enabled() bool {
+	return c.CrashRate > 0 || c.CorruptUploadRate > 0 || c.NonFiniteRate > 0 || c.StragglerRate > 0
 }
 
 // ScaleOptions returns the massive-round stress profile: thousands of
@@ -205,6 +269,14 @@ type Summary struct {
 	Models []ModelInfo
 	// Rounds is the number of rounds executed.
 	Rounds int
+	// Failures counts client attempts that ended in a fault (crash,
+	// corrupt or non-finite upload, timeout) after exhausting retries;
+	// Retries counts re-training attempts. AbortedRounds counts rounds
+	// that lost quorum and left the suite untouched. All zero on
+	// fault-free runs.
+	Failures      int
+	Retries       int
+	AbortedRounds int
 }
 
 // Session is a configured FedTrans run whose suite and per-client results
@@ -214,6 +286,9 @@ type Session struct {
 	dataset *data.Dataset
 	trace   *device.Trace
 	runtime *fl.Runtime
+
+	sinkMu  sync.Mutex
+	sinkErr error
 }
 
 // NewSession validates options and materializes the dataset, device trace,
@@ -267,17 +342,95 @@ func NewSession(opts Options) (*Session, error) {
 	}
 	cfg.StreamWindow = opts.StreamWindow
 	cfg.Seed = opts.Seed
-	return &Session{
-		opts:    opts,
-		dataset: ds,
-		trace:   trace,
-		runtime: fl.New(cfg, ds, trace, spec),
-	}, nil
+	cfg.Quorum = opts.Quorum
+	cfg.RetryBudget = opts.RetryBudget
+	cfg.RetryBackoff = opts.RetryBackoff
+	cfg.ClientTimeout = opts.ClientTimeout
+	if opts.Chaos.enabled() {
+		seed := opts.Chaos.Seed
+		if seed == 0 {
+			seed = opts.Seed + 10_007
+		}
+		cfg.Chaos = chaos.Config{
+			Seed:           seed,
+			CrashRate:      opts.Chaos.CrashRate,
+			CorruptRate:    opts.Chaos.CorruptUploadRate,
+			NonFiniteRate:  opts.Chaos.NonFiniteRate,
+			StragglerRate:  opts.Chaos.StragglerRate,
+			StragglerDelay: opts.Chaos.StragglerDelay,
+		}
+	}
+	if opts.ChurnJoinRate > 0 || opts.ChurnLeaveRate > 0 {
+		cfg.Churn = selection.ChurnConfig{
+			JoinRate:  opts.ChurnJoinRate,
+			LeaveRate: opts.ChurnLeaveRate,
+			MinOnline: opts.ClientsPerRound,
+		}
+	}
+	s := &Session{opts: opts, dataset: ds, trace: trace}
+	if opts.CheckpointPath != "" {
+		if opts.CheckpointEvery <= 0 {
+			opts.CheckpointEvery = 10
+		}
+		cfg.CheckpointEvery = opts.CheckpointEvery
+		cfg.CheckpointSink = func(round int, blob []byte) {
+			if err := writeFileAtomic(opts.CheckpointPath, blob); err != nil {
+				s.sinkMu.Lock()
+				if s.sinkErr == nil {
+					s.sinkErr = fmt.Errorf("fedtrans: checkpoint at round %d: %w", round, err)
+				}
+				s.sinkMu.Unlock()
+			}
+		}
+	}
+	s.runtime = fl.New(cfg, ds, trace, spec)
+	return s, nil
+}
+
+// writeFileAtomic writes blob to path via a temp file + rename so a crash
+// mid-write never leaves a truncated checkpoint behind.
+func writeFileAtomic(path string, blob []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // Run executes training and returns the summary.
 func (s *Session) Run() Summary {
-	res := s.runtime.Run()
+	return s.summarize(s.runtime.Run())
+}
+
+// Resume restores the coordinator from a checkpoint blob previously
+// written via Options.CheckpointPath (or Session.Checkpoint) and runs the
+// remaining rounds. The resumed run reproduces the uninterrupted run
+// bit-for-bit, provided the Session was built with the same Options.
+func (s *Session) Resume(checkpoint []byte) (Summary, error) {
+	if err := s.runtime.Restore(checkpoint); err != nil {
+		return Summary{}, err
+	}
+	return s.summarize(s.runtime.Run()), nil
+}
+
+// Checkpoint serializes the coordinator's current state (suite weights,
+// aggregator shards, RNG position, selector/churn/optimizer state) into a
+// self-describing blob accepted by Resume.
+func (s *Session) Checkpoint() ([]byte, error) { return s.runtime.Checkpoint() }
+
+// CheckpointError reports the first error encountered while encoding or
+// writing checkpoints during Run, if any. Checkpoint failures never abort
+// training; callers that rely on resumability should check this after Run.
+func (s *Session) CheckpointError() error {
+	s.sinkMu.Lock()
+	defer s.sinkMu.Unlock()
+	if s.sinkErr != nil {
+		return s.sinkErr
+	}
+	return s.runtime.CheckpointErr()
+}
+
+func (s *Session) summarize(res fl.Result) Summary {
 	sum := Summary{
 		MeanAccuracy:   res.MeanAcc,
 		ClientAccuracy: res.ClientAcc,
@@ -286,6 +439,9 @@ func (s *Session) Run() Summary {
 		NetworkBytes:   res.Costs.NetworkBytes,
 		StorageBytes:   res.Costs.StorageBytes,
 		Rounds:         res.RoundsRun,
+		Failures:       res.Failures,
+		Retries:        res.Retries,
+		AbortedRounds:  res.AbortedRounds,
 	}
 	for _, m := range s.runtime.Suite() {
 		sum.Models = append(sum.Models, ModelInfo{

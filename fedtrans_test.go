@@ -1,6 +1,9 @@
 package fedtrans
 
 import (
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -141,6 +144,84 @@ func TestScaleProfileMassiveRound(t *testing.T) {
 	if a.MeanAccuracy != b.MeanAccuracy || a.NetworkBytes != b.NetworkBytes {
 		t.Errorf("stream window changed results: %v/%d vs %v/%d",
 			a.MeanAccuracy, a.NetworkBytes, b.MeanAccuracy, b.NetworkBytes)
+	}
+}
+
+// TestSessionCheckpointResume drives checkpoint/resume through the public
+// API: a run with CheckpointPath set leaves a resumable file behind, and a
+// fresh session resumed from it reproduces the uninterrupted run exactly.
+func TestSessionCheckpointResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.bin")
+	opts := DefaultOptions()
+	opts.Clients = 12
+	opts.Rounds = 8
+	opts.ClientsPerRound = 4
+	opts.CheckpointPath = path
+	opts.CheckpointEvery = 3
+
+	s, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := s.Run()
+	if err := s.CheckpointError(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+
+	s2, err := NewSession(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := s2.Resume(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, resumed) {
+		t.Errorf("resumed summary diverged:\nfull    %+v\nresumed %+v", full, resumed)
+	}
+
+	if _, err := s2.Checkpoint(); err != nil {
+		t.Errorf("post-run Checkpoint: %v", err)
+	}
+	if _, err := s2.Resume([]byte("not a checkpoint")); err == nil {
+		t.Error("garbage blob must fail to resume")
+	}
+}
+
+// TestRunWithChaosAndQuorum exercises the fault-injection and elastic-round
+// options end to end: faults occur, retries happen, and the run stays
+// deterministic.
+func TestRunWithChaosAndQuorum(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Clients = 14
+	opts.Rounds = 10
+	opts.ClientsPerRound = 5
+	opts.Quorum = 0.5
+	opts.RetryBudget = 1
+	opts.Chaos = ChaosOptions{CrashRate: 0.25, StragglerRate: 0.1, StragglerDelay: 5}
+	opts.ChurnJoinRate = 0.3
+	opts.ChurnLeaveRate = 0.2
+
+	a, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Retries == 0 {
+		t.Error("no retries at 25% crash rate with a retry budget")
+	}
+	if a.MeanAccuracy < 1.0/16 {
+		t.Errorf("accuracy %.3f collapsed under chaos", a.MeanAccuracy)
+	}
+	b, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("chaos run nondeterministic:\n%+v\n%+v", a, b)
 	}
 }
 

@@ -59,7 +59,8 @@ func max(a, b int) int {
 // tensor counts and shapes, zero/negative samples, empty batches,
 // NaN/Inf payloads — must never panic or corrupt the accumulator.
 // Well-formed updates must fold exactly like buffered FedAvg; malformed
-// ones must be rejected with ErrUpdateShape and leave counts unchanged.
+// ones must be rejected (ErrUpdateShape / ErrNonFinite) and leave counts
+// unchanged.
 func FuzzStreamingUpdates(f *testing.F) {
 	// Seeds: empty batch, a single well-formed-looking update, a
 	// mismatched-arity batch, a zero-sample update, junk lengths.
@@ -87,6 +88,11 @@ func FuzzStreamingUpdates(f *testing.F) {
 			for i, w := range u.Weights {
 				if w == nil || w.Len() != params[i].Len() {
 					return false
+				}
+				for _, v := range w.Data {
+					if v-v != 0 { // NaN/±Inf payloads are rejected (ErrNonFinite)
+						return false
+					}
 				}
 			}
 			return true

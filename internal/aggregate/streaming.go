@@ -3,6 +3,7 @@ package aggregate
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"fedtrans/internal/compress"
 	"fedtrans/internal/model"
@@ -19,6 +20,12 @@ const DefaultShardSize = 16384
 // ErrUpdateShape reports an update whose tensors do not match the
 // destination model's parameters.
 var ErrUpdateShape = errors.New("aggregate: update does not match model parameters")
+
+// ErrNonFinite reports an update carrying NaN or ±Inf values. One
+// non-finite scalar folded into a float64 accumulator poisons the whole
+// round's average, so such updates are rejected atomically at the
+// accumulator boundary, exactly like shape mismatches.
+var ErrNonFinite = errors.New("aggregate: non-finite value in update")
 
 // StreamingFedAvg is the sample-weighted FedAvg of the Model Aggregator
 // restructured as a streaming, sharded reduction: client updates are
@@ -96,9 +103,9 @@ func sampleWeight(samples int) float64 {
 	return float64(samples)
 }
 
-// validate checks an update's arity and per-tensor lengths against the
-// destination parameters before any folding, so a malformed update is
-// rejected atomically (no partial accumulation).
+// validate checks an update's arity, per-tensor lengths, and value
+// finiteness against the destination parameters before any folding, so
+// a malformed update is rejected atomically (no partial accumulation).
 func (a *modelAcc) validate(weights []*tensor.Tensor) error {
 	if len(weights) != len(a.params) {
 		return fmt.Errorf("%w: %d tensors, want %d", ErrUpdateShape, len(weights), len(a.params))
@@ -106,6 +113,13 @@ func (a *modelAcc) validate(weights []*tensor.Tensor) error {
 	for i, t := range weights {
 		if t == nil || t.Len() != a.params[i].Len() {
 			return fmt.Errorf("%w: tensor %d length mismatch", ErrUpdateShape, i)
+		}
+		for _, v := range t.Data {
+			// v-v is 0 for every finite v and NaN for NaN and ±Inf: one
+			// branchless probe covers both non-finite classes.
+			if v-v != 0 {
+				return fmt.Errorf("%w: tensor %d", ErrNonFinite, i)
+			}
 		}
 	}
 	return nil
@@ -213,6 +227,16 @@ func (s *StreamingFedAvg) AddQuantized(dst *model.Model, qs []compress.Quantized
 		if len(qs[i].Codes) != a.params[i].Len() {
 			return fmt.Errorf("%w: tensor %d length mismatch", ErrUpdateShape, i)
 		}
+		// A quantized tensor's values are Min + code×(Max-Min)/255: the
+		// codes cannot be non-finite, so checking the range endpoints
+		// rejects a NaN/Inf payload (e.g. quantized from NaN gradients)
+		// without touching the codes.
+		if m := qs[i].Min; m-m != 0 {
+			return fmt.Errorf("%w: tensor %d quantization range", ErrNonFinite, i)
+		}
+		if m := qs[i].Max; m-m != 0 {
+			return fmt.Errorf("%w: tensor %d quantization range", ErrNonFinite, i)
+		}
 	}
 	w := sampleWeight(samples)
 	a.weight += w
@@ -312,3 +336,70 @@ func (a *modelAcc) reset() {
 // the suite; the runtime's suite only grows, so this mainly serves
 // tests).
 func (s *StreamingFedAvg) Drop(modelID int) { delete(s.accs, modelID) }
+
+// Abort discards every model's in-flight updates — zeroing the
+// accumulators in place, keeping the buffers — without touching model
+// weights. Used when a round fails its quorum: the partial averages
+// must not leak into the next round.
+func (s *StreamingFedAvg) Abort() {
+	for _, a := range s.accs {
+		if a.count > 0 {
+			a.reset()
+		}
+	}
+}
+
+// AccumSnapshot is one model's in-flight accumulator state, captured by
+// Snapshot for checkpointing mid-stream aggregation.
+type AccumSnapshot struct {
+	ModelID int
+	Sum     []float64
+	Weight  float64
+	LossSum float64
+	Count   int
+}
+
+// Snapshot deep-copies the in-flight accumulator state of every model
+// with at least one folded update this round, in ascending model-ID
+// order. At a round boundary — where the runtime checkpoints — it
+// returns nil, because Finalize resets every accumulator; the non-empty
+// case exists so a future mid-round checkpoint needs no new aggregator
+// surface.
+func (s *StreamingFedAvg) Snapshot() []AccumSnapshot {
+	var ids []int
+	for id, a := range s.accs {
+		if a.count > 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Ints(ids)
+	out := make([]AccumSnapshot, 0, len(ids))
+	for _, id := range ids {
+		a := s.accs[id]
+		out = append(out, AccumSnapshot{
+			ModelID: id,
+			Sum:     append([]float64(nil), a.sum...),
+			Weight:  a.weight,
+			LossSum: a.lossSum,
+			Count:   a.count,
+		})
+	}
+	return out
+}
+
+// RestoreSnapshot reinstates one model's in-flight accumulator state
+// captured by Snapshot. dst must be the model the snapshot was taken
+// for (same flat parameter length); the snapshot's sum is copied.
+func (s *StreamingFedAvg) RestoreSnapshot(dst *model.Model, snap AccumSnapshot) error {
+	a := s.acc(dst)
+	if len(snap.Sum) != a.total {
+		return fmt.Errorf("%w: snapshot length %d, model flat length %d",
+			ErrUpdateShape, len(snap.Sum), a.total)
+	}
+	copy(a.sum, snap.Sum)
+	a.weight, a.lossSum, a.count = snap.Weight, snap.LossSum, snap.Count
+	return nil
+}

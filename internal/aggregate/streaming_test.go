@@ -247,3 +247,212 @@ func TestStreamingConcurrentRoundsCOWStress(t *testing.T) {
 		}
 	}
 }
+
+// TestStreamingRejectsNonFiniteAtomically pins the accumulator-boundary
+// guard: an update carrying NaN or ±Inf anywhere in its payload is
+// rejected with ErrNonFinite before any folding, so a poisoned client
+// cannot NaN the whole round's average.
+func TestStreamingRejectsNonFiniteAtomically(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	s := NewStreaming()
+	good := randomUpdate(m, rand.New(rand.NewSource(1)), 2)
+	if err := s.Add(m, good); err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), s.accs[m.ID].sum...)
+
+	for _, bad := range []tensor.Float{
+		tensor.Float(math.NaN()),
+		tensor.Float(math.Inf(1)),
+		tensor.Float(math.Inf(-1)),
+	} {
+		u := randomUpdate(m, rand.New(rand.NewSource(2)), 1)
+		last := u.Weights[len(u.Weights)-1]
+		last.Data[last.Len()-1] = bad
+		if err := s.Add(m, u); !errors.Is(err, ErrNonFinite) {
+			t.Fatalf("payload %v: err = %v, want ErrNonFinite", bad, err)
+		}
+	}
+
+	for i, v := range s.accs[m.ID].sum {
+		if v != before[i] {
+			t.Fatal("non-finite update partially folded")
+		}
+	}
+	if got := s.Updates(m.ID); got != 1 {
+		t.Fatalf("Updates = %d after rejected adds, want 1", got)
+	}
+
+	// The surviving good update must finalize exactly as if the poisoned
+	// ones never arrived.
+	model.ResetIDs()
+	ref := newModel(t, 3)
+	sref := NewStreaming()
+	if err := sref.Add(ref, good); err != nil {
+		t.Fatal(err)
+	}
+	lossA, nA, _ := s.Finalize(m)
+	lossB, nB, _ := sref.Finalize(ref)
+	if lossA != lossB || nA != nB {
+		t.Fatalf("finalize after rejects (%v,%d) != clean (%v,%d)", lossA, nA, lossB, nB)
+	}
+}
+
+// TestStreamingRejectsNonFiniteQuantized pins the quantized path: NaN
+// gradients quantize to a NaN Min/Max range, which the accumulator
+// rejects without decoding a single code.
+func TestStreamingRejectsNonFiniteQuantized(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	s := NewStreaming()
+	params := m.Params()
+	qs := make([]compress.QuantizedTensor, len(params))
+	for i, p := range params {
+		src := tensor.New(p.Shape...)
+		compress.QuantizeInto(&qs[i], src)
+	}
+	qs[0].Min = math.NaN()
+	qs[0].Max = math.NaN()
+	if err := s.AddQuantized(m, qs, 1, 0.5); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN-range quantized update err = %v, want ErrNonFinite", err)
+	}
+	qs[0].Min, qs[0].Max = 0, math.Inf(1)
+	if err := s.AddQuantized(m, qs, 1, 0.5); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Inf-range quantized update err = %v, want ErrNonFinite", err)
+	}
+	if got := s.Updates(m.ID); got != 0 {
+		t.Fatalf("Updates = %d after rejected adds, want 0", got)
+	}
+	qs[0].Min, qs[0].Max = 0, 0
+	if err := s.AddQuantized(m, qs, 1, 0.5); err != nil {
+		t.Fatalf("finite-range quantized update rejected: %v", err)
+	}
+}
+
+// TestStreamingSnapshotRestore pins the checkpoint contract: restoring a
+// mid-stream snapshot into a fresh aggregator and folding the remaining
+// updates finalizes bit-identically to the uninterrupted aggregation.
+func TestStreamingSnapshotRestore(t *testing.T) {
+	model.ResetIDs()
+	ma := newModel(t, 5, 4)
+	model.ResetIDs()
+	mb := newModel(t, 5, 4)
+	rng := rand.New(rand.NewSource(9))
+	var batch []Update
+	for i := 0; i < 6; i++ {
+		batch = append(batch, randomUpdate(ma, rng, i+1))
+	}
+
+	full := NewStreamingSharded(7)
+	for _, u := range batch {
+		if err := full.Add(ma, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	half := NewStreamingSharded(7)
+	for _, u := range batch[:3] {
+		if err := half.Add(mb, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := half.Snapshot()
+	if len(snaps) != 1 || snaps[0].ModelID != mb.ID || snaps[0].Count != 3 {
+		t.Fatalf("snapshot = %+v, want one entry for model %d with count 3", snaps, mb.ID)
+	}
+	// Mutating the source after Snapshot must not affect the copy.
+	half.Abort()
+
+	resumed := NewStreamingSharded(7)
+	if err := resumed.RestoreSnapshot(mb, snaps[0]); err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range batch[3:] {
+		if err := resumed.Add(mb, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lossA, nA, okA := full.Finalize(ma)
+	lossB, nB, okB := resumed.Finalize(mb)
+	if lossA != lossB || nA != nB || okA != okB {
+		t.Fatalf("resumed finalize (%v,%d,%v) != full (%v,%d,%v)", lossB, nB, okB, lossA, nA, okA)
+	}
+	pa, pb := ma.Params(), mb.Params()
+	for i := range pa {
+		for j := range pa[i].Data {
+			if pa[i].Data[j] != pb[i].Data[j] {
+				t.Fatalf("weights diverge at tensor %d index %d", i, j)
+			}
+		}
+	}
+
+	short := AccumSnapshot{ModelID: mb.ID, Sum: []float64{1}, Count: 1, Weight: 1}
+	if err := NewStreaming().RestoreSnapshot(mb, short); !errors.Is(err, ErrUpdateShape) {
+		t.Fatalf("short snapshot err = %v, want ErrUpdateShape", err)
+	}
+}
+
+// TestStreamingSnapshotEmptyAtBoundary pins that a round-boundary
+// snapshot (everything finalized) is nil.
+func TestStreamingSnapshotEmptyAtBoundary(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	s := NewStreaming()
+	if err := s.Add(m, randomUpdate(m, rand.New(rand.NewSource(1)), 2)); err != nil {
+		t.Fatal(err)
+	}
+	s.Finalize(m)
+	if snaps := s.Snapshot(); snaps != nil {
+		t.Fatalf("snapshot after finalize = %+v, want nil", snaps)
+	}
+}
+
+// TestStreamingAbortDiscardsRound pins quorum-abort semantics: Abort
+// drops in-flight updates without touching weights, and the next round
+// folds into a clean accumulator.
+func TestStreamingAbortDiscardsRound(t *testing.T) {
+	model.ResetIDs()
+	m := newModel(t, 3)
+	s := NewStreaming()
+	wantW := make([][]tensor.Float, len(m.Params()))
+	for i, p := range m.Params() {
+		wantW[i] = append([]tensor.Float(nil), p.Data...)
+	}
+	rng := rand.New(rand.NewSource(4))
+	if err := s.Add(m, randomUpdate(m, rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s.Abort()
+	if got := s.Updates(m.ID); got != 0 {
+		t.Fatalf("Updates = %d after Abort, want 0", got)
+	}
+	if _, _, ok := s.Finalize(m); ok {
+		t.Fatal("Finalize succeeded on an aborted round")
+	}
+	for i, p := range m.Params() {
+		for j := range p.Data {
+			if p.Data[j] != wantW[i][j] {
+				t.Fatal("Abort modified model weights")
+			}
+		}
+	}
+	// The committed follow-up round must match a never-aborted aggregator.
+	next := randomUpdate(m, rand.New(rand.NewSource(5)), 2)
+	if err := s.Add(m, next); err != nil {
+		t.Fatal(err)
+	}
+	model.ResetIDs()
+	ref := newModel(t, 3)
+	sref := NewStreaming()
+	refU := next
+	refU.ModelID = ref.ID
+	if err := sref.Add(ref, refU); err != nil {
+		t.Fatal(err)
+	}
+	lossA, nA, _ := s.Finalize(m)
+	lossB, nB, _ := sref.Finalize(ref)
+	if lossA != lossB || nA != nB {
+		t.Fatalf("post-abort finalize (%v,%d) != clean (%v,%d)", lossA, nA, lossB, nB)
+	}
+}

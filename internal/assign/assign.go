@@ -30,6 +30,46 @@ func NewManager(n int) *Manager {
 	return m
 }
 
+// NumClients returns the number of registered clients.
+func (mg *Manager) NumClients() int { return len(mg.utilities) }
+
+// EnsureClients grows the utility table to cover n clients; new entries
+// start at the paper's zero-utility initialization, so clients joining
+// mid-experiment are assigned like never-seen clients. The table never
+// shrinks: a departing client keeps its utilities for a later rejoin.
+func (mg *Manager) EnsureClients(n int) {
+	for len(mg.utilities) < n {
+		mg.utilities = append(mg.utilities, make(map[int]float64))
+	}
+}
+
+// ExportUtilities deep-copies the per-client utility table
+// (checkpointing).
+func (mg *Manager) ExportUtilities() []map[int]float64 {
+	out := make([]map[int]float64, len(mg.utilities))
+	for c, u := range mg.utilities {
+		cp := make(map[int]float64, len(u))
+		for id, v := range u {
+			cp[id] = v
+		}
+		out[c] = cp
+	}
+	return out
+}
+
+// ImportUtilities replaces the utility table with a deep copy of u
+// (checkpoint restore).
+func (mg *Manager) ImportUtilities(u []map[int]float64) {
+	mg.utilities = make([]map[int]float64, len(u))
+	for c, src := range u {
+		cp := make(map[int]float64, len(src))
+		for id, v := range src {
+			cp[id] = v
+		}
+		mg.utilities[c] = cp
+	}
+}
+
 // Compatible returns the suite models whose per-sample MACs do not exceed
 // the client's capacity, in suite order. The initial model (index 0) is
 // always considered compatible so every client can participate, matching

@@ -1,0 +1,105 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	for r := 0; r < 10; r++ {
+		if f := in.Fault(r, r, 0); f != None {
+			t.Fatalf("nil injector returned %v", f)
+		}
+		if d := in.Delay(r, r, 0); d != 0 {
+			t.Fatalf("nil injector delay %v", d)
+		}
+	}
+	if New(Config{}) != nil {
+		t.Error("zero config must yield a nil injector")
+	}
+	if New(Config{Seed: 42}) != nil {
+		t.Error("a seed without rates must yield a nil injector")
+	}
+}
+
+func TestFaultDeterministicPerCoordinates(t *testing.T) {
+	cfg := Config{Seed: 7, CrashRate: 0.2, CorruptRate: 0.1, NonFiniteRate: 0.1,
+		StragglerRate: 0.3, StragglerDelay: 2.5}
+	a, b := New(cfg), New(cfg)
+	for round := 0; round < 20; round++ {
+		for client := 0; client < 20; client++ {
+			for attempt := 0; attempt < 3; attempt++ {
+				if a.Fault(round, client, attempt) != b.Fault(round, client, attempt) {
+					t.Fatalf("fault draw (%d,%d,%d) not deterministic", round, client, attempt)
+				}
+				if a.Delay(round, client, attempt) != b.Delay(round, client, attempt) {
+					t.Fatalf("delay draw (%d,%d,%d) not deterministic", round, client, attempt)
+				}
+			}
+		}
+	}
+}
+
+func TestFaultRatesApproximate(t *testing.T) {
+	cfg := Config{Seed: 3, CrashRate: 0.2, CorruptRate: 0.15, NonFiniteRate: 0.05,
+		StragglerRate: 0.25, StragglerDelay: 1}
+	in := New(cfg)
+	const n = 20000
+	counts := map[Fault]int{}
+	delayed := 0
+	for i := 0; i < n; i++ {
+		counts[in.Fault(i/100, i%100, 0)]++
+		if in.Delay(i/100, i%100, 0) > 0 {
+			delayed++
+		}
+	}
+	check := func(name string, got int, want float64) {
+		frac := float64(got) / n
+		if math.Abs(frac-want) > 0.02 {
+			t.Errorf("%s rate = %.3f, want ≈ %.3f", name, frac, want)
+		}
+	}
+	check("crash", counts[Crash], cfg.CrashRate)
+	check("corrupt", counts[CorruptUpload], cfg.CorruptRate)
+	check("nonfinite", counts[NonFinite], cfg.NonFiniteRate)
+	check("straggler", delayed, cfg.StragglerRate)
+	check("none", counts[None], 1-cfg.CrashRate-cfg.CorruptRate-cfg.NonFiniteRate)
+}
+
+func TestRetryDrawsIndependent(t *testing.T) {
+	// A faulted attempt must have a realistic chance of succeeding on
+	// retry: the attempt number participates in the hash.
+	in := New(Config{Seed: 11, CrashRate: 0.5})
+	recovered := 0
+	crashed := 0
+	for client := 0; client < 2000; client++ {
+		if in.Fault(0, client, 0) == Crash {
+			crashed++
+			if in.Fault(0, client, 1) == None {
+				recovered++
+			}
+		}
+	}
+	if crashed == 0 {
+		t.Fatal("no crashes at rate 0.5")
+	}
+	if frac := float64(recovered) / float64(crashed); frac < 0.4 || frac > 0.6 {
+		t.Errorf("retry recovery rate = %.3f, want ≈ 0.5 (independent draws)", frac)
+	}
+}
+
+func TestSeedChangesFaultPattern(t *testing.T) {
+	a := New(Config{Seed: 1, CrashRate: 0.5})
+	b := New(Config{Seed: 2, CrashRate: 0.5})
+	same := 0
+	const n = 1000
+	for i := 0; i < n; i++ {
+		if a.Fault(0, i, 0) == b.Fault(0, i, 0) {
+			same++
+		}
+	}
+	if same == n {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}

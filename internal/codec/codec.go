@@ -16,6 +16,11 @@
 //	  dims  rank × uint32
 //	  data  prod(dims) × float32
 //	crc32   uint32  IEEE checksum of everything above
+//
+// The coordinator's resumable checkpoints use a sibling frame in the
+// same style (magic "FTCP", version, big-endian body, trailing CRC-32)
+// that embeds these weight blobs per model; its field-by-field layout
+// is documented on fl.Checkpoint in internal/fl/checkpoint.go.
 package codec
 
 import (

@@ -1,0 +1,377 @@
+package fl
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"fedtrans/internal/chaos"
+	"fedtrans/internal/selection"
+)
+
+// ckptConfig is the kitchen-sink deterministic configuration the
+// checkpoint golden tests run under: transformation, quantized uploads,
+// clip+noise, dropout, and logging all on, so a resumed run must
+// reproduce every stateful subsystem.
+func ckptConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rounds = 10
+	cfg.ClientsPerRound = 6
+	cfg.EvalEvery = 3
+	cfg.ConvergePatience = 0
+	cfg.QuantizeUploads = true
+	cfg.ClipNorm = 5
+	cfg.NoiseStd = 0.001
+	cfg.DropoutRate = 0.1
+	cfg.RecordLog = true
+	cfg.Transform.Gamma = 3
+	cfg.Transform.Delta = 3
+	cfg.Transform.Beta = 0.05
+	return cfg
+}
+
+// runWithCheckpoints executes cfg once, collecting every checkpoint
+// blob, and fails the test on any background encode error.
+func runWithCheckpoints(t *testing.T, mk func() *Runtime, every int) (Result, map[int][]byte) {
+	t.Helper()
+	blobs := make(map[int][]byte)
+	var mu sync.Mutex
+	rt := mk()
+	rt.cfg.CheckpointEvery = every
+	rt.cfg.CheckpointSink = func(round int, blob []byte) {
+		mu.Lock()
+		blobs[round] = blob
+		mu.Unlock()
+	}
+	res := rt.Run()
+	if err := rt.CheckpointErr(); err != nil {
+		t.Fatalf("checkpoint encode failed: %v", err)
+	}
+	return res, blobs
+}
+
+// TestCheckpointResumeGoldenEveryBoundary is the kill/resume golden
+// test: a checkpoint is written after every round, the run is "killed"
+// at each boundary in turn, and a fresh runtime resumed from the blob
+// must produce a Result reflect.DeepEqual (bit-for-bit: accuracies,
+// costs, rng-driven logs, everything) to the uninterrupted run — under
+// both serial execution and the parallel streaming pipeline.
+func TestCheckpointResumeGoldenEveryBoundary(t *testing.T) {
+	for _, mode := range []struct {
+		name          string
+		procs, window int
+	}{
+		{"serial-window1", 1, 1},
+		{"parallel-window64", 4, 64},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			prev := runtime.GOMAXPROCS(mode.procs)
+			defer runtime.GOMAXPROCS(prev)
+			mk := func() *Runtime {
+				ds, tr, spec := smokeSetup(t, 16)
+				cfg := ckptConfig()
+				cfg.StreamWindow = mode.window
+				return New(cfg, ds, tr, spec)
+			}
+			expected := mk().Run()
+
+			withCkpt, blobs := runWithCheckpoints(t, mk, 1)
+			if !reflect.DeepEqual(expected, withCkpt) {
+				t.Fatal("enabling checkpoints changed the run result")
+			}
+			if want := ckptConfig().Rounds - 1; len(blobs) != want {
+				t.Fatalf("collected %d checkpoints, want %d", len(blobs), want)
+			}
+			for round := 1; round < ckptConfig().Rounds; round++ {
+				resumed, err := mk().Resume(blobs[round])
+				if err != nil {
+					t.Fatalf("resume at round %d: %v", round, err)
+				}
+				if !reflect.DeepEqual(expected, resumed) {
+					t.Fatalf("kill/resume at round boundary %d diverged from uninterrupted run", round)
+				}
+			}
+		})
+	}
+}
+
+// chaosScenario builds the full-stack fault-tolerance configuration:
+// chaos faults with retries, straggler timeouts, quorum commits, client
+// churn, a stateful guided selector, and the server optimizer — every
+// piece of state a checkpoint must carry.
+func chaosScenario(t *testing.T) func() *Runtime {
+	return func() *Runtime {
+		ds, tr, spec := smokeSetup(t, 20)
+		cfg := ckptConfig()
+		cfg.Rounds = 12
+		cfg.StreamWindow = 2
+		cfg.ServerYogi = true
+		cfg.Selector = selection.NewOort()
+		cfg.Quorum = 0.5
+		cfg.RetryBudget = 2
+		cfg.RetryBackoff = 2
+		cfg.ClientTimeout = 25
+		cfg.Chaos = chaos.Config{
+			Seed:           99,
+			CrashRate:      0.15,
+			CorruptRate:    0.10,
+			NonFiniteRate:  0.05,
+			StragglerRate:  0.15,
+			StragglerDelay: 30,
+		}
+		cfg.Churn = selection.ChurnConfig{JoinRate: 0.3, LeaveRate: 0.2}
+		return New(cfg, ds, tr, spec)
+	}
+}
+
+// TestChaosQuorumCommitsUnderFailures: with ~30% injected faults plus
+// straggler timeouts, retried attempts must keep rounds committing via
+// quorum, and the whole chaotic run must be deterministic for a fixed
+// chaos seed — including serial vs parallel execution.
+func TestChaosQuorumCommitsUnderFailures(t *testing.T) {
+	mk := chaosScenario(t)
+	res := mk().Run()
+
+	if res.Retries == 0 {
+		t.Error("chaos injected no retries")
+	}
+	if res.Overhead.DoCUpdates == 0 {
+		t.Fatal("no round ever committed under 30% chaos with retries+quorum")
+	}
+	committed := 0
+	for _, l := range res.Log {
+		if l.Committed {
+			committed++
+			if l.UpdatesPerModel == nil {
+				t.Errorf("round %d committed without per-model update counts", l.Round)
+			}
+		} else if l.UpdatesPerModel != nil {
+			t.Errorf("round %d aborted but logged update counts", l.Round)
+		}
+	}
+	if committed < res.RoundsRun*7/10 {
+		t.Errorf("only %d/%d rounds committed; quorum+retries should carry most rounds",
+			committed, res.RoundsRun)
+	}
+	if int64(committed) != res.Overhead.DoCUpdates {
+		t.Errorf("DoC observed %d rounds, %d committed", res.Overhead.DoCUpdates, committed)
+	}
+	if res.AbortedRounds != res.RoundsRun-committed {
+		t.Errorf("AbortedRounds %d != %d uncommitted rounds", res.AbortedRounds, res.RoundsRun-committed)
+	}
+
+	if again := mk().Run(); !reflect.DeepEqual(res, again) {
+		t.Fatal("chaotic run is not deterministic for a fixed chaos seed")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if serial := mk().Run(); !reflect.DeepEqual(res, serial) {
+		t.Fatal("chaotic run differs between serial and parallel execution")
+	}
+}
+
+// TestChaosAbortLeavesWeightsUntouched: when every attempt crashes and
+// quorum can never be met, all rounds abort and the suite must be
+// byte-identical to a run that never trained at all.
+func TestChaosAbortLeavesWeightsUntouched(t *testing.T) {
+	mk := func(rounds int) *Runtime {
+		ds, tr, spec := smokeSetup(t, 12)
+		cfg := DefaultConfig()
+		cfg.Rounds = rounds
+		cfg.ClientsPerRound = 4
+		cfg.EvalEvery = 2
+		cfg.ConvergePatience = 0
+		cfg.Quorum = 0.75
+		cfg.Chaos = chaos.Config{Seed: 7, CrashRate: 1}
+		return New(cfg, ds, tr, spec)
+	}
+	res := mk(6).Run()
+	if res.AbortedRounds != 6 {
+		t.Fatalf("AbortedRounds = %d, want 6 (every attempt crashes)", res.AbortedRounds)
+	}
+	if res.Overhead.DoCUpdates != 0 || res.Overhead.Transforms != 0 {
+		t.Errorf("aborted rounds leaked convergence evidence: %+v", res.Overhead)
+	}
+	if res.Failures == 0 {
+		t.Error("no failures recorded despite CrashRate 1")
+	}
+	untrained := mk(0).Run()
+	if res.MeanAcc != untrained.MeanAcc {
+		t.Errorf("aborted rounds changed weights: acc %.6f vs untrained %.6f",
+			res.MeanAcc, untrained.MeanAcc)
+	}
+}
+
+// TestCheckpointResumeChaosScenario: kill/resume determinism with every
+// stateful subsystem engaged at once — chaos retries, quorum aborts,
+// churn membership, Oort's feedback tables, and Yogi moments must all
+// round-trip through the checkpoint.
+func TestCheckpointResumeChaosScenario(t *testing.T) {
+	mk := chaosScenario(t)
+	expected := mk().Run()
+
+	withCkpt, blobs := runWithCheckpoints(t, mk, 4)
+	if !reflect.DeepEqual(expected, withCkpt) {
+		t.Fatal("enabling checkpoints changed the chaotic run result")
+	}
+	for _, round := range []int{4, 8} {
+		blob := blobs[round]
+		if blob == nil {
+			t.Fatalf("no checkpoint at round %d (have %d blobs)", round, len(blobs))
+		}
+		resumed, err := mk().Resume(blob)
+		if err != nil {
+			t.Fatalf("resume at round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(expected, resumed) {
+			t.Fatalf("chaotic kill/resume at round %d diverged from uninterrupted run", round)
+		}
+	}
+}
+
+// TestCheckpointCanonicalRoundtrip: a live checkpoint decodes, and its
+// re-encoding is byte-identical (the canonical-form invariant the
+// fuzzer drives at scale).
+func TestCheckpointCanonicalRoundtrip(t *testing.T) {
+	_, blobs := runWithCheckpoints(t, chaosScenario(t), 4)
+	for round, blob := range blobs {
+		ck, err := DecodeCheckpoint(blob)
+		if err != nil {
+			t.Fatalf("round %d: decode: %v", round, err)
+		}
+		re, err := EncodeCheckpoint(ck)
+		if err != nil {
+			t.Fatalf("round %d: re-encode: %v", round, err)
+		}
+		if !bytes.Equal(blob, re) {
+			t.Fatalf("round %d: re-encoded checkpoint differs from original (%d vs %d bytes)",
+				round, len(blob), len(re))
+		}
+		ck2, err := DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("round %d: second decode: %v", round, err)
+		}
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("round %d: decode/encode/decode not a fixed point", round)
+		}
+	}
+}
+
+// TestCheckpointDecodeRejectsCorruption: the strict decoder must refuse
+// bad magic, flipped payload bytes, truncations, and trailing garbage.
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	ds, tr, spec := smokeSetup(t, 8)
+	cfg := ckptConfig()
+	cfg.Rounds = 2
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	blob, err := rt.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := DecodeCheckpoint(blob); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0] = 'X'
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad = append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0xff
+	if _, err := DecodeCheckpoint(bad); err == nil {
+		t.Error("flipped payload byte accepted")
+	}
+	for _, cut := range []int{1, 4, len(blob) / 2, len(blob) - 1} {
+		if _, err := DecodeCheckpoint(blob[:cut]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", cut)
+		}
+	}
+	if _, err := DecodeCheckpoint(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+// TestRestoreRejectsMismatchedRuntime: selector/churn state in the blob
+// must not silently vanish when the resuming config lacks the subsystem.
+func TestRestoreRejectsMismatchedRuntime(t *testing.T) {
+	_, blobs := runWithCheckpoints(t, chaosScenario(t), 4)
+	blob := blobs[4]
+
+	ds, tr, spec := smokeSetup(t, 20)
+	cfg := ckptConfig()
+	cfg.Rounds = 12
+	plain := New(cfg, ds, tr, spec) // stateless selector, no churn
+	if err := plain.Restore(blob); err == nil {
+		t.Error("restore into a runtime without selector/churn support succeeded")
+	}
+}
+
+// FuzzCheckpointDecode: DecodeCheckpoint must never panic, and any blob
+// it accepts must re-encode to the identical bytes (canonical form).
+func FuzzCheckpointDecode(f *testing.F) {
+	ds, tr, spec := smokeSetup(f, 8)
+	cfg := ckptConfig()
+	cfg.Rounds = 3
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	blob, err := rt.Checkpoint()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("FTCP"))
+	f.Add(blob[:len(blob)/2])
+	f.Fuzz(func(t *testing.T, b []byte) {
+		ck, err := DecodeCheckpoint(b)
+		if err != nil {
+			return
+		}
+		re, err := EncodeCheckpoint(ck)
+		if err != nil {
+			t.Fatalf("decoded checkpoint failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(b, re) {
+			t.Fatalf("decode accepted a non-canonical blob: %d bytes in, %d bytes out", len(b), len(re))
+		}
+	})
+}
+
+// BenchmarkCheckpointSnapshot measures the only synchronous cost a
+// checkpoint adds to the round loop: the COW suite clone plus scalar
+// state copies. Encoding and the sink run off the critical path.
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	ds, tr, spec := smokeSetup(b, 12)
+	cfg := ckptConfig()
+	cfg.Rounds = 6
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := rt.snapshot(rt.nextRound)
+		for _, m := range s.models {
+			m.Release()
+		}
+	}
+}
+
+// BenchmarkCheckpointEncode measures the full snapshot→FTCP-blob path
+// (model serialization included) that the background goroutine pays.
+func BenchmarkCheckpointEncode(b *testing.B) {
+	ds, tr, spec := smokeSetup(b, 12)
+	cfg := ckptConfig()
+	cfg.Rounds = 6
+	rt := New(cfg, ds, tr, spec)
+	rt.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Checkpoint(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,11 +1,15 @@
 package fl
 
 import (
+	"errors"
+	"math"
 	"math/rand"
 	stdruntime "runtime"
+	"sync"
 
 	"fedtrans/internal/aggregate"
 	"fedtrans/internal/assign"
+	"fedtrans/internal/chaos"
 	"fedtrans/internal/compress"
 	"fedtrans/internal/data"
 	"fedtrans/internal/device"
@@ -78,6 +82,45 @@ type Config struct {
 	// Seed drives client selection, assignment sampling, and local
 	// batching.
 	Seed int64
+	// Quorum, when positive, is the fraction of a round's selected
+	// participants whose updates must fold into the aggregator for the
+	// round to commit (need = ceil(Quorum × selected)). A round that
+	// cannot reach quorum is aborted: its partial aggregates are
+	// discarded and the suite weights stay untouched, so surviving
+	// clients' weight shares implicitly redistribute to later committed
+	// rounds. 0 keeps the legacy behavior (every round commits).
+	Quorum float64
+	// RetryBudget is how many times a failed participant attempt (chaos
+	// crash, corrupt upload, timeout) is retried before the client counts
+	// as failed for the round. Retries run with attempt-salted local
+	// seeds, so they are deterministic without replaying the failure.
+	RetryBudget int
+	// RetryBackoff is the simulated seconds added to a client's round
+	// time before retry attempt k (backoff × 2^(k-1)).
+	RetryBackoff float64
+	// ClientTimeout, when positive, fails any attempt whose simulated
+	// training+straggler time exceeds it; the coordinator charges itself
+	// the timeout wait instead of the client's full duration.
+	ClientTimeout float64
+	// Chaos configures deterministic fault injection (internal/chaos).
+	// The zero value disables it.
+	Chaos chaos.Config
+	// Churn configures deterministic join/leave client churn
+	// (internal/selection). The zero value disables it: every client is
+	// always online, as before.
+	Churn selection.ChurnConfig
+	// CheckpointEvery, when positive together with CheckpointSink,
+	// snapshots the full runtime state after every CheckpointEvery-th
+	// round. The snapshot is taken synchronously (cheap: COW model
+	// clones plus scalar state) but encoded and delivered on a background
+	// goroutine, keeping serialization and I/O off the round critical
+	// path (see PERF.md).
+	CheckpointEvery int
+	// CheckpointSink receives each encoded checkpoint. round is the
+	// number of fully completed rounds the blob captures (resume starts
+	// at that round). Called from a background goroutine, one call at a
+	// time; Run waits for outstanding deliveries before returning.
+	CheckpointSink func(round int, blob []byte)
 }
 
 // DefaultConfig returns paper-default parameters at reproduction scale.
@@ -113,6 +156,14 @@ type RoundLog struct {
 	Transformed bool
 	// SuiteSize is the model count after the round.
 	SuiteSize int
+	// Failures counts participants that exhausted their retry budget
+	// this round (chaos faults / timeouts, not dropout draws).
+	Failures int
+	// Retries counts retry attempts consumed this round.
+	Retries int
+	// Committed reports whether the round reached quorum and its
+	// aggregate was applied; an uncommitted round changed no weights.
+	Committed bool
 }
 
 // Overhead counts the coordinator-side bookkeeping operations of Table 5.
@@ -153,6 +204,13 @@ type Result struct {
 	// Dropouts counts participants that failed mid-round (when
 	// Config.DropoutRate is set).
 	Dropouts int
+	// Failures counts participants that exhausted their retry budget
+	// (chaos faults, corrupt uploads, timeouts).
+	Failures int
+	// Retries counts failed attempts that were retried.
+	Retries int
+	// AbortedRounds counts rounds discarded for missing quorum.
+	AbortedRounds int
 	// Log holds per-round trace records when Config.RecordLog is set.
 	Log []RoundLog
 }
@@ -168,9 +226,29 @@ type Runtime struct {
 	doc       *transform.DoCTracker
 	act       map[int]*transform.ActivenessTracker
 	rng       *rand.Rand
+	rngSrc    *countingSource
 	serverOpt *yogiOpt
+	chaos     *chaos.Injector
+	churn     *selection.Churn
 
 	maxCapacity float64
+
+	// Run-loop state lives on the Runtime (not on the Run stack) so a
+	// checkpoint can capture it and Resume can continue mid-run: the
+	// accumulated result, the convergence-rule trackers, and the next
+	// round index. resumed marks a runtime whose state was installed by
+	// Restore, so Run continues instead of starting over.
+	res       Result
+	bestAcc   float64
+	stall     int
+	nextRound int
+	resumed   bool
+
+	// ckptWG tracks in-flight background checkpoint encodes; ckptMu
+	// serializes sink calls; ckptErr records the first encode failure.
+	ckptWG  sync.WaitGroup
+	ckptMu  sync.Mutex
+	ckptErr error
 
 	// Streaming-aggregation state, all recycled across rounds so the
 	// steady-state round loop allocates O(1) regardless of participants:
@@ -185,18 +263,45 @@ type Runtime struct {
 	lossBuf    []float64
 	stdBuf     []float64
 	compatBuf  []*model.Model
+	activeBuf  []int
 }
 
 // roundTask is one selected, non-dropped participant's slot in the
 // streaming round pipeline: produce fills the upload buffers and the
 // scalar outcomes, consume folds the upload into the accumulator and
-// releases the buffers back to the pool.
+// releases the buffers back to the pool. fault/delay carry the chaos
+// draw of the latest attempt; ok marks clients whose update committed.
 type roundTask struct {
 	client  int
 	m       *model.Model
 	up      []*tensor.Tensor
 	loss    float64
 	samples int
+	fault   chaos.Fault
+	delay   float64
+	ok      bool
+}
+
+// countingSource wraps a rand.Source and counts state advances. It
+// deliberately implements only rand.Source (not Source64): rand.Rand's
+// Uint64 fallback over Int63 is formula-identical to the stdlib
+// source's own Uint64, so hiding Source64 changes no output bits while
+// making every consumed draw observable. Checkpoints store the count;
+// resume fast-forwards a fresh source by the same number of steps to
+// land on the exact rng state of the interrupted run.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Seed(seed int64) {
+	s.src.Seed(seed)
+	s.n = 0
 }
 
 // New builds a runtime from an initial model spec. The device trace must
@@ -211,19 +316,30 @@ func New(cfg Config, ds *data.Dataset, trace *device.Trace, initial model.Spec) 
 	if cfg.Selector == nil {
 		cfg.Selector = selection.Random{}
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	src := &countingSource{src: rand.NewSource(cfg.Seed)}
+	rng := rand.New(src)
 	// A per-run ID scope keeps model/cell IDs deterministic even when
 	// several runtimes execute concurrently (parallel experiment grids).
 	m0 := initial.BuildScoped(rng, model.NewIDGen())
 	rt := &Runtime{
-		cfg:   cfg,
-		ds:    ds,
-		trace: trace,
-		suite: []*model.Model{m0},
-		mgr:   assign.NewManager(len(ds.Clients)),
-		doc:   transform.NewDoCTracker(cfg.Transform.Gamma, cfg.Transform.Delta),
-		act:   map[int]*transform.ActivenessTracker{m0.ID: transform.NewActivenessTracker(cfg.Transform.ActWindow)},
-		rng:   rng,
+		cfg:    cfg,
+		ds:     ds,
+		trace:  trace,
+		suite:  []*model.Model{m0},
+		mgr:    assign.NewManager(len(ds.Clients)),
+		doc:    transform.NewDoCTracker(cfg.Transform.Gamma, cfg.Transform.Delta),
+		act:    map[int]*transform.ActivenessTracker{m0.ID: transform.NewActivenessTracker(cfg.Transform.ActWindow)},
+		rng:    rng,
+		rngSrc: src,
+		chaos:  chaos.New(cfg.Chaos),
+	}
+	if cfg.Churn.Enabled() {
+		ccfg := cfg.Churn
+		if ccfg.MinOnline < cfg.ClientsPerRound {
+			// The coordinator needs a full round's worth of candidates.
+			ccfg.MinOnline = cfg.ClientsPerRound
+		}
+		rt.churn = selection.NewChurn(len(ds.Clients), ccfg)
 	}
 	for _, d := range trace.Devices {
 		if d.CapacityMACs > rt.maxCapacity {
@@ -248,24 +364,34 @@ func (rt *Runtime) storageBytes() int64 {
 }
 
 // Run executes the full training loop and returns the result summary.
+// On a runtime installed by Restore it continues from the checkpointed
+// round instead of starting over; the returned Result is then identical
+// to an uninterrupted run's.
 func (rt *Runtime) Run() Result {
 	cfg := rt.cfg
-	res := Result{CostCurve: metrics.Series{Name: "fedtrans"}}
-	res.Costs.ObserveStorage(rt.storageBytes())
+	if !rt.resumed {
+		rt.res = Result{CostCurve: metrics.Series{Name: "fedtrans"}}
+		rt.res.Costs.ObserveStorage(rt.storageBytes())
+		rt.bestAcc, rt.stall, rt.nextRound = 0, 0, 0
+	}
+	res := &rt.res
 
-	bestAcc := 0.0
-	stall := 0
-	for round := 0; round < cfg.Rounds; round++ {
+loop:
+	for round := rt.nextRound; round < cfg.Rounds; round++ {
 		dropoutsBefore := res.Dropouts
-		roundLoss, roundTime, perModel := rt.runRound(round, &res)
+		failuresBefore, retriesBefore := res.Failures, res.Retries
+		roundLoss, roundTime, perModel, committed := rt.runRound(round, res)
 		res.RoundTimes = append(res.RoundTimes, roundTime)
-		rt.doc.Observe(roundLoss)
-		res.Overhead.DoCUpdates++
+		if committed {
+			rt.doc.Observe(roundLoss)
+			res.Overhead.DoCUpdates++
+		}
 		res.RoundsRun = round + 1
 
-		// Model transformation (§4.1).
+		// Model transformation (§4.1). An aborted round contributes no
+		// convergence evidence, so it cannot trigger a transform.
 		transformed := false
-		if !cfg.DisableTransform {
+		if committed && !cfg.DisableTransform {
 			if doc, ok := rt.doc.DoC(); ok && doc <= cfg.Transform.Beta {
 				if rt.tryTransform(round) {
 					transformed = true
@@ -286,6 +412,9 @@ func (rt *Runtime) Run() Result {
 				UpdatesPerModel: perModel,
 				Transformed:     transformed,
 				SuiteSize:       len(rt.suite),
+				Failures:        res.Failures - failuresBefore,
+				Retries:         res.Retries - retriesBefore,
+				Committed:       committed,
 			})
 		}
 
@@ -295,18 +424,26 @@ func (rt *Runtime) Run() Result {
 			mean := metrics.Mean(accs)
 			res.CostCurve.Append(res.Costs.TrainMACs, mean)
 			if cfg.ConvergePatience > 0 {
-				if mean > bestAcc+cfg.ConvergeDelta {
-					bestAcc = mean
-					stall = 0
+				if mean > rt.bestAcc+cfg.ConvergeDelta {
+					rt.bestAcc = mean
+					rt.stall = 0
 				} else {
-					stall++
-					if stall >= cfg.ConvergePatience {
-						break
+					rt.stall++
+					if rt.stall >= cfg.ConvergePatience {
+						rt.nextRound = round + 1
+						break loop
 					}
 				}
 			}
 		}
+		rt.nextRound = round + 1
+
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil &&
+			(round+1)%cfg.CheckpointEvery == 0 && round+1 < cfg.Rounds {
+			rt.checkpointAsync(round + 1)
+		}
 	}
+	rt.ckptWG.Wait()
 
 	accs, bestMACs := rt.EvaluateAll()
 	res.ClientAcc = accs
@@ -317,7 +454,15 @@ func (rt *Runtime) Run() Result {
 		res.SuiteArch = append(res.SuiteArch, m.ArchString())
 		res.SuiteMACs = append(res.SuiteMACs, m.MACsPerSample())
 	}
-	return res
+	return *res
+}
+
+// CheckpointErr returns the first background checkpoint-encode failure,
+// or nil. Valid after Run returns (Run waits for in-flight encodes).
+func (rt *Runtime) CheckpointErr() error {
+	rt.ckptMu.Lock()
+	defer rt.ckptMu.Unlock()
+	return rt.ckptErr
 }
 
 // streamWindow returns the bounded number of in-flight client updates.
@@ -346,12 +491,17 @@ func (rt *Runtime) quantScratch(m *model.Model) []compress.QuantizedTensor {
 	return qs
 }
 
+// errQuorumLost aborts the completion stream once the remaining
+// participants can no longer reach the round quorum.
+var errQuorumLost = errors.New("fl: round lost quorum")
+
 // runRound executes one FL round as a streaming, sharded aggregation
 // pipeline and returns the weighted mean training loss, the simulated
-// round completion time, and the per-model update counts.
+// round completion time, the per-model update counts, and whether the
+// round committed.
 //
 // As each parallel local-training task finishes, the completion stream
-// (par.Stream) hands it to the consumer in deterministic submission
+// (par.StreamErr) hands it to the consumer in deterministic submission
 // order: the update is clipped/noised, its uplink is (optionally)
 // quantized, and it is folded straight into the per-model sharded
 // accumulator — after which its upload buffers go back to the pool for
@@ -360,15 +510,49 @@ func (rt *Runtime) quantScratch(m *model.Model) []compress.QuantizedTensor {
 // post-round stages (FedAvg finalize, Yogi, activeness, joint utility,
 // soft aggregation) consume accumulator state plus per-task scalars
 // rather than retained weight tensors.
-func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]int) {
+//
+// Fault tolerance: each participant attempt may fail (injected chaos
+// fault, corrupt or non-finite upload rejected at the accumulator
+// boundary, or a simulated timeout). Failed attempts are retried up to
+// RetryBudget times, synchronously on the consumer so the retry order —
+// and therefore every rng draw — is deterministic. When Quorum is set,
+// the round commits only if enough participants fold; otherwise the
+// partial aggregate is discarded and the suite is left untouched.
+func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]int, bool) {
 	cfg := rt.cfg
-	selected := cfg.Selector.Select(round, len(rt.ds.Clients), cfg.ClientsPerRound, rt.rng)
+
+	// Deterministic churn step, then participant selection over the
+	// online population only.
+	var selected []int
+	if rt.churn != nil {
+		rt.churn.Step(rt.rng)
+		rt.activeBuf = rt.churn.ActiveInto(rt.activeBuf[:0])
+		active := rt.activeBuf
+		n := cfg.ClientsPerRound
+		if n > len(active) {
+			n = len(active)
+		}
+		if ss, ok := cfg.Selector.(selection.SubsetSelector); ok {
+			selected = ss.SelectFrom(round, active, n, rt.rng)
+		} else {
+			// Selector without subset support: select positions into the
+			// online list so candidate restriction still holds.
+			pos := cfg.Selector.Select(round, len(active), n, rt.rng)
+			selected = make([]int, len(pos))
+			for i, p := range pos {
+				selected[i] = active[p]
+			}
+		}
+	} else {
+		selected = cfg.Selector.Select(round, len(rt.ds.Clients), cfg.ClientsPerRound, rt.rng)
+	}
 
 	// Model assignment is sequential (it consumes the round RNG in a
 	// deterministic order); local training runs in parallel with
 	// per-client reseeded RNGs so results are reproducible regardless of
 	// scheduling.
 	tasks := rt.roundTasks[:0]
+	roundDropouts := 0
 	for _, c := range selected {
 		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[c].CapacityMACs)
 		m := rt.mgr.Sample(c, rt.compatBuf, rt.rng)
@@ -380,6 +564,7 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 			// uploading: count the download, skip training.
 			res.Costs.NetworkBytes += m.Bytes()
 			res.Dropouts++
+			roundDropouts++
 			continue
 		}
 		tasks = append(tasks, roundTask{client: c, m: m})
@@ -397,53 +582,75 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 		m.Params()
 		m.ParamCount()
 	}
+
+	// Quorum is measured against everyone the round tried to reach:
+	// dropped-out clients count toward the denominator, so heavy dropout
+	// alone can abort a quorum-gated round.
+	need := 0
+	if cfg.Quorum > 0 {
+		need = int(math.Ceil(cfg.Quorum * float64(len(tasks)+roundDropouts)))
+		if need < 1 {
+			need = 1
+		}
+	}
+	folded := 0
 	roundTime := 0.0
-	par.Stream(len(tasks), rt.streamWindow(), func(i int) {
+	streamErr := par.StreamErr(len(tasks), rt.streamWindow(), func(i int) {
+		rt.trainTask(round, 0, &tasks[i])
+	}, func(i int) error {
 		u := &tasks[i]
-		sess := rt.sessions.get(u.m)
-		u.up = rt.uploads.get(u.m)
-		seed := cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919
-		u.loss, u.samples = sess.run(u.m, &rt.ds.Clients[u.client], cfg.Local, seed, u.up)
-		rt.sessions.put(u.m.ID, sess)
-	}, func(i int) {
-		u := &tasks[i]
-		m := u.m
-		if cfg.ClipNorm > 0 || cfg.NoiseStd > 0 {
-			ClipAndNoise(u.up, m.Params(), cfg.ClipNorm, cfg.NoiseStd, rt.rng)
-		}
-		res.Costs.AddTraining(m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
-		if cfg.QuantizeUploads {
-			qs := rt.quantScratch(m)
-			upBytes := 0
-			for pi, t := range u.up {
-				compress.QuantizeInto(&qs[pi], t)
-				upBytes += qs[pi].Bytes()
+		elapsed := 0.0
+		ok := rt.commitAttempt(u, &elapsed, res)
+		for attempt := 1; !ok && attempt <= cfg.RetryBudget; attempt++ {
+			res.Retries++
+			if cfg.RetryBackoff > 0 {
+				elapsed += cfg.RetryBackoff * float64(int(1)<<(attempt-1))
 			}
-			res.Costs.NetworkBytes += m.Bytes() + int64(upBytes)
-			if err := rt.agg.AddQuantized(m, qs, u.samples, u.loss); err != nil {
-				panic(err) // uploads are shaped by the model itself
-			}
-		} else {
-			res.Costs.AddTransfer(m.Bytes())
-			err := rt.agg.Add(m, aggregate.Update{
-				ModelID: m.ID, Weights: u.up, Samples: u.samples, Loss: u.loss,
-			})
-			if err != nil {
-				panic(err)
-			}
+			// Retries run synchronously on the (single) consumer
+			// goroutine: determinism needs no extra machinery, and a
+			// retry storm degrades throughput instead of correctness.
+			rt.trainTask(round, attempt, u)
+			ok = rt.commitAttempt(u, &elapsed, res)
 		}
-		t := rt.trace.TrainingTime(u.client, m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, m.Bytes())
-		if t > roundTime {
-			roundTime = t
-		}
-		cfg.Selector.Feedback(u.client, u.loss, t)
-		// The update is reduced; release its buffers immediately.
-		rt.uploads.put(m.ID, u.up)
+		rt.uploads.put(u.m.ID, u.up)
 		u.up = nil
+		if elapsed > roundTime {
+			roundTime = elapsed
+		}
+		if ok {
+			u.ok = true
+			folded++
+			cfg.Selector.Feedback(u.client, u.loss, elapsed)
+			return nil
+		}
+		res.Failures++
+		if need > 0 && folded+(len(tasks)-(i+1)) < need {
+			return errQuorumLost // survivors can no longer reach quorum
+		}
+		return nil
 	})
 
+	// An abort leaves later tasks produced-but-unconsumed (or never
+	// produced); reclaim any upload buffers they hold.
+	for i := range tasks {
+		if tasks[i].up != nil {
+			rt.uploads.put(tasks[i].m.ID, tasks[i].up)
+			tasks[i].up = nil
+		}
+	}
+
+	if need > 0 && (streamErr != nil || folded < need) {
+		// Quorum missed: discard the partial aggregate; weights, DoC and
+		// utilities stay exactly as they were before the round.
+		rt.agg.Abort()
+		res.AbortedRounds++
+		return 0, roundTime, nil, false
+	}
+
 	// Per-model finalize (+ optional Yogi server step) and activeness,
-	// all fed from the accumulator instead of retained updates.
+	// all fed from the accumulator instead of retained updates. The
+	// weight of failed participants implicitly redistributes to the
+	// survivors: FedAvg normalizes by the folded sample mass only.
 	perModel := make(map[int]int)
 	lossSum, lossWeight := 0.0, 0.0
 	for _, m := range rt.suite {
@@ -473,19 +680,28 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 		}
 	}
 
-	// Joint utility learning (Eq. 4) with round-standardized losses.
+	// Joint utility learning (Eq. 4) with round-standardized losses,
+	// over committed updates only — a failed client's loss is not
+	// evidence about model utility.
 	losses := rt.lossBuf[:0]
 	for i := range tasks {
-		losses = append(losses, tasks[i].loss)
+		if tasks[i].ok {
+			losses = append(losses, tasks[i].loss)
+		}
 	}
 	rt.lossBuf = losses
 	rt.stdBuf = assign.StandardizeLossesInto(rt.stdBuf[:0], losses)
 	std := rt.stdBuf
+	k := 0
 	for i := range tasks {
 		u := &tasks[i]
+		if !u.ok {
+			continue
+		}
 		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[u.client].CapacityMACs)
-		rt.mgr.UpdateJoint(u.client, u.m, std[i], rt.compatBuf)
+		rt.mgr.UpdateJoint(u.client, u.m, std[k], rt.compatBuf)
 		res.Overhead.UtilityUpdates += int64(len(rt.compatBuf))
+		k++
 	}
 
 	// Soft inter-model aggregation (Eq. 5).
@@ -494,9 +710,93 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	}
 
 	if lossWeight == 0 {
-		return 0, roundTime, perModel
+		return 0, roundTime, perModel, true
 	}
-	return lossSum / lossWeight, roundTime, perModel
+	return lossSum / lossWeight, roundTime, perModel, true
+}
+
+// trainTask runs one local-training attempt for a round slot. The chaos
+// draw happens first — a crashed client never trains — and the local
+// seed is attempt-salted so a retry is a fresh deterministic training
+// run rather than a replay of the failed one.
+func (rt *Runtime) trainTask(round, attempt int, u *roundTask) {
+	cfg := rt.cfg
+	u.fault = rt.chaos.Fault(round, u.client, attempt)
+	u.delay = rt.chaos.Delay(round, u.client, attempt)
+	if u.up == nil {
+		u.up = rt.uploads.get(u.m)
+	}
+	if u.fault == chaos.Crash {
+		u.loss, u.samples = 0, 0
+		return
+	}
+	sess := rt.sessions.get(u.m)
+	seed := cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919 + int64(attempt)*104729
+	u.loss, u.samples = sess.run(u.m, &rt.ds.Clients[u.client], cfg.Local, seed, u.up)
+	rt.sessions.put(u.m.ID, sess)
+	if u.fault == chaos.NonFinite {
+		// The client's training diverged: poison the upload so the
+		// accumulator's finite check must catch it.
+		last := u.up[len(u.up)-1]
+		last.EnsureOwned()
+		last.Data[0] = tensor.Float(math.NaN())
+	}
+}
+
+// commitAttempt folds one attempt's upload into the accumulator,
+// charging its simulated costs and time, and reports whether it
+// succeeded. Failure modes: chaos crash (download spent, nothing else),
+// timeout (download spent, coordinator waits out ClientTimeout), and a
+// corrupt or non-finite upload rejected at the accumulator boundary
+// (full cost spent — the bytes did travel).
+func (rt *Runtime) commitAttempt(u *roundTask, elapsed *float64, res *Result) bool {
+	cfg := rt.cfg
+	m := u.m
+	if u.fault == chaos.Crash {
+		res.Costs.NetworkBytes += m.Bytes()
+		return false
+	}
+	t := rt.trace.TrainingTime(u.client, m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, m.Bytes()) + u.delay
+	res.Costs.AddTraining(m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
+	if cfg.ClientTimeout > 0 && t > cfg.ClientTimeout {
+		*elapsed += cfg.ClientTimeout
+		res.Costs.NetworkBytes += m.Bytes()
+		return false
+	}
+	*elapsed += t
+	if cfg.ClipNorm > 0 || cfg.NoiseStd > 0 {
+		ClipAndNoise(u.up, m.Params(), cfg.ClipNorm, cfg.NoiseStd, rt.rng)
+	}
+	var err error
+	if cfg.QuantizeUploads {
+		qs := rt.quantScratch(m)
+		upBytes := 0
+		for pi, t := range u.up {
+			compress.QuantizeInto(&qs[pi], t)
+			upBytes += qs[pi].Bytes()
+		}
+		if u.fault == chaos.CorruptUpload && len(qs) > 0 {
+			qs = qs[:len(qs)-1] // truncated in flight
+		}
+		res.Costs.NetworkBytes += m.Bytes() + int64(upBytes)
+		err = rt.agg.AddQuantized(m, qs, u.samples, u.loss)
+	} else {
+		ws := u.up
+		if u.fault == chaos.CorruptUpload && len(ws) > 0 {
+			ws = ws[:len(ws)-1] // truncated in flight
+		}
+		res.Costs.AddTransfer(m.Bytes())
+		err = rt.agg.Add(m, aggregate.Update{
+			ModelID: m.ID, Weights: ws, Samples: u.samples, Loss: u.loss,
+		})
+	}
+	if err != nil {
+		if u.fault == chaos.None && !errors.Is(err, aggregate.ErrNonFinite) {
+			panic(err) // uploads are shaped by the model itself: a real bug
+		}
+		return false
+	}
+	return true
 }
 
 // tryTransform derives a new model from the current largest model,

@@ -35,6 +35,20 @@ func NewIDGen() *IDGen { return &IDGen{} }
 func (g *IDGen) nextModelID() int  { return int(g.model.Add(1)) }
 func (g *IDGen) nextCellID() int64 { return g.cell.Add(1) }
 
+// Counters reports how many model and cell IDs the scope has minted so
+// far (checkpointing).
+func (g *IDGen) Counters() (modelIDs, cellIDs int64) {
+	return g.model.Load(), g.cell.Load()
+}
+
+// SetCounters forces the scope's counters (checkpoint restore), so IDs
+// minted after a resume continue exactly where the interrupted run
+// stopped.
+func (g *IDGen) SetCounters(modelIDs, cellIDs int64) {
+	g.model.Store(modelIDs)
+	g.cell.Store(cellIDs)
+}
+
 // globalIDs is the shared scope used by Build/ResetIDs and by models
 // deserialized without a generator.
 var globalIDs = NewIDGen()
@@ -46,6 +60,11 @@ func (m *Model) gen() *IDGen {
 	}
 	return m.ids
 }
+
+// IDScope returns the ID generator this model mints from (the shared
+// process scope when the model was built unscoped). Checkpoint restore
+// uses it to realign counters after reloading a suite.
+func (m *Model) IDScope() *IDGen { return m.gen() }
 
 // CellSlot wraps a Cell with identity and lineage metadata used by the
 // similarity metric: AncestorID groups cells that share weights through

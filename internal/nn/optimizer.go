@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"sort"
 
 	"fedtrans/internal/tensor"
 )
@@ -91,6 +92,41 @@ type Yogi struct {
 // NewYogi returns a Yogi optimizer with the paper-typical defaults.
 func NewYogi(lr float64) *Yogi {
 	return &Yogi{LR: lr, Beta1: 0.9, Beta2: 0.99, Tau: 1e-3}
+}
+
+// Slots returns the model slots with optimizer state, ascending
+// (checkpointing).
+func (y *Yogi) Slots() []int {
+	if len(y.m) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(y.m))
+	for slot := range y.m {
+		out = append(out, slot)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// State returns copies of a slot's first/second-moment vectors, or
+// (nil, nil) when the slot has no state yet (checkpointing).
+func (y *Yogi) State(slot int) (m, v []float64) {
+	sm, ok := y.m[slot]
+	if !ok {
+		return nil, nil
+	}
+	return append([]float64(nil), sm...), append([]float64(nil), y.v[slot]...)
+}
+
+// SetState installs a slot's first/second-moment vectors (checkpoint
+// restore); copies are taken. The two vectors must have equal length.
+func (y *Yogi) SetState(slot int, m, v []float64) {
+	if y.m == nil {
+		y.m = make(map[int][]float64)
+		y.v = make(map[int][]float64)
+	}
+	y.m[slot] = append([]float64(nil), m...)
+	y.v[slot] = append([]float64(nil), v...)
 }
 
 // Apply updates server weights in place given the pseudo-gradient (the

@@ -98,8 +98,23 @@ func ForN(n int, fn func(i int)) {
 // token budget is exhausted. produce must confine its writes to
 // index-owned state; consume(i) happens-after produce(i).
 func Stream(n, window int, produce, consume func(i int)) {
+	StreamErr(n, window, produce, func(i int) error {
+		consume(i)
+		return nil
+	})
+}
+
+// StreamErr is Stream with an early-abort path: when consume returns a
+// non-nil error, no further indices are claimed for production or
+// consumed, outstanding producers are drained (every produce already
+// started runs to completion — no goroutine is leaked and no index-owned
+// state is left half-written), and the error is returned. Indices after
+// the failed one may never be produced at all; callers owning per-index
+// resources must tolerate both produced-but-unconsumed and
+// never-produced indices after an abort.
+func StreamErr(n, window int, produce func(i int), consume func(i int) error) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if window < 1 {
 		window = 1
@@ -114,20 +129,23 @@ func Stream(n, window int, produce, consume func(i int)) {
 	if w <= 1 {
 		for i := 0; i < n; i++ {
 			produce(i)
-			consume(i)
+			if err := consume(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	var (
 		mu       sync.Mutex
 		cond     = sync.NewCond(&mu)
 		next     int // next index to claim for production
 		frontier int // next index to consume
+		aborted  bool
 		done     = make([]bool, n)
 	)
 	claim := func() (int, bool) {
 		// Caller holds mu. Claims the next index if the window allows.
-		if next < n && next < frontier+window {
+		if !aborted && next < n && next < frontier+window {
 			i := next
 			next++
 			return i, true
@@ -143,13 +161,13 @@ func Stream(n, window int, produce, consume func(i int)) {
 	worker := func() {
 		for {
 			mu.Lock()
-			for next < n && next >= frontier+window {
+			for !aborted && next < n && next >= frontier+window {
 				cond.Wait()
 			}
 			i, ok := claim()
 			mu.Unlock()
 			if !ok {
-				return // all indices claimed
+				return // all indices claimed, or the stream aborted
 			}
 			produce(i)
 			finish(i)
@@ -174,16 +192,24 @@ func Stream(n, window int, produce, consume func(i int)) {
 	// The calling goroutine drains the completion stream in index order,
 	// producing itself whenever the frontier item is not ready and the
 	// window still has room.
+	var err error
 	for frontier < n {
 		mu.Lock()
 		if done[frontier] {
 			i := frontier
 			mu.Unlock()
-			consume(i)
+			cerr := consume(i)
 			mu.Lock()
 			frontier++
+			if cerr != nil {
+				err = cerr
+				aborted = true
+			}
 			cond.Broadcast()
 			mu.Unlock()
+			if cerr != nil {
+				break
+			}
 			continue
 		}
 		if i, ok := claim(); ok {
@@ -198,9 +224,10 @@ func Stream(n, window int, produce, consume func(i int)) {
 		mu.Unlock()
 	}
 	mu.Lock()
-	cond.Broadcast() // frontier == n: release any worker still waiting
+	cond.Broadcast() // frontier == n or aborted: release waiting workers
 	mu.Unlock()
 	wg.Wait()
+	return err
 }
 
 // Chunked splits [0, n) into one contiguous range per worker and runs

@@ -1,10 +1,12 @@
 package par
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestStreamConsumesInOrderOnce(t *testing.T) {
@@ -171,4 +173,99 @@ func TestLimit(t *testing.T) {
 			t.Fatalf("Limit(0) = %d, want 1", got)
 		}
 	})
+}
+
+// TestStreamErrAbortDrainsProducers pins the early-abort contract: a
+// consumer error mid-window must stop the stream, drain every producer
+// already started (no leaked goroutines, no deadlock), never consume a
+// later index, and return the error.
+func TestStreamErrAbortDrainsProducers(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(procs, func() {
+			for _, window := range []int{1, 2, 7, 64} {
+				const n, failAt = 120, 23
+				before := runtime.NumGoroutine()
+				produced := make([]int32, n)
+				var consumed []int
+				err := StreamErr(n, window, func(i int) {
+					atomic.AddInt32(&produced[i], 1)
+				}, func(i int) error {
+					if atomic.LoadInt32(&produced[i]) != 1 {
+						t.Errorf("procs %d window %d: consume(%d) before produce", procs, window, i)
+					}
+					consumed = append(consumed, i)
+					if i == failAt {
+						return errBoom
+					}
+					return nil
+				})
+				if err != errBoom {
+					t.Fatalf("procs %d window %d: err = %v, want errBoom", procs, window, err)
+				}
+				if len(consumed) != failAt+1 {
+					t.Fatalf("procs %d window %d: consumed %d indices, want %d (nothing after the failure)",
+						procs, window, len(consumed), failAt+1)
+				}
+				for i, v := range consumed {
+					if v != i {
+						t.Fatalf("procs %d window %d: consume order broken at %d: %v", procs, window, i, consumed[:i+1])
+					}
+				}
+				// Outstanding producers were at most a window ahead of the
+				// failure point; everything claimed must have completed
+				// exactly once, and nothing beyond the window could start.
+				for i := range produced {
+					if produced[i] > 1 {
+						t.Fatalf("procs %d window %d: produce(%d) ran %d times", procs, window, i, produced[i])
+					}
+					if i > failAt+window && produced[i] != 0 {
+						t.Fatalf("procs %d window %d: produce(%d) ran after abort beyond the window", procs, window, i)
+					}
+				}
+				// All workers must have exited: StreamErr returns only after
+				// wg.Wait, so any surplus goroutines are leaks.
+				deadline := time.Now().Add(2 * time.Second)
+				for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+					time.Sleep(time.Millisecond)
+				}
+				if got := runtime.NumGoroutine(); got > before {
+					t.Fatalf("procs %d window %d: %d goroutines after abort, started with %d (leak)",
+						procs, window, got, before)
+				}
+			}
+		})
+	}
+}
+
+// TestStreamErrNoErrorMatchesStream pins that the error path is inert
+// when the consumer never fails.
+func TestStreamErrNoErrorMatchesStream(t *testing.T) {
+	const n = 100
+	var order []int
+	if err := StreamErr(n, 8, func(i int) {}, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if len(order) != n {
+		t.Fatalf("consumed %d of %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+// TestStreamErrFirstIndexFailure aborts before any pipeline overlap has
+// built up — the degenerate case where the failure is at the frontier's
+// first item.
+func TestStreamErrFirstIndexFailure(t *testing.T) {
+	errBoom := errors.New("boom")
+	err := StreamErr(50, 16, func(i int) {}, func(i int) error { return errBoom })
+	if err != errBoom {
+		t.Fatalf("err = %v, want errBoom", err)
+	}
 }

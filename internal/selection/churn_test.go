@@ -1,0 +1,173 @@
+package selection
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestChurnDeterministicAndFloored(t *testing.T) {
+	cfg := ChurnConfig{JoinRate: 0.3, LeaveRate: 0.4, MinOnline: 5}
+	a := NewChurn(20, cfg)
+	b := NewChurn(20, cfg)
+	rngA := rand.New(rand.NewSource(7))
+	rngB := rand.New(rand.NewSource(7))
+	sawChurn := false
+	for round := 0; round < 50; round++ {
+		a.Step(rngA)
+		b.Step(rngB)
+		if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("round %d: same seed diverged", round)
+		}
+		if a.NumOnline() < cfg.MinOnline {
+			t.Fatalf("round %d: online %d below floor %d", round, a.NumOnline(), cfg.MinOnline)
+		}
+		if a.NumOnline() < 20 {
+			sawChurn = true
+		}
+	}
+	if !sawChurn {
+		t.Error("no client ever left at LeaveRate 0.4")
+	}
+}
+
+func TestChurnStepDrawCountFixed(t *testing.T) {
+	// Step must consume exactly one draw per client regardless of
+	// state transitions: resume determinism depends on the rng position
+	// being a function of (round, population) only.
+	c := NewChurn(10, ChurnConfig{JoinRate: 0.5, LeaveRate: 0.5})
+	rng := rand.New(rand.NewSource(3))
+	ref := rand.New(rand.NewSource(3))
+	for round := 0; round < 20; round++ {
+		c.Step(rng)
+		for i := 0; i < 10; i++ {
+			ref.Float64()
+		}
+		if got, want := rng.Int63(), ref.Int63(); got != want {
+			t.Fatalf("round %d: rng position diverged", round)
+		}
+		rng = rand.New(rand.NewSource(3 + int64(round)))
+		ref = rand.New(rand.NewSource(3 + int64(round)))
+	}
+}
+
+func TestChurnActiveIntoSortedOnline(t *testing.T) {
+	c := NewChurn(8, ChurnConfig{LeaveRate: 0.5, MinOnline: 2})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5; i++ {
+		c.Step(rng)
+	}
+	act := c.ActiveInto(nil)
+	if len(act) != c.NumOnline() {
+		t.Fatalf("ActiveInto len %d != NumOnline %d", len(act), c.NumOnline())
+	}
+	for i, id := range act {
+		if !c.Online(id) {
+			t.Fatalf("ActiveInto returned offline client %d", id)
+		}
+		if i > 0 && act[i-1] >= id {
+			t.Fatalf("ActiveInto not ascending: %v", act)
+		}
+	}
+}
+
+func TestChurnSnapshotRestoreRoundtrip(t *testing.T) {
+	cfg := ChurnConfig{JoinRate: 0.2, LeaveRate: 0.3}
+	a := NewChurn(15, cfg)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 7; i++ {
+		a.Step(rng)
+	}
+	snap := a.Snapshot()
+
+	b := NewChurn(15, cfg)
+	b.Restore(snap)
+	if b.NumOnline() != a.NumOnline() {
+		t.Fatalf("restored NumOnline %d != %d", b.NumOnline(), a.NumOnline())
+	}
+	// Both must evolve identically from the restored state.
+	rngA := rand.New(rand.NewSource(40))
+	rngB := rand.New(rand.NewSource(40))
+	for i := 0; i < 10; i++ {
+		a.Step(rngA)
+		b.Step(rngB)
+		if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+			t.Fatalf("step %d after restore diverged", i)
+		}
+	}
+}
+
+func TestOortSelectFromRestrictsToCandidates(t *testing.T) {
+	o := NewOort()
+	for c := 0; c < 10; c++ {
+		o.Feedback(c, float64(10-c), 1)
+	}
+	cands := []int{1, 3, 5, 7, 9}
+	rng := rand.New(rand.NewSource(2))
+	got := o.SelectFrom(0, cands, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("selected %d, want 3", len(got))
+	}
+	allowed := map[int]bool{1: true, 3: true, 5: true, 7: true, 9: true}
+	for _, c := range got {
+		if !allowed[c] {
+			t.Fatalf("selected %d outside candidate set %v", c, cands)
+		}
+	}
+	// With every candidate explored, the exploit share must favor the
+	// highest-utility candidate (client 1 has loss 9).
+	if got[0] != 1 {
+		t.Errorf("top exploit pick = %d, want 1 (highest utility)", got[0])
+	}
+}
+
+func TestOortStateSnapshotRoundtrip(t *testing.T) {
+	a := NewOort()
+	for c := 0; c < 6; c++ {
+		a.Feedback(c, float64(c)*1.5, float64(c)+0.25)
+	}
+	a.Feedback(2, 7, 9) // exercise the EMA path
+	snap := a.StateSnapshot()
+	if string(snap) != string(a.StateSnapshot()) {
+		t.Fatal("snapshot not deterministic")
+	}
+
+	b := NewOort()
+	if err := b.StateRestore(snap); err != nil {
+		t.Fatal(err)
+	}
+	rngA := rand.New(rand.NewSource(5))
+	rngB := rand.New(rand.NewSource(5))
+	for round := 0; round < 5; round++ {
+		sa := a.Select(round, 20, 6, rngA)
+		sb := b.Select(round, 20, 6, rngB)
+		if !reflect.DeepEqual(sa, sb) {
+			t.Fatalf("round %d: restored selector diverged: %v vs %v", round, sa, sb)
+		}
+	}
+
+	if err := b.StateRestore([]byte{1, 2}); err == nil {
+		t.Error("truncated state accepted")
+	}
+	if err := b.StateRestore(append(snap, 0xff)); err == nil {
+		t.Error("oversized state accepted")
+	}
+}
+
+func TestRandomSelectFromUniformOverCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cands := []int{2, 4, 6, 8}
+	got := Random{}.SelectFrom(0, cands, 2, rng)
+	if len(got) != 2 {
+		t.Fatalf("selected %d, want 2", len(got))
+	}
+	for _, c := range got {
+		if c%2 != 0 || c < 2 || c > 8 {
+			t.Fatalf("selected %d outside candidates", c)
+		}
+	}
+	all := Random{}.SelectFrom(0, cands, 9, rng)
+	if !reflect.DeepEqual(all, cands) {
+		t.Fatalf("n >= len(candidates) must return all candidates, got %v", all)
+	}
+}

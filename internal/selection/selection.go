@@ -6,6 +6,8 @@
 package selection
 
 import (
+	"encoding/binary"
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -21,6 +23,27 @@ type Selector interface {
 	Feedback(client int, loss, duration float64)
 }
 
+// SubsetSelector selects among an explicit candidate set instead of the
+// full [0, total) population — the entry point used when client churn
+// restricts the eligible clients of a round. Candidates are real client
+// IDs in ascending order; the returned slice holds client IDs drawn
+// from them.
+type SubsetSelector interface {
+	SelectFrom(round int, candidates []int, n int, rng *rand.Rand) []int
+}
+
+// Stateful is implemented by selectors whose decisions depend on
+// accumulated feedback. Checkpointing captures and restores that state
+// so a resumed run selects identically to an uninterrupted one.
+type Stateful interface {
+	// StateSnapshot encodes the selector's feedback state
+	// deterministically (identical state → identical bytes).
+	StateSnapshot() []byte
+	// StateRestore replaces the selector's feedback state with one
+	// captured by StateSnapshot.
+	StateRestore(b []byte) error
+}
+
 // Random is uniform sampling without replacement (the default).
 type Random struct{}
 
@@ -34,6 +57,20 @@ func (Random) Select(round, total, n int, rng *rand.Rand) []int {
 		return out
 	}
 	return rng.Perm(total)[:n]
+}
+
+// SelectFrom implements SubsetSelector: uniform sampling without
+// replacement over the candidate set.
+func (Random) SelectFrom(round int, candidates []int, n int, rng *rand.Rand) []int {
+	if n >= len(candidates) {
+		return append([]int(nil), candidates...)
+	}
+	idx := rng.Perm(len(candidates))[:n]
+	out := make([]int, n)
+	for i, j := range idx {
+		out[i] = candidates[j]
+	}
+	return out
 }
 
 // Feedback implements Selector (no-op).
@@ -108,12 +145,27 @@ func (o *Oort) Select(round, total, n int, rng *rand.Rand) []int {
 		}
 		return out
 	}
+	candidates := make([]int, total)
+	for i := range candidates {
+		candidates[i] = i
+	}
+	return o.SelectFrom(round, candidates, n, rng)
+}
+
+// SelectFrom implements SubsetSelector with the same
+// exploit/explore split restricted to the candidate set, so guided
+// selection keeps honoring per-client feedback under churn (candidates
+// are real client IDs, matching the IDs Feedback is keyed by).
+func (o *Oort) SelectFrom(round int, candidates []int, n int, rng *rand.Rand) []int {
+	if n >= len(candidates) {
+		return append([]int(nil), candidates...)
+	}
 	if o.util == nil {
 		o.util = make(map[int]float64)
 		o.duration = make(map[int]float64)
 	}
 	var explored, fresh []int
-	for c := 0; c < total; c++ {
+	for _, c := range candidates {
 		if _, ok := o.util[c]; ok {
 			explored = append(explored, c)
 		} else {
@@ -149,4 +201,43 @@ func (o *Oort) Select(round, total, n int, rng *rand.Rand) []int {
 		out = append(out, fresh[i])
 	}
 	return out
+}
+
+// StateSnapshot implements Stateful: the EMA utility/duration tables in
+// ascending client order (deterministic bytes for identical state).
+func (o *Oort) StateSnapshot() []byte {
+	clients := make([]int, 0, len(o.util))
+	for c := range o.util {
+		clients = append(clients, c)
+	}
+	sort.Ints(clients)
+	b := make([]byte, 0, 4+20*len(clients))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(clients)))
+	for _, c := range clients {
+		b = binary.BigEndian.AppendUint32(b, uint32(c))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(o.util[c]))
+		b = binary.BigEndian.AppendUint64(b, math.Float64bits(o.duration[c]))
+	}
+	return b
+}
+
+// StateRestore implements Stateful.
+func (o *Oort) StateRestore(b []byte) error {
+	if len(b) < 4 {
+		return errors.New("selection: truncated Oort state")
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	if len(b) != 20*n {
+		return errors.New("selection: corrupt Oort state")
+	}
+	o.util = make(map[int]float64, n)
+	o.duration = make(map[int]float64, n)
+	for i := 0; i < n; i++ {
+		c := int(binary.BigEndian.Uint32(b))
+		o.util[c] = math.Float64frombits(binary.BigEndian.Uint64(b[4:]))
+		o.duration[c] = math.Float64frombits(binary.BigEndian.Uint64(b[12:]))
+		b = b[20:]
+	}
+	return nil
 }

@@ -83,6 +83,17 @@ func (d *DoCTracker) Len() int { return len(d.losses) }
 // suite must re-converge before transforming again).
 func (d *DoCTracker) Reset() { d.losses = d.losses[:0] }
 
+// Snapshot returns a copy of the observed loss history (checkpointing).
+func (d *DoCTracker) Snapshot() []float64 {
+	return append([]float64(nil), d.losses...)
+}
+
+// Restore replaces the loss history with a copy of losses (checkpoint
+// restore).
+func (d *DoCTracker) Restore(losses []float64) {
+	d.losses = append(d.losses[:0], losses...)
+}
+
 // DoC returns the current degree of convergence and whether enough
 // history exists to compute it. Following Eq. 1, it averages gamma slopes
 // (L(i-delta) - L(i))/delta ending at the latest round.
@@ -125,6 +136,25 @@ func (a *ActivenessTracker) Observe(m *model.Model, act []float64) {
 			h = h[len(h)-a.window:]
 		}
 		a.hist[id] = h
+	}
+}
+
+// Snapshot returns a deep copy of the per-cell activeness windows
+// (checkpointing).
+func (a *ActivenessTracker) Snapshot() map[int64][]float64 {
+	out := make(map[int64][]float64, len(a.hist))
+	for id, h := range a.hist {
+		out[id] = append([]float64(nil), h...)
+	}
+	return out
+}
+
+// Restore replaces the per-cell activeness windows with a deep copy of
+// hist (checkpoint restore).
+func (a *ActivenessTracker) Restore(hist map[int64][]float64) {
+	a.hist = make(map[int64][]float64, len(hist))
+	for id, h := range hist {
+		a.hist[id] = append([]float64(nil), h...)
 	}
 }
 
