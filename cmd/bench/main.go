@@ -46,7 +46,7 @@ var suites = []struct {
 	{"./internal/tensor/", "BenchmarkMatMul|BenchmarkBatchedMatMul"},
 	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward|BenchmarkAttentionForward|BenchmarkAttentionBackward"},
 	{"./internal/model/", "BenchmarkClone"},
-	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll|BenchmarkRoundLoop|BenchmarkCheckpointSnapshot|BenchmarkCheckpointEncode"},
+	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll|BenchmarkRoundLoop|BenchmarkAsyncRoundLoop|BenchmarkCheckpointSnapshot|BenchmarkCheckpointEncode"},
 }
 
 // benchLine matches e.g.

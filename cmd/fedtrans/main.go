@@ -18,7 +18,7 @@ import (
 func main() {
 	opts := fedtrans.DefaultOptions()
 	flag.StringVar(&opts.Profile, "profile", opts.Profile,
-		"dataset profile: femnist|cifar10|speech|openimage|vit")
+		"dataset profile: femnist|cifar10|speech|openimage|vit|scale|async")
 	flag.IntVar(&opts.Clients, "clients", opts.Clients, "number of federated clients")
 	flag.IntVar(&opts.Rounds, "rounds", opts.Rounds, "training round budget")
 	flag.IntVar(&opts.ClientsPerRound, "participants", opts.ClientsPerRound, "clients per round")
@@ -33,6 +33,10 @@ func main() {
 	flag.Float64Var(&opts.CapacitySpread, "spread", opts.CapacitySpread, "device capacity max/min ratio")
 	flag.BoolVar(&opts.AllowL2S, "l2s", opts.AllowL2S, "allow large-to-small weight sharing")
 	flag.Int64Var(&opts.Seed, "seed", opts.Seed, "random seed")
+	flag.IntVar(&opts.MaxStaleness, "max-staleness", opts.MaxStaleness,
+		"enable staleness-bounded async rounds; updates fold at most this many rounds late (0 = synchronous)")
+	flag.IntVar(&opts.AsyncConcurrency, "async-concurrency", opts.AsyncConcurrency,
+		"clients kept training at once in async mode (default 2x participants)")
 	flag.StringVar(&opts.CheckpointPath, "checkpoint", opts.CheckpointPath,
 		"write a resumable checkpoint to this file every -checkpoint-every rounds")
 	flag.IntVar(&opts.CheckpointEvery, "checkpoint-every", opts.CheckpointEvery,
@@ -73,6 +77,10 @@ func main() {
 	fmt.Printf("network       : %.2f MB\n", float64(summary.NetworkBytes)/1e6)
 	fmt.Printf("storage       : %.3f MB\n", float64(summary.StorageBytes)/1e6)
 	fmt.Printf("rounds        : %d\n", summary.Rounds)
+	fmt.Printf("wall clock    : %.1f s\n", summary.WallClock)
+	if summary.MeanStaleness > 0 {
+		fmt.Printf("staleness     : %.2f rounds (mean)\n", summary.MeanStaleness)
+	}
 	fmt.Printf("\nmodel suite (%d):\n", len(summary.Models))
 	for i, m := range summary.Models {
 		fmt.Printf("  M%-2d %-52s %10.0f MACs %8d params\n", i, m.Arch, m.MACs, m.Params)

@@ -33,8 +33,10 @@ import (
 // paper defaults (Table 7) at reproduction scale.
 type Options struct {
 	// Profile selects the synthetic dataset profile: "femnist" (default),
-	// "cifar10", "speech", "openimage", "vit", or "scale" (a deliberately
-	// small task geometry for massive-client rounds; see ScaleOptions).
+	// "cifar10", "speech", "openimage", "vit", "scale" (a deliberately
+	// small task geometry for massive-client rounds; see ScaleOptions), or
+	// "async" (the femnist geometry with staleness-bounded asynchronous
+	// rounds enabled by default; see AsyncOptions).
 	Profile string
 	// Clients is the number of federated clients (default 50).
 	Clients int
@@ -81,6 +83,18 @@ type Options struct {
 	// ClientsPerRound. 0 uses 2×GOMAXPROCS. Results are identical for
 	// every window size.
 	StreamWindow int
+	// MaxStaleness ≥ 1 switches the coordinator to FedBuff-style
+	// staleness-bounded asynchronous rounds: clients train against the
+	// model version current at dispatch, rounds commit the earliest
+	// arrivals instead of waiting for the slowest participant, and any
+	// update still in flight after MaxStaleness server rounds is
+	// force-committed with its contribution discounted by 1/√(1+s).
+	// 0 (the default) keeps fully synchronous rounds.
+	MaxStaleness int
+	// AsyncConcurrency is the constant number of clients kept training at
+	// once in asynchronous mode (default 2×ClientsPerRound, never below
+	// ClientsPerRound). Ignored when MaxStaleness is 0.
+	AsyncConcurrency int
 	// Seed drives all randomness (default 1).
 	Seed int64
 	// Quorum enables elastic rounds: a round commits when at least
@@ -160,6 +174,17 @@ func ScaleOptions() Options {
 	o.Rounds = 10
 	o.LocalSteps = 2
 	o.BatchSize = 8
+	return o
+}
+
+// AsyncOptions returns the staleness-bounded asynchronous profile:
+// femnist task geometry with FedBuff-style rounds (staleness bound 2,
+// twice ClientsPerRound in flight), the configuration behind the
+// asynchronous scheduling comparison in the paper's related work.
+func AsyncOptions() Options {
+	o := DefaultOptions()
+	o.Profile = "async"
+	o.MaxStaleness = 2
 	return o
 }
 
@@ -277,6 +302,15 @@ type Summary struct {
 	Failures      int
 	Retries       int
 	AbortedRounds int
+	// WallClock is the total simulated wall-clock time of the run: the
+	// sum of per-round completion times. Synchronous rounds charge their
+	// slowest participant; asynchronous rounds charge only the progress
+	// of the virtual clock, so straggler delays overlap across rounds.
+	WallClock float64
+	// MeanStaleness is the mean number of server rounds between an
+	// update's dispatch and its fold, over all committed updates. Zero on
+	// synchronous runs (MaxStaleness 0).
+	MeanStaleness float64
 }
 
 // Session is a configured FedTrans run whose suite and per-client results
@@ -296,7 +330,7 @@ type Session struct {
 func NewSession(opts Options) (*Session, error) {
 	opts = opts.withDefaults()
 	switch opts.Profile {
-	case "femnist", "cifar10", "speech", "openimage", "vit", "scale":
+	case "femnist", "cifar10", "speech", "openimage", "vit", "scale", "async":
 	default:
 		return nil, fmt.Errorf("fedtrans: unknown profile %q", opts.Profile)
 	}
@@ -304,12 +338,23 @@ func NewSession(opts Options) (*Session, error) {
 		return nil, fmt.Errorf("fedtrans: ClientsPerRound (%d) exceeds Clients (%d)",
 			opts.ClientsPerRound, opts.Clients)
 	}
+	if opts.MaxStaleness < 0 {
+		return nil, fmt.Errorf("fedtrans: negative MaxStaleness %d", opts.MaxStaleness)
+	}
+	if opts.Profile == "async" && opts.MaxStaleness == 0 {
+		opts.MaxStaleness = 2
+	}
 	model.ResetIDs()
 	dcfg := data.Config{
 		Profile:       opts.Profile,
 		Clients:       opts.Clients,
 		Heterogeneity: opts.Heterogeneity,
 		Seed:          opts.Seed,
+	}
+	if opts.Profile == "async" {
+		// The async profile is the femnist task geometry; the asynchrony
+		// lives in the round loop, not the data.
+		dcfg.Profile = "femnist"
 	}
 	if opts.Profile == "scale" {
 		// Small per-client shards: the point is round volume, not local
@@ -341,6 +386,8 @@ func NewSession(opts Options) (*Session, error) {
 		cfg.Selector = selection.NewOort()
 	}
 	cfg.StreamWindow = opts.StreamWindow
+	cfg.MaxStaleness = opts.MaxStaleness
+	cfg.AsyncConcurrency = opts.AsyncConcurrency
 	cfg.Seed = opts.Seed
 	cfg.Quorum = opts.Quorum
 	cfg.RetryBudget = opts.RetryBudget
@@ -442,6 +489,10 @@ func (s *Session) summarize(res fl.Result) Summary {
 		Failures:       res.Failures,
 		Retries:        res.Retries,
 		AbortedRounds:  res.AbortedRounds,
+		MeanStaleness:  res.MeanStaleness,
+	}
+	for _, rt := range res.RoundTimes {
+		sum.WallClock += rt
 	}
 	for _, m := range s.runtime.Suite() {
 		sum.Models = append(sum.Models, ModelInfo{

@@ -18,9 +18,10 @@ func initialSpec(profile string, ds *data.Dataset) model.Spec {
 	case "vit":
 		return model.ViTLikeSpec(ds.InputShape[0], ds.InputShape[1], 8, ds.Classes)
 	default:
-		// "femnist" and "scale" both start from the small dense NASBench
-		// analogue; the scale profile's 32-dim task keeps it tiny so
-		// massive rounds stress aggregation, not the kernels.
+		// "femnist", "scale", and "async" all start from the small dense
+		// NASBench analogue; the scale profile's 32-dim task keeps it tiny
+		// so massive rounds stress aggregation, not the kernels, and the
+		// async profile shares femnist's geometry outright.
 		return model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
 	}
 }

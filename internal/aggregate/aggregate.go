@@ -17,6 +17,12 @@ type Update struct {
 	Weights []*tensor.Tensor
 	Samples int
 	Loss    float64
+	// Staleness counts the server rounds that elapsed between the
+	// client's model download and this update's arrival (FedBuff-style
+	// asynchronous rounds). The aggregator discounts the update's weight
+	// by StalenessDiscount(Staleness); 0 — every synchronous update —
+	// applies no discount.
+	Staleness int
 }
 
 // FedAvg replaces dst's weights with the sample-weighted average of the

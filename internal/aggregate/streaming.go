@@ -3,6 +3,7 @@ package aggregate
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"fedtrans/internal/compress"
@@ -103,6 +104,17 @@ func sampleWeight(samples int) float64 {
 	return float64(samples)
 }
 
+// StalenessDiscount is the FedBuff down-weighting 1/√(1+s) applied to an
+// update that arrives s server rounds after its model version was
+// dispatched (Nguyen et al., AISTATS 2022). s ≤ 0 returns exactly 1, so
+// synchronous folds are bit-identical to the undiscounted path.
+func StalenessDiscount(s int) float64 {
+	if s <= 0 {
+		return 1
+	}
+	return 1 / math.Sqrt(1+float64(s))
+}
+
 // validate checks an update's arity, per-tensor lengths, and value
 // finiteness against the destination parameters before any folding, so
 // a malformed update is rejected atomically (no partial accumulation).
@@ -186,7 +198,7 @@ func (s *StreamingFedAvg) Add(dst *model.Model, u Update) error {
 	if err := a.validate(u.Weights); err != nil {
 		return err
 	}
-	w := sampleWeight(u.Samples)
+	w := sampleWeight(u.Samples) * StalenessDiscount(u.Staleness)
 	a.weight += w
 	a.lossSum += u.Loss * w
 	a.count++
@@ -217,8 +229,9 @@ func (a *modelAcc) foldDense(weights []*tensor.Tensor, w float64, lo, hi int) {
 // codes straight into the accumulator: no dequantized tensor is ever
 // materialized. Each code decodes through float32 first, so the folded
 // values are bit-identical to Dequantize followed by Add. Tensor count
-// and lengths must match dst's parameters, as in Add.
-func (s *StreamingFedAvg) AddQuantized(dst *model.Model, qs []compress.QuantizedTensor, samples int, loss float64) error {
+// and lengths must match dst's parameters, as in Add; staleness
+// discounts the update's weight exactly as Update.Staleness does.
+func (s *StreamingFedAvg) AddQuantized(dst *model.Model, qs []compress.QuantizedTensor, samples int, loss float64, staleness int) error {
 	a := s.acc(dst)
 	if len(qs) != len(a.params) {
 		return fmt.Errorf("%w: %d tensors, want %d", ErrUpdateShape, len(qs), len(a.params))
@@ -238,7 +251,7 @@ func (s *StreamingFedAvg) AddQuantized(dst *model.Model, qs []compress.Quantized
 			return fmt.Errorf("%w: tensor %d quantization range", ErrNonFinite, i)
 		}
 	}
-	w := sampleWeight(samples)
+	w := sampleWeight(samples) * StalenessDiscount(staleness)
 	a.weight += w
 	a.lossSum += loss * w
 	a.count++

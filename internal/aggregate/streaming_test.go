@@ -88,7 +88,7 @@ func TestStreamingQuantizedDecodeMatchesMaterialized(t *testing.T) {
 		if err := sa.Add(ma, deq); err != nil {
 			t.Fatal(err)
 		}
-		if err := sb.AddQuantized(mb, qs, u.Samples, u.Loss); err != nil {
+		if err := sb.AddQuantized(mb, qs, u.Samples, u.Loss, u.Staleness); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -128,7 +128,7 @@ func TestStreamingRejectsMalformedAtomically(t *testing.T) {
 		t.Fatal("nil tensors accepted")
 	}
 	var qs []compress.QuantizedTensor
-	if err := s.AddQuantized(m, qs, 1, 0); !errors.Is(err, ErrUpdateShape) {
+	if err := s.AddQuantized(m, qs, 1, 0, 0); !errors.Is(err, ErrUpdateShape) {
 		t.Fatalf("empty quantized batch err = %v, want ErrUpdateShape", err)
 	}
 
@@ -314,18 +314,18 @@ func TestStreamingRejectsNonFiniteQuantized(t *testing.T) {
 	}
 	qs[0].Min = math.NaN()
 	qs[0].Max = math.NaN()
-	if err := s.AddQuantized(m, qs, 1, 0.5); !errors.Is(err, ErrNonFinite) {
+	if err := s.AddQuantized(m, qs, 1, 0.5, 0); !errors.Is(err, ErrNonFinite) {
 		t.Fatalf("NaN-range quantized update err = %v, want ErrNonFinite", err)
 	}
 	qs[0].Min, qs[0].Max = 0, math.Inf(1)
-	if err := s.AddQuantized(m, qs, 1, 0.5); !errors.Is(err, ErrNonFinite) {
+	if err := s.AddQuantized(m, qs, 1, 0.5, 0); !errors.Is(err, ErrNonFinite) {
 		t.Fatalf("Inf-range quantized update err = %v, want ErrNonFinite", err)
 	}
 	if got := s.Updates(m.ID); got != 0 {
 		t.Fatalf("Updates = %d after rejected adds, want 0", got)
 	}
 	qs[0].Min, qs[0].Max = 0, 0
-	if err := s.AddQuantized(m, qs, 1, 0.5); err != nil {
+	if err := s.AddQuantized(m, qs, 1, 0.5, 0); err != nil {
 		t.Fatalf("finite-range quantized update rejected: %v", err)
 	}
 }
@@ -455,4 +455,97 @@ func TestStreamingAbortDiscardsRound(t *testing.T) {
 	if lossA != lossB || nA != nB {
 		t.Fatalf("post-abort finalize (%v,%d) != clean (%v,%d)", lossA, nA, lossB, nB)
 	}
+}
+
+// TestStalenessDiscountExactness pins the discount schedule: exactly 1
+// (not merely close) for fresh updates so the synchronous path's bits
+// are untouched, and 1/√(1+s) beyond.
+func TestStalenessDiscountExactness(t *testing.T) {
+	for _, s := range []int{0, -1, -5} {
+		if d := StalenessDiscount(s); d != 1 {
+			t.Errorf("StalenessDiscount(%d) = %v, want exactly 1", s, d)
+		}
+	}
+	for _, s := range []int{1, 2, 3, 10} {
+		want := 1 / math.Sqrt(1+float64(s))
+		if d := StalenessDiscount(s); d != want {
+			t.Errorf("StalenessDiscount(%d) = %v, want %v", s, d, want)
+		}
+	}
+	if !(StalenessDiscount(2) < StalenessDiscount(1)) {
+		t.Error("discount must decrease with staleness")
+	}
+}
+
+// TestStreamingStaleUpdateDiscounted: a stale update's contribution to
+// the weighted average must shrink by the discount, and a zero-staleness
+// stream must be bit-identical to one that never set the field.
+func TestStreamingStaleUpdateDiscounted(t *testing.T) {
+	model.ResetIDs()
+	rng := rand.New(rand.NewSource(21))
+	spec := model.Spec{Family: "dense", Input: []int{6}, Hidden: []int{4}, Classes: 3}
+	mk := func() *model.Model { return spec.Build(rand.New(rand.NewSource(1))) }
+
+	fresh := mk()
+	a := randomUpdate(fresh, rng, 10)
+	b := randomUpdate(fresh, rng, 10)
+
+	// Baseline: both fresh. Stale run: b folds at staleness 3.
+	run := func(stale int) []float64 {
+		model.ResetIDs()
+		m := mk()
+		s := NewStreaming()
+		ua, ub := a, b
+		ua.ModelID, ub.ModelID = m.ID, m.ID
+		ub.Staleness = stale
+		if err := s.Add(m, ua); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Add(m, ub); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := s.Finalize(m); !ok {
+			t.Fatal("finalize reported an empty accumulator")
+		}
+		var out []float64
+		for _, w := range m.Params() {
+			for _, v := range w.Data {
+				out = append(out, float64(v))
+			}
+		}
+		return out
+	}
+
+	base := run(0)
+	stale := run(3)
+
+	// Recompute the expected stale average by hand from the raw updates.
+	wA, wB := float64(10), float64(10)*StalenessDiscount(3)
+	pa := flatParams(t, a)
+	pb := flatParams(t, b)
+	for i := range base {
+		want := float64(tensor.Float((wA*pa[i] + wB*pb[i]) / (wA + wB)))
+		if math.Abs(stale[i]-want) > 1e-12 {
+			t.Fatalf("param %d: stale average %v, want %v", i, stale[i], want)
+		}
+	}
+
+	// Zero staleness must be bit-identical to the pre-async semantics.
+	again := run(0)
+	for i := range base {
+		if base[i] != again[i] {
+			t.Fatalf("param %d: zero-staleness fold not deterministic", i)
+		}
+	}
+}
+
+func flatParams(t *testing.T, u Update) []float64 {
+	t.Helper()
+	var out []float64
+	for _, w := range u.Weights {
+		for _, v := range w.Data {
+			out = append(out, float64(v))
+		}
+	}
+	return out
 }

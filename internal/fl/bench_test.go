@@ -129,3 +129,61 @@ func TestTrainStepAllocationRegression(t *testing.T) {
 		t.Errorf("TrainStep allocates %.1f times per step, want <= 1", allocs)
 	}
 }
+
+// BenchmarkAsyncRoundLoop measures one staleness-bounded asynchronous
+// round — top-up selection over the non-busy population, COW dispatch
+// snapshots, background training through par.TaskStream, arrival-ordered
+// staleness-discounted folding, and the virtual-clock advance — at
+// increasing commit budgets. Tracked by cmd/bench next to the
+// synchronous BenchmarkRoundLoop so the unified path's overhead over
+// sync stays visible round over round.
+func BenchmarkAsyncRoundLoop(b *testing.B) {
+	for _, cpr := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("clients=%d", cpr), func(b *testing.B) {
+			model.ResetIDs()
+			ds := data.Generate(data.Config{
+				Profile: "scale", Clients: 2400, Heterogeneity: 1,
+				MinSamples: 8, MaxSamples: 16, TestSamples: 8, Seed: 1,
+			})
+			spec := model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+			base := spec.Build(rand.New(rand.NewSource(0))).MACsPerSample()
+			tr := device.NewTrace(device.TraceConfig{
+				N: 2400, MinCapacityMACs: base, MaxCapacityMACs: base * 32, Seed: 101,
+			})
+			cfg := DefaultConfig()
+			cfg.ClientsPerRound = cpr
+			cfg.MaxStaleness = 2
+			cfg.Local = LocalConfig{Steps: 2, BatchSize: 8, LR: 0.05}
+			cfg.DisableTransform = true // fixed suite across iterations
+			cfg.ConvergePatience = 0
+			rt := New(cfg, ds, tr, spec)
+			var res Result
+			rt.runRound(0, &res) // warm pools, sessions, the in-flight set
+			rt.runRound(1, &res)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.runRound(i+2, &res)
+			}
+			b.StopTimer()
+			rt.drainAsync()
+		})
+	}
+}
+
+// TestEvaluateAllAllocationRegression pins the pooled evaluation path:
+// with sessions drawn from the runtime's shared pool (and refreshed via
+// SetWeights instead of cloned), a steady-state EvaluateAll allocates
+// only small per-client bookkeeping — result slices, compatibility
+// lists, chunk-local session maps — never weight-tensor-sized buffers.
+// The budget scales with the client count, not the model size.
+func TestEvaluateAllAllocationRegression(t *testing.T) {
+	rt := benchRuntime("cifar10")
+	rt.Run()
+	rt.EvaluateAll() // warm the session pool across eval chunks
+	allocs := testing.AllocsPerRun(10, func() { rt.EvaluateAll() })
+	budget := float64(2*len(rt.ds.Clients) + 16)
+	if allocs > budget {
+		t.Errorf("EvaluateAll allocates %.1f times per call, want <= %.0f (pooled sessions must not clone models)", allocs, budget)
+	}
+}

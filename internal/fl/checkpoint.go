@@ -10,6 +10,7 @@ import (
 
 	"fedtrans/internal/aggregate"
 	"fedtrans/internal/model"
+	"fedtrans/internal/par"
 	"fedtrans/internal/selection"
 	"fedtrans/internal/transform"
 )
@@ -22,16 +23,23 @@ import (
 // similarity exactly as before), the ID-scope counters, the exact rng
 // position as a draw count, the Client Manager utilities, the DoC and
 // activeness windows, server-optimizer and selector state, churn
-// membership, any in-flight accumulator shards, and the accumulated
+// membership, any in-flight accumulator shards, the asynchronous-mode
+// scheduler state (virtual clock, staleness tallies, and the in-flight
+// dispatches with their download-time weight snapshots — resume
+// re-submits them and deterministically retrains), and the accumulated
 // Result.
 //
-// # Wire format (FTCP v1)
+// # Wire format (FTCP v2)
 //
 // The encoding is a canonical big-endian binary layout (companion to
 // the internal/codec weight format, which carries the per-model Blob
 // payloads):
 //
-//	"FTCP" | u32 version=1 | body | u32 CRC-32 (IEEE) of magic..body
+//	"FTCP" | u32 version=2 | body | u32 CRC-32 (IEEE) of magic..body
+//
+// v2 extends v1 with the dataset geometry (client count, feature
+// dimension, class count — validated on restore) and the asynchronous
+// scheduler block; v1 blobs are rejected with ErrCkptVersion.
 //
 // All integers are fixed-width big-endian; signed values are two's-
 // complement u64; float64s are IEEE bits (NaN payloads survive).
@@ -57,6 +65,15 @@ type Checkpoint struct {
 	// uninterrupted run.
 	ModelCtr int64
 	CellCtr  int64
+	// Clients/FeatureDim/Classes pin the dataset geometry the run
+	// trained on. Restore validates them against the resuming dataset
+	// and rejects a mismatch with ErrGeometryMismatch — resuming onto
+	// differently shaped data used to be silently undefined. A larger
+	// client population than Clients is allowed (late joiners start at
+	// zero utility, the documented EnsureClients grow path).
+	Clients    int
+	FeatureDim int
+	Classes    int
 	// Models is the suite in creation order: serialized weights plus
 	// the lineage metadata MarshalBinary drops.
 	Models []CkptModel
@@ -75,6 +92,17 @@ type Checkpoint struct {
 	// ChurnOnline is the churn tracker's online bitmap (nil when churn
 	// is disabled).
 	ChurnOnline []bool
+	// AsyncNow/StaleSum/StaleCnt/AsyncSeq are the asynchronous-mode
+	// virtual clock, staleness tallies, and dispatch sequence counter;
+	// all zero for synchronous runs.
+	AsyncNow float64
+	StaleSum int64
+	StaleCnt int64
+	AsyncSeq int
+	// Inflight is the asynchronous in-flight dispatch list in dispatch
+	// (sequence) order; nil for synchronous runs and whenever no client
+	// is mid-training at the checkpoint boundary.
+	Inflight []CkptInflight
 	// Accums is any in-flight streaming-aggregation state, ascending by
 	// model ID. Runtime checkpoints fire at round boundaries where this
 	// is nil (Finalize resets the shards); the field exists so a
@@ -102,6 +130,21 @@ type CkptCell struct {
 	WidenedLast   bool
 }
 
+// CkptInflight is one asynchronous in-flight dispatch: which client is
+// training which model version, when it was dispatched on the virtual
+// clock, and the dispatch-time weight snapshot it trains from
+// (SrcBlob, a model.MarshalBinary frame — the codec is bit-lossless
+// for float32 weights, so resume retrains the attempt deterministically
+// and lands on the exact update of the uninterrupted run).
+type CkptInflight struct {
+	Client     int
+	ModelID    int
+	Version    int
+	Seq        int
+	DispatchAt float64
+	SrcBlob    []byte
+}
+
 // CkptAct is one model's activeness history, keyed by cell ID.
 type CkptAct struct {
 	ModelID int
@@ -124,9 +167,14 @@ var (
 	ErrCkptCorrupt   = errors.New("fl: corrupt checkpoint")
 )
 
+// ErrGeometryMismatch reports a checkpoint whose recorded dataset
+// geometry (feature dimension, class count, or client population) is
+// incompatible with the dataset the resuming runtime was built on.
+var ErrGeometryMismatch = errors.New("fl: checkpoint dataset geometry mismatch")
+
 var ckptMagic = [4]byte{'F', 'T', 'C', 'P'}
 
-const ckptVersion = 1
+const ckptVersion = 2
 
 // ckptEnc builds the canonical encoding.
 type ckptEnc struct{ b []byte }
@@ -430,6 +478,7 @@ func encodeResult(e *ckptEnc, r *Result) {
 	e.i64(int64(r.Failures))
 	e.i64(int64(r.Retries))
 	e.i64(int64(r.AbortedRounds))
+	e.f64(r.MeanStaleness)
 	e.u32(uint32(len(r.Log)))
 	for i := range r.Log {
 		l := &r.Log[i]
@@ -480,6 +529,7 @@ func decodeResult(d *ckptDec) Result {
 	r.Failures = d.int()
 	r.Retries = d.int()
 	r.AbortedRounds = d.int()
+	r.MeanStaleness = d.f64()
 	if n := d.count(43); n > 0 { // fixed RoundLog footprint: 8×i64/f64 + map byte + 2 bools
 		r.Log = make([]RoundLog, n)
 		for i := range r.Log {
@@ -500,7 +550,7 @@ func decodeResult(d *ckptDec) Result {
 	return r
 }
 
-// EncodeCheckpoint serializes a checkpoint into the canonical FTCP v1
+// EncodeCheckpoint serializes a checkpoint into the canonical FTCP v2
 // byte layout described on Checkpoint.
 func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 	e := &ckptEnc{b: make([]byte, 0, 1024)}
@@ -512,6 +562,9 @@ func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 	e.i64(int64(ck.Stall))
 	e.i64(ck.ModelCtr)
 	e.i64(ck.CellCtr)
+	e.i64(int64(ck.Clients))
+	e.i64(int64(ck.FeatureDim))
+	e.i64(int64(ck.Classes))
 
 	e.u32(uint32(len(ck.Models)))
 	for i := range ck.Models {
@@ -562,6 +615,21 @@ func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 	e.bytes(ck.Selector)
 	e.bools(ck.ChurnOnline)
 
+	e.f64(ck.AsyncNow)
+	e.i64(ck.StaleSum)
+	e.i64(ck.StaleCnt)
+	e.i64(int64(ck.AsyncSeq))
+	e.u32(uint32(len(ck.Inflight)))
+	for i := range ck.Inflight {
+		f := &ck.Inflight[i]
+		e.i64(int64(f.Client))
+		e.i64(int64(f.ModelID))
+		e.i64(int64(f.Version))
+		e.i64(int64(f.Seq))
+		e.f64(f.DispatchAt)
+		e.bytes(f.SrcBlob)
+	}
+
 	e.u32(uint32(len(ck.Accums)))
 	for i := range ck.Accums {
 		a := &ck.Accums[i]
@@ -578,7 +646,7 @@ func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
 	return e.b, nil
 }
 
-// DecodeCheckpoint parses and validates an FTCP v1 checkpoint. The
+// DecodeCheckpoint parses and validates an FTCP v2 checkpoint. The
 // decoder is strict: checksum, bounds, canonical key order, and exact
 // length are all enforced, so any successfully decoded checkpoint
 // re-encodes to identical bytes.
@@ -605,6 +673,9 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	ck.Stall = d.int()
 	ck.ModelCtr = d.i64()
 	ck.CellCtr = d.i64()
+	ck.Clients = d.int()
+	ck.FeatureDim = d.int()
+	ck.Classes = d.int()
 
 	if n := d.count(16); n > 0 {
 		ck.Models = make([]CkptModel, n)
@@ -693,6 +764,31 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	ck.Selector = d.bytes()
 	ck.ChurnOnline = d.bools()
 
+	ck.AsyncNow = d.f64()
+	ck.StaleSum = d.i64()
+	ck.StaleCnt = d.i64()
+	ck.AsyncSeq = d.int()
+	if n := d.count(44); n > 0 { // 4×i64 + f64 + blob length
+		ck.Inflight = make([]CkptInflight, n)
+		prevSeq := int64(math.MinInt64)
+		for i := range ck.Inflight {
+			f := &ck.Inflight[i]
+			f.Client = d.int()
+			f.ModelID = d.int()
+			f.Version = d.int()
+			f.Seq = d.int()
+			if d.err == nil && (i > 0 && int64(f.Seq) <= prevSeq) {
+				return nil, fmt.Errorf("%w: in-flight sequence numbers not ascending", ErrCkptCorrupt)
+			}
+			prevSeq = int64(f.Seq)
+			f.DispatchAt = d.f64()
+			f.SrcBlob = d.bytes()
+			if d.err != nil {
+				return nil, d.err
+			}
+		}
+	}
+
 	if n := d.count(36); n > 0 {
 		ck.Accums = make([]aggregate.AccumSnapshot, n)
 		prev := int64(math.MinInt64)
@@ -729,6 +825,7 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 type ckptSnap struct {
 	ck     Checkpoint
 	models []*model.Model // live COW clones, parallel to ck.Models
+	srcs   []*model.Model // in-flight dispatch snapshots, parallel to ck.Inflight
 }
 
 // snapshot captures the runtime's state after `round` completed rounds.
@@ -744,6 +841,9 @@ func (rt *Runtime) snapshot(round int) *ckptSnap {
 	ck.BestAcc = rt.bestAcc
 	ck.Stall = rt.stall
 	ck.ModelCtr, ck.CellCtr = rt.suite[0].IDScope().Counters()
+	ck.Clients = len(rt.ds.Clients)
+	ck.FeatureDim = rt.ds.FeatureDim
+	ck.Classes = rt.ds.Classes
 	for _, m := range rt.suite {
 		cm := CkptModel{ID: m.ID, ParentID: m.ParentID, BornRound: m.BornRound}
 		for i := range m.Cells {
@@ -778,6 +878,20 @@ func (rt *Runtime) snapshot(round int) *ckptSnap {
 	if rt.churn != nil {
 		ck.ChurnOnline = rt.churn.Snapshot()
 	}
+	ck.AsyncNow = rt.asyncNow
+	ck.StaleSum = rt.staleSum
+	ck.StaleCnt = rt.staleCnt
+	ck.AsyncSeq = rt.asyncSeq
+	for _, at := range rt.inflight {
+		// The dispatch snapshot is read-only for its whole life, so a COW
+		// clone here is race-free against the still-running background
+		// training task; marshalling happens later, off the round loop.
+		ck.Inflight = append(ck.Inflight, CkptInflight{
+			Client: at.slot.client, ModelID: at.slot.m.ID,
+			Version: at.version, Seq: at.seq, DispatchAt: at.dispatchAt,
+		})
+		s.srcs = append(s.srcs, at.slot.src.Clone())
+	}
 	if rt.agg != nil {
 		ck.Accums = rt.agg.Snapshot()
 	}
@@ -799,6 +913,17 @@ func (s *ckptSnap) encode() ([]byte, error) {
 		m.Release()
 	}
 	s.models = nil
+	for i, m := range s.srcs {
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return nil, fmt.Errorf("fl: checkpoint in-flight model %d: %w", i, err)
+		}
+		s.ck.Inflight[i].SrcBlob = blob
+	}
+	for _, m := range s.srcs {
+		m.Release()
+	}
+	s.srcs = nil
 	return EncodeCheckpoint(&s.ck)
 }
 
@@ -847,6 +972,27 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 	cfg := rt.cfg
 	if len(ck.Models) == 0 {
 		return fmt.Errorf("%w: no models", ErrCkptCorrupt)
+	}
+
+	// Geometry gate: the suite's weights are shaped by the dataset the
+	// run trained on. Feature dimension and class count must match
+	// exactly; the client population may only grow (late joiners start
+	// at zero utility via the EnsureClients path below).
+	if ck.FeatureDim != rt.ds.FeatureDim || ck.Classes != rt.ds.Classes {
+		return fmt.Errorf("%w: checkpoint trained on %d features / %d classes, dataset has %d / %d",
+			ErrGeometryMismatch, ck.FeatureDim, ck.Classes, rt.ds.FeatureDim, rt.ds.Classes)
+	}
+	if ck.Clients > len(rt.ds.Clients) {
+		return fmt.Errorf("%w: checkpoint covers %d clients, dataset has %d",
+			ErrGeometryMismatch, ck.Clients, len(rt.ds.Clients))
+	}
+	if len(ck.Inflight) > 0 && cfg.MaxStaleness <= 0 {
+		return errors.New("fl: checkpoint carries in-flight async state but MaxStaleness is 0")
+	}
+	for i := range ck.Inflight {
+		if c := ck.Inflight[i].Client; c < 0 || c >= len(rt.ds.Clients) {
+			return fmt.Errorf("%w: in-flight client %d out of range", ErrCkptCorrupt, c)
+		}
 	}
 
 	// Rebuild the suite in a fresh ID scope, then overwrite the lineage
@@ -949,6 +1095,61 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 			if err := rt.agg.RestoreSnapshot(m, ck.Accums[i]); err != nil {
 				return err
 			}
+		}
+	}
+
+	rt.asyncNow = ck.AsyncNow
+	rt.staleSum = ck.StaleSum
+	rt.staleCnt = ck.StaleCnt
+	rt.asyncSeq = ck.AsyncSeq
+	if len(ck.Inflight) > 0 {
+		if rt.agg == nil {
+			rt.agg = aggregate.NewStreaming()
+		}
+		if rt.asyncStr == nil {
+			rt.asyncStr = par.NewTaskStream(rt.streamWindow())
+		}
+		byID := make(map[int]*model.Model, len(rt.suite))
+		for _, m := range rt.suite {
+			byID[m.ID] = m
+		}
+		for _, m := range rt.suite {
+			m.Params()
+			m.ParamCount()
+		}
+		for i := range ck.Inflight {
+			f := &ck.Inflight[i]
+			m := byID[f.ModelID]
+			if m == nil {
+				return fmt.Errorf("%w: in-flight dispatch for unknown model %d",
+					ErrCkptCorrupt, f.ModelID)
+			}
+			// The snapshot decodes into a throwaway ID scope — it is a
+			// training source, not a suite member — but keeps the live
+			// model's ID so the session and upload pools key it together
+			// with the synchronous path.
+			src, err := model.UnmarshalModelScoped(f.SrcBlob, model.NewIDGen())
+			if err != nil {
+				return fmt.Errorf("fl: checkpoint in-flight model %d: %w", i, err)
+			}
+			src.ID = m.ID
+			src.Params()
+			src.ParamCount()
+			at := &asyncTask{
+				slot:       roundTask{client: f.Client, m: m, src: src},
+				version:    f.Version,
+				seq:        f.Seq,
+				dispatchAt: f.DispatchAt,
+			}
+			// Arrival is a pure function of (version, client, model), so
+			// it is recomputed rather than stored; the interrupted run's
+			// training itself is redone deterministically from the
+			// snapshot weights.
+			at.arrival = f.DispatchAt + rt.attemptChain(f.Version, f.Client, m)
+			slot := &at.slot
+			version := at.version
+			at.tk = rt.asyncStr.Go(func() { rt.trainTask(version, 0, slot) })
+			rt.inflight = append(rt.inflight, at)
 		}
 	}
 

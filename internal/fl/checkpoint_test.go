@@ -2,12 +2,16 @@ package fl
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"runtime"
 	"sync"
 	"testing"
 
 	"fedtrans/internal/chaos"
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/model"
 	"fedtrans/internal/selection"
 )
 
@@ -373,5 +377,48 @@ func BenchmarkCheckpointEncode(b *testing.B) {
 		if _, err := rt.Checkpoint(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// TestRestoreRejectsGeometryMismatch: a checkpoint records the dataset
+// geometry it trained on; resuming onto differently shaped data
+// (feature dimension, class count, or a shrunk client population) must
+// fail with ErrGeometryMismatch instead of silently producing garbage.
+// Growing the population with identical shapes stays legal — that is
+// the documented late-joiner path.
+func TestRestoreRejectsGeometryMismatch(t *testing.T) {
+	mk := func() *Runtime {
+		ds, tr, spec := smokeSetup(t, 12)
+		cfg := ckptConfig()
+		cfg.Rounds = 6
+		return New(cfg, ds, tr, spec)
+	}
+	_, blobs := runWithCheckpoints(t, mk, 3)
+	blob := blobs[3]
+
+	build := func(profile string, clients int) *Runtime {
+		model.ResetIDs()
+		ds := data.Generate(data.Config{Profile: profile, Clients: clients, Seed: 7})
+		spec := model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+		tr := device.NewTrace(device.TraceConfig{
+			N: clients, MinCapacityMACs: 2_000, MaxCapacityMACs: 200_000, Seed: 3,
+		})
+		cfg := ckptConfig()
+		cfg.Rounds = 6
+		return New(cfg, ds, tr, spec)
+	}
+
+	if err := build("cifar10", 12).Restore(blob); !errors.Is(err, ErrGeometryMismatch) {
+		t.Errorf("restore onto cifar10 feature geometry: err = %v, want ErrGeometryMismatch", err)
+	}
+	if err := build("femnist", 6).Restore(blob); !errors.Is(err, ErrGeometryMismatch) {
+		t.Errorf("restore onto a shrunk client population: err = %v, want ErrGeometryMismatch", err)
+	}
+	res, err := build("femnist", 16).Resume(blob)
+	if err != nil {
+		t.Fatalf("resume onto a grown same-shape population failed: %v", err)
+	}
+	if res.RoundsRun != 6 {
+		t.Errorf("grown-population resume ran %d rounds, want 6", res.RoundsRun)
 	}
 }

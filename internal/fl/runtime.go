@@ -75,6 +75,20 @@ type Config struct {
 	// is byte-identical for every window size — the window trades only
 	// pipeline overlap against memory.
 	StreamWindow int
+	// MaxStaleness, when ≥ 1, runs FedBuff-style staleness-bounded
+	// asynchronous rounds: round r+1 begins while round-r stragglers are
+	// still training, an update may fold up to MaxStaleness rounds after
+	// its model version was dispatched (discounted by 1/√(1+s) at the
+	// accumulator), and older in-flight work is force-committed so the
+	// schedule stays deterministic. 0 keeps fully synchronous rounds,
+	// bit-identical to the pre-async runtime.
+	MaxStaleness int
+	// AsyncConcurrency is the constant number of clients kept training
+	// concurrently in asynchronous mode: each round tops the in-flight
+	// set back up to this many dispatches. 0 defaults to
+	// 2×ClientsPerRound; values below ClientsPerRound are clamped up so
+	// a full commit set can exist.
+	AsyncConcurrency int
 	// Selector picks each round's participants; nil means uniform random
 	// (the paper's setup). An Oort-style guided selector is available in
 	// internal/selection.
@@ -211,6 +225,10 @@ type Result struct {
 	Retries int
 	// AbortedRounds counts rounds discarded for missing quorum.
 	AbortedRounds int
+	// MeanStaleness is the mean staleness (server rounds between model
+	// dispatch and update fold) over all committed updates. Always 0 for
+	// synchronous runs.
+	MeanStaleness float64
 	// Log holds per-round trace records when Config.RecordLog is set.
 	Log []RoundLog
 }
@@ -264,6 +282,22 @@ type Runtime struct {
 	stdBuf     []float64
 	compatBuf  []*model.Model
 	activeBuf  []int
+	commitBuf  []*roundTask
+
+	// Asynchronous-mode state (Config.MaxStaleness ≥ 1): the virtual
+	// wall clock, the global dispatch sequence counter, the staleness
+	// tallies behind Result.MeanStaleness, and the in-flight dispatch
+	// list — all checkpointed, so Resume reproduces the interrupted
+	// schedule exactly. sortBuf/candBuf/busyBuf are per-round scratch.
+	asyncNow float64
+	asyncSeq int
+	staleSum int64
+	staleCnt int64
+	inflight []*asyncTask
+	asyncStr *par.TaskStream
+	sortBuf  []*asyncTask
+	candBuf  []int
+	busyBuf  map[int]bool
 }
 
 // roundTask is one selected, non-dropped participant's slot in the
@@ -272,8 +306,17 @@ type Runtime struct {
 // releases the buffers back to the pool. fault/delay carry the chaos
 // draw of the latest attempt; ok marks clients whose update committed.
 type roundTask struct {
-	client  int
-	m       *model.Model
+	client int
+	m      *model.Model
+	// src, in asynchronous mode, is the COW snapshot of m taken at
+	// dispatch: the client trains from the weights it downloaded, not
+	// the weights the server has since moved past. nil in synchronous
+	// rounds (train directly on m).
+	src *model.Model
+	// stale counts the server rounds between dispatch and fold; the
+	// accumulator discounts the update by 1/√(1+stale). Always 0 in
+	// synchronous rounds.
+	stale   int
 	up      []*tensor.Tensor
 	loss    float64
 	samples int
@@ -443,8 +486,12 @@ loop:
 			rt.checkpointAsync(round + 1)
 		}
 	}
+	rt.drainAsync()
 	rt.ckptWG.Wait()
 
+	if rt.staleCnt > 0 {
+		res.MeanStaleness = float64(rt.staleSum) / float64(rt.staleCnt)
+	}
 	accs, bestMACs := rt.EvaluateAll()
 	res.ClientAcc = accs
 	res.BestModelMACs = bestMACs
@@ -520,6 +567,9 @@ var errQuorumLost = errors.New("fl: round lost quorum")
 // partial aggregate is discarded and the suite is left untouched.
 func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]int, bool) {
 	cfg := rt.cfg
+	if cfg.MaxStaleness > 0 {
+		return rt.runAsyncRound(round, res)
+	}
 
 	// Deterministic churn step, then participant selection over the
 	// online population only.
@@ -647,6 +697,28 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 		return 0, roundTime, nil, false
 	}
 
+	// Post-fold stages, shared with the asynchronous round loop.
+	committed := rt.commitBuf[:0]
+	for i := range tasks {
+		if tasks[i].ok {
+			committed = append(committed, &tasks[i])
+		}
+	}
+	rt.commitBuf = committed
+	roundLoss, perModel := rt.applyCommitted(round, committed, res)
+	return roundLoss, roundTime, perModel, true
+}
+
+// applyCommitted runs the post-fold stages of a committed round —
+// per-model FedAvg finalize (+ optional Yogi server step) and
+// activeness observation, joint utility learning over round-
+// standardized losses, and soft inter-model aggregation — all fed from
+// the accumulator state plus the committed tasks' scalars. It is
+// shared verbatim by the synchronous and asynchronous round loops and
+// returns the weighted mean training loss and per-model update counts.
+func (rt *Runtime) applyCommitted(round int, committed []*roundTask, res *Result) (float64, map[int]int) {
+	cfg := rt.cfg
+
 	// Per-model finalize (+ optional Yogi server step) and activeness,
 	// all fed from the accumulator instead of retained updates. The
 	// weight of failed participants implicitly redistributes to the
@@ -684,24 +756,16 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	// over committed updates only — a failed client's loss is not
 	// evidence about model utility.
 	losses := rt.lossBuf[:0]
-	for i := range tasks {
-		if tasks[i].ok {
-			losses = append(losses, tasks[i].loss)
-		}
+	for _, u := range committed {
+		losses = append(losses, u.loss)
 	}
 	rt.lossBuf = losses
 	rt.stdBuf = assign.StandardizeLossesInto(rt.stdBuf[:0], losses)
 	std := rt.stdBuf
-	k := 0
-	for i := range tasks {
-		u := &tasks[i]
-		if !u.ok {
-			continue
-		}
+	for k, u := range committed {
 		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[u.client].CapacityMACs)
 		rt.mgr.UpdateJoint(u.client, u.m, std[k], rt.compatBuf)
 		res.Overhead.UtilityUpdates += int64(len(rt.compatBuf))
-		k++
 	}
 
 	// Soft inter-model aggregation (Eq. 5).
@@ -710,9 +774,9 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	}
 
 	if lossWeight == 0 {
-		return 0, roundTime, perModel, true
+		return 0, perModel
 	}
-	return lossSum / lossWeight, roundTime, perModel, true
+	return lossSum / lossWeight, perModel
 }
 
 // trainTask runs one local-training attempt for a round slot. The chaos
@@ -723,17 +787,26 @@ func (rt *Runtime) trainTask(round, attempt int, u *roundTask) {
 	cfg := rt.cfg
 	u.fault = rt.chaos.Fault(round, u.client, attempt)
 	u.delay = rt.chaos.Delay(round, u.client, attempt)
+	// In asynchronous mode the task trains from its dispatch-time weight
+	// snapshot, and — because this may run concurrently with the
+	// consumer finalizing the live model — all pool lookups key off the
+	// snapshot too (Clone preserves the model ID, so the pools are
+	// shared with the synchronous path).
+	src := u.m
+	if u.src != nil {
+		src = u.src
+	}
 	if u.up == nil {
-		u.up = rt.uploads.get(u.m)
+		u.up = rt.uploads.get(src)
 	}
 	if u.fault == chaos.Crash {
 		u.loss, u.samples = 0, 0
 		return
 	}
-	sess := rt.sessions.get(u.m)
+	sess := rt.sessions.get(src)
 	seed := cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919 + int64(attempt)*104729
-	u.loss, u.samples = sess.run(u.m, &rt.ds.Clients[u.client], cfg.Local, seed, u.up)
-	rt.sessions.put(u.m.ID, sess)
+	u.loss, u.samples = sess.run(src, &rt.ds.Clients[u.client], cfg.Local, seed, u.up)
+	rt.sessions.put(src.ID, sess)
 	if u.fault == chaos.NonFinite {
 		// The client's training diverged: poison the upload so the
 		// accumulator's finite check must catch it.
@@ -779,7 +852,7 @@ func (rt *Runtime) commitAttempt(u *roundTask, elapsed *float64, res *Result) bo
 			qs = qs[:len(qs)-1] // truncated in flight
 		}
 		res.Costs.NetworkBytes += m.Bytes() + int64(upBytes)
-		err = rt.agg.AddQuantized(m, qs, u.samples, u.loss)
+		err = rt.agg.AddQuantized(m, qs, u.samples, u.loss, u.stale)
 	} else {
 		ws := u.up
 		if u.fault == chaos.CorruptUpload && len(ws) > 0 {
@@ -788,6 +861,7 @@ func (rt *Runtime) commitAttempt(u *roundTask, elapsed *float64, res *Result) bo
 		res.Costs.AddTransfer(m.Bytes())
 		err = rt.agg.Add(m, aggregate.Update{
 			ModelID: m.ID, Weights: ws, Samples: u.samples, Loss: u.loss,
+			Staleness: u.stale,
 		})
 	}
 	if err != nil {
@@ -835,10 +909,13 @@ func (rt *Runtime) tryTransform(round int) bool {
 // and returns per-client accuracies and the MACs of each client's chosen
 // model. Clients are evaluated in parallel across a GOMAXPROCS-bounded
 // worker pool; model selection is deterministic and each worker
-// evaluates on private model clones (Forward mutates activation caches),
-// so the results are identical to a serial evaluation. The clones are
-// copy-on-write: evaluation never writes weights, so no weight buffer is
-// copied and no gradient storage is allocated per worker.
+// evaluates on private training sessions drawn from the round loop's
+// session pool (Forward mutates activation caches, so sessions are never
+// shared), so the results are identical to a serial evaluation. Pooled
+// sessions persist across rounds and evaluations: the steady-state
+// evaluation allocates nothing beyond the result slices, at the cost of
+// one weight refresh per (worker, model) pair — a pooled session's
+// weights are stale because Finalize moves the live suite every round.
 func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 	n := len(rt.ds.Clients)
 	accs = make([]float64, n)
@@ -848,23 +925,30 @@ func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 		compatible := assign.Compatible(rt.suite, rt.trace.Devices[c].CapacityMACs)
 		chosen[c] = rt.mgr.Best(c, compatible)
 	}
+	// Prime the lazily built Params caches before the parallel section:
+	// workers read them concurrently for the weight refresh.
+	for _, m := range rt.suite {
+		m.Params()
+		m.ParamCount()
+	}
 	par.Chunked(n, func(lo, hi int) {
-		clones := make(map[int]*model.Model)
+		local := make(map[int]*localSession)
 		for c := lo; c < hi; c++ {
 			m := chosen[c]
 			if m == nil {
 				continue
 			}
-			cm := clones[m.ID]
-			if cm == nil {
-				cm = m.Clone()
-				clones[m.ID] = cm
+			s := local[m.ID]
+			if s == nil {
+				s = rt.sessions.get(m)
+				s.m.SetWeights(m.Params())
+				local[m.ID] = s
 			}
-			accs[c] = EvaluateOn(cm, &rt.ds.Clients[c])
+			accs[c] = EvaluateOn(s.m, &rt.ds.Clients[c])
 			bestMACs[c] = m.MACsPerSample()
 		}
-		for _, cm := range clones {
-			cm.Release()
+		for id, s := range local {
+			rt.sessions.put(id, s)
 		}
 	})
 	return accs, bestMACs

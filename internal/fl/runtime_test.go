@@ -60,7 +60,7 @@ func TestRuntimeLearnsAndTransforms(t *testing.T) {
 // extends the PR 1 serial-equals-parallel guarantee through the PR 3
 // COW layer to the PR 5 streaming round loop.
 func TestRunDeterminismSerialParallelCOW(t *testing.T) {
-	run := func(window int) Result {
+	run := func(window, maxStaleness int) Result {
 		ds, tr, spec := smokeSetup(t, 16)
 		cfg := DefaultConfig()
 		cfg.Rounds = 12
@@ -73,21 +73,27 @@ func TestRunDeterminismSerialParallelCOW(t *testing.T) {
 		cfg.DropoutRate = 0.1
 		cfg.RecordLog = true
 		cfg.StreamWindow = window
+		cfg.MaxStaleness = maxStaleness
 		cfg.Transform.Gamma = 3
 		cfg.Transform.Delta = 3
 		cfg.Transform.Beta = 0.05
 		rt := New(cfg, ds, tr, spec)
 		return rt.Run()
 	}
-	prev := runtime.GOMAXPROCS(1)
-	defer runtime.GOMAXPROCS(prev)
-	serial := run(0)
-	runtime.GOMAXPROCS(4)
-	for _, window := range []int{0, 1, 2, 64} {
-		parallel := run(window)
-		if !reflect.DeepEqual(serial, parallel) {
-			t.Fatalf("streaming run (window %d) differs from serial execution:\nserial:   %+v\nparallel: %+v",
-				window, serial, parallel)
+	// MaxStaleness 0 is the synchronous path; 2 runs the same workload
+	// through the FedBuff async loop. Both must be bit-identical between
+	// fully serial execution and any parallel stream window.
+	for _, ms := range []int{0, 2} {
+		prev := runtime.GOMAXPROCS(1)
+		serial := run(0, ms)
+		runtime.GOMAXPROCS(4)
+		for _, window := range []int{0, 1, 2, 64} {
+			parallel := run(window, ms)
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("streaming run (window %d, staleness %d) differs from serial execution:\nserial:   %+v\nparallel: %+v",
+					window, ms, serial, parallel)
+			}
 		}
+		runtime.GOMAXPROCS(prev)
 	}
 }

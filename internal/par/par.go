@@ -230,6 +230,131 @@ func StreamErr(n, window int, produce func(i int), consume func(i int) error) er
 	return err
 }
 
+// Task states in a TaskStream.
+const (
+	taskQueued  = iota // submitted, claimable by a worker or by Wait
+	taskRunning        // some goroutine is executing fn
+	taskDone           // fn returned
+)
+
+// Task is one submitted unit of work in a TaskStream. The zero value is
+// not useful; obtain Tasks from TaskStream.Go.
+type Task struct {
+	fn    func()
+	state int
+}
+
+// TaskStream generalizes Stream/StreamErr's completion stream to
+// dynamically submitted tasks whose consumption order — and epoch — the
+// consumer chooses: where StreamErr claims a fixed index range and
+// consumes it in ascending order within one epoch, a TaskStream lets the
+// single consumer release producers into later epochs before earlier
+// epochs' items commit (the staleness-bounded asynchronous round loop
+// schedules over it; the staleness bound itself is the scheduler's
+// commit policy, enforced by which tasks it chooses to Wait on each
+// epoch). StreamErr remains the synchronous special case — its window
+// semantics and results are untouched.
+//
+// Producers run on the shared process-wide token budget, capped at
+// limit background workers. Wait(t) is the consumption point: a task no
+// worker has claimed runs inline on the caller — so with no spare
+// tokens or GOMAXPROCS=1 the stream degrades to a serial loop executing
+// tasks in Wait order — and a task mid-execution is awaited. Because a
+// task's fn must confine its writes to task-owned state, results are
+// byte-identical regardless of which goroutine ran which task.
+//
+// Go and Wait must be called from a single consumer goroutine.
+type TaskStream struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Task // submitted, not yet claimed
+	workers int     // live background workers
+	limit   int
+}
+
+// NewTaskStream returns a stream running at most limit background
+// producers (additionally bounded by live GOMAXPROCS and the shared
+// token budget; limit < 1 means every task runs inline at Wait).
+func NewTaskStream(limit int) *TaskStream {
+	s := &TaskStream{limit: limit}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// Go submits fn for execution and returns its Task handle. fn may begin
+// on a background worker immediately or run inline later at Wait; it
+// must confine its writes to task-owned state.
+func (s *TaskStream) Go(fn func()) *Task {
+	t := &Task{fn: fn}
+	s.mu.Lock()
+	s.queue = append(s.queue, t)
+	spawn := false
+	// Mirror ForN/StreamErr's degradation: background workers only while
+	// the live GOMAXPROCS leaves room for the consumer, within the
+	// stream's own cap, and within the process-wide budget.
+	if s.workers < s.limit && s.workers < runtime.GOMAXPROCS(0)-1 {
+		select {
+		case tokens <- struct{}{}:
+			s.workers++
+			spawn = true
+		default:
+		}
+	}
+	s.mu.Unlock()
+	if spawn {
+		go s.worker()
+	}
+	return t
+}
+
+func (s *TaskStream) worker() {
+	s.mu.Lock()
+	for len(s.queue) > 0 {
+		t := s.queue[0]
+		s.queue = s.queue[1:]
+		t.state = taskRunning
+		s.mu.Unlock()
+		t.fn()
+		s.mu.Lock()
+		t.state = taskDone
+		s.cond.Broadcast()
+	}
+	s.workers--
+	s.mu.Unlock()
+	<-tokens
+}
+
+// Wait ensures t's fn has run and returns: a still-queued task is
+// claimed and run inline on the caller, a running task is awaited, a
+// finished task returns immediately. After Wait returns, all of fn's
+// writes are visible to the caller. Waiting the same task again is a
+// no-op.
+func (s *TaskStream) Wait(t *Task) {
+	s.mu.Lock()
+	switch t.state {
+	case taskQueued:
+		for i, q := range s.queue {
+			if q == t {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		t.state = taskRunning
+		s.mu.Unlock()
+		t.fn()
+		s.mu.Lock()
+		t.state = taskDone
+		s.mu.Unlock()
+	case taskRunning:
+		for t.state != taskDone {
+			s.cond.Wait()
+		}
+		s.mu.Unlock()
+	default: // taskDone
+		s.mu.Unlock()
+	}
+}
+
 // Chunked splits [0, n) into one contiguous range per worker and runs
 // fn(lo, hi) on each. Use it when workers amortize per-worker state
 // (e.g. model clones) across their range. Chunks whose worker cannot be

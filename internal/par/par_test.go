@@ -269,3 +269,154 @@ func TestStreamErrFirstIndexFailure(t *testing.T) {
 		t.Fatalf("err = %v, want errBoom", err)
 	}
 }
+
+// TestTaskStreamRunsEveryTaskOnce submits a batch of tasks and waits
+// them in a scrambled, consumer-chosen order: every task must run
+// exactly once and its writes must be visible after Wait, at any
+// parallelism.
+func TestTaskStreamRunsEveryTaskOnce(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(procs, func() {
+			for _, limit := range []int{0, 1, 8} {
+				const n = 100
+				s := NewTaskStream(limit)
+				ran := make([]int32, n)
+				out := make([]int, n)
+				tasks := make([]*Task, n)
+				for i := 0; i < n; i++ {
+					i := i
+					tasks[i] = s.Go(func() {
+						atomic.AddInt32(&ran[i], 1)
+						out[i] = i * i
+					})
+				}
+				// Wait in a deterministic but non-submission order.
+				for k := 0; k < n; k++ {
+					i := (k*37 + 11) % n
+					s.Wait(tasks[i])
+					if out[i] != i*i {
+						t.Fatalf("procs %d limit %d: task %d result not visible after Wait", procs, limit, i)
+					}
+				}
+				for i := range ran {
+					if ran[i] != 1 {
+						t.Fatalf("procs %d limit %d: task %d ran %d times", procs, limit, i, ran[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTaskStreamWaitIdempotent pins that re-waiting a finished task is a
+// no-op and never re-runs it.
+func TestTaskStreamWaitIdempotent(t *testing.T) {
+	s := NewTaskStream(4)
+	var runs int32
+	tk := s.Go(func() { atomic.AddInt32(&runs, 1) })
+	s.Wait(tk)
+	s.Wait(tk)
+	s.Wait(tk)
+	if got := atomic.LoadInt32(&runs); got != 1 {
+		t.Fatalf("task ran %d times across repeated Waits, want 1", got)
+	}
+}
+
+// TestTaskStreamCrossEpochStaleTasks models the asynchronous round
+// loop's stale-path: tasks submitted in epoch r are left unconsumed
+// while later epochs submit and consume their own work, then the stale
+// stragglers are finally waited several epochs later. Results must be
+// intact regardless of how long a task stayed outstanding.
+func TestTaskStreamCrossEpochStaleTasks(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(procs, func() {
+			s := NewTaskStream(4)
+			type item struct {
+				tk    *Task
+				epoch int
+				val   int
+			}
+			var stale []*item
+			sum := 0
+			for epoch := 0; epoch < 6; epoch++ {
+				// Two fresh tasks per epoch; consume one now, strand one.
+				for j := 0; j < 2; j++ {
+					it := &item{epoch: epoch}
+					v := epoch*10 + j
+					it.tk = s.Go(func() { it.val = v })
+					if j == 0 {
+						s.Wait(it.tk)
+						if it.val != v {
+							t.Fatalf("procs %d: fresh task value %d, want %d", procs, it.val, v)
+						}
+						sum += it.val
+					} else {
+						stale = append(stale, it)
+					}
+				}
+				// Bounded staleness: anything older than 2 epochs is forced.
+				keep := stale[:0]
+				for _, it := range stale {
+					if epoch-it.epoch >= 2 {
+						s.Wait(it.tk)
+						sum += it.val
+					} else {
+						keep = append(keep, it)
+					}
+				}
+				stale = keep
+			}
+			for _, it := range stale {
+				s.Wait(it.tk)
+				sum += it.val
+			}
+			want := 0
+			for epoch := 0; epoch < 6; epoch++ {
+				want += epoch*10 + (epoch*10 + 1)
+			}
+			if sum != want {
+				t.Fatalf("procs %d: stale-task sum %d, want %d", procs, sum, want)
+			}
+		})
+	}
+}
+
+// TestStreamErrAbortWhileStale aborts a wide-window stream at an early
+// index while many later items are already produced ("stale": claimed
+// and completed but never to be consumed). The abort must drain cleanly,
+// consume nothing past the failure, and leave every produced item's
+// state fully written — the contract the round loop's buffer-reclaim
+// pass after a lost quorum depends on.
+func TestStreamErrAbortWhileStale(t *testing.T) {
+	errBoom := errors.New("boom")
+	for _, procs := range []int{1, 4} {
+		withGOMAXPROCS(procs, func() {
+			const n, window, failAt = 200, 64, 3
+			state := make([]int32, n) // 0 untouched, 1 half-written, 2 complete
+			var consumed int32
+			err := StreamErr(n, window, func(i int) {
+				atomic.StoreInt32(&state[i], 1)
+				atomic.StoreInt32(&state[i], 2)
+			}, func(i int) error {
+				atomic.AddInt32(&consumed, 1)
+				if i == failAt {
+					return errBoom
+				}
+				return nil
+			})
+			if err != errBoom {
+				t.Fatalf("procs %d: err = %v, want errBoom", procs, err)
+			}
+			if got := atomic.LoadInt32(&consumed); got != failAt+1 {
+				t.Fatalf("procs %d: consumed %d items, want %d", procs, got, failAt+1)
+			}
+			// Every item a worker started (the stale window beyond the
+			// failure) must have run to completion: no half-written state.
+			for i := range state {
+				if s := atomic.LoadInt32(&state[i]); s == 1 {
+					t.Fatalf("procs %d: produce(%d) left half-written state after abort", procs, i)
+				}
+			}
+		})
+	}
+}

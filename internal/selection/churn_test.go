@@ -171,3 +171,79 @@ func TestRandomSelectFromUniformOverCandidates(t *testing.T) {
 		t.Fatalf("n >= len(candidates) must return all candidates, got %v", all)
 	}
 }
+
+func TestChurnFloorPopulationAtMinimum(t *testing.T) {
+	// A population already sitting exactly at MinOnline must never lose
+	// a client, even at LeaveRate 1: every leave draw is suppressed by
+	// the floor.
+	cfg := ChurnConfig{LeaveRate: 1, MinOnline: 4}
+	c := NewChurn(4, cfg)
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 20; round++ {
+		c.Step(rng)
+		if c.NumOnline() != 4 {
+			t.Fatalf("round %d: floor-sized population shrank to %d", round, c.NumOnline())
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Online(i) {
+			t.Fatalf("client %d went offline in a floor-sized population", i)
+		}
+	}
+}
+
+func TestChurnLeaveBurstStopsExactlyAtFloor(t *testing.T) {
+	// LeaveRate 1 with no rejoining drains the population in one step —
+	// but stops exactly at the floor, never below and never one above.
+	cfg := ChurnConfig{LeaveRate: 1, MinOnline: 3}
+	c := NewChurn(10, cfg)
+	rng := rand.New(rand.NewSource(13))
+	c.Step(rng)
+	if c.NumOnline() != cfg.MinOnline {
+		t.Fatalf("leave burst left %d online, want exactly the floor %d", c.NumOnline(), cfg.MinOnline)
+	}
+	// Leaves suppress in ascending client order, so the floor keeps the
+	// highest-numbered clients (0..6 drained first, then the guard held).
+	if got := c.ActiveInto(nil); !reflect.DeepEqual(got, []int{7, 8, 9}) {
+		t.Fatalf("survivors = %v, want the last %d clients", got, cfg.MinOnline)
+	}
+	// Repeated bursts stay pinned at the floor.
+	c.Step(rng)
+	if c.NumOnline() != cfg.MinOnline {
+		t.Fatalf("second burst moved the population to %d", c.NumOnline())
+	}
+}
+
+func TestChurnFloorClampedToOne(t *testing.T) {
+	// MinOnline 0 (the zero value) is clamped to 1: the coordinator must
+	// always have someone to talk to.
+	c := NewChurn(5, ChurnConfig{LeaveRate: 1})
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 3; round++ {
+		c.Step(rng)
+		if c.NumOnline() < 1 {
+			t.Fatalf("round %d: population fully drained despite the implicit floor", round)
+		}
+	}
+	if c.NumOnline() != 1 {
+		t.Fatalf("LeaveRate 1 should pin the population at the clamped floor 1, got %d", c.NumOnline())
+	}
+}
+
+func TestChurnRejoinLiftsOffFloor(t *testing.T) {
+	// Once drained to the floor, JoinRate 1 restores the full population
+	// in one step and the floor no longer suppresses anything relevant.
+	cfg := ChurnConfig{LeaveRate: 1, MinOnline: 2}
+	c := NewChurn(6, cfg)
+	rng := rand.New(rand.NewSource(19))
+	c.Step(rng)
+	if c.NumOnline() != 2 {
+		t.Fatalf("drain left %d online, want 2", c.NumOnline())
+	}
+	c.cfg.LeaveRate = 0
+	c.cfg.JoinRate = 1
+	c.Step(rng)
+	if c.NumOnline() != 6 {
+		t.Fatalf("full rejoin brought %d online, want 6", c.NumOnline())
+	}
+}
