@@ -20,6 +20,10 @@ func main() {
 	flag.StringVar(&opts.Profile, "profile", opts.Profile,
 		"dataset profile: femnist|cifar10|speech|openimage|vit|scale|async")
 	flag.IntVar(&opts.Clients, "clients", opts.Clients, "number of federated clients")
+	flag.IntVar(&opts.Population, "population", opts.Population,
+		"generative population size: overrides -clients and synthesizes client state on demand, O(active) server state")
+	flag.IntVar(&opts.EdgeAggregators, "edge-aggregators", opts.EdgeAggregators,
+		"hierarchical two-tier aggregation across this many edge aggregators (<=1 = single tier, results bit-identical)")
 	flag.IntVar(&opts.Rounds, "rounds", opts.Rounds, "training round budget")
 	flag.IntVar(&opts.ClientsPerRound, "participants", opts.ClientsPerRound, "clients per round")
 	flag.Float64Var(&opts.Heterogeneity, "h", opts.Heterogeneity,
@@ -50,8 +54,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	clients := opts.Clients
+	if opts.Population > 0 {
+		clients = opts.Population
+	}
 	fmt.Printf("profile=%s clients=%d rounds=%d participants=%d disparity=%.1fx\n",
-		opts.Profile, opts.Clients, opts.Rounds, opts.ClientsPerRound, session.DeviceDisparity())
+		opts.Profile, clients, opts.Rounds, opts.ClientsPerRound, session.DeviceDisparity())
 	var summary fedtrans.Summary
 	if *resumePath != "" {
 		blob, err := os.ReadFile(*resumePath)

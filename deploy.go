@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"fedtrans/internal/assign"
+	"fedtrans/internal/data"
 	"fedtrans/internal/fl"
 	"fedtrans/internal/model"
 	"fedtrans/internal/tensor"
@@ -36,12 +37,17 @@ func LoadModel(blob []byte) (*Deployed, error) {
 	return &Deployed{m: m}, nil
 }
 
-// Predict returns the predicted class for one flat feature vector.
-func (d *Deployed) Predict(features []float64) (int, error) {
+func (d *Deployed) inputDim() int {
 	wantDim := 1
 	for _, s := range d.m.InputShape {
 		wantDim *= s
 	}
+	return wantDim
+}
+
+// Predict returns the predicted class for one flat feature vector.
+func (d *Deployed) Predict(features []float64) (int, error) {
+	wantDim := d.inputDim()
 	if len(features) != wantDim {
 		return 0, fmt.Errorf("fedtrans: feature dim %d, model expects %d", len(features), wantDim)
 	}
@@ -54,15 +60,33 @@ func (d *Deployed) Predict(features []float64) (int, error) {
 	return logits.ArgMaxRow(0), nil
 }
 
-// PredictBatch classifies a batch of flat feature vectors.
+// PredictBatch classifies a batch of flat feature vectors in one
+// forward pass: rows are validated up front, converted into a single
+// contiguous batch buffer, and pushed through the strided-batch kernels
+// together — one Forward and two allocations for the whole batch, not
+// one per row.
 func (d *Deployed) PredictBatch(features [][]float64) ([]int, error) {
-	out := make([]int, len(features))
+	wantDim := d.inputDim()
 	for i, f := range features {
-		y, err := d.Predict(f)
-		if err != nil {
-			return nil, err
+		if len(f) != wantDim {
+			return nil, fmt.Errorf("fedtrans: row %d feature dim %d, model expects %d", i, len(f), wantDim)
 		}
-		out[i] = y
+	}
+	if len(features) == 0 {
+		return nil, nil
+	}
+	buf := make([]tensor.Float, len(features)*wantDim)
+	for i, f := range features {
+		row := buf[i*wantDim : (i+1)*wantDim]
+		for j, v := range f {
+			row[j] = tensor.Float(v)
+		}
+	}
+	x := tensor.FromSlice(buf, len(features), wantDim)
+	logits := d.m.Forward(x)
+	out := make([]int, len(features))
+	for i := range out {
+		out[i] = logits.ArgMaxRow(i)
 	}
 	return out, nil
 }
@@ -78,15 +102,17 @@ func (d *Deployed) Info() ModelInfo {
 // trained suite is not mutated. Call after Session.Run.
 func (s *Session) Personalized(steps int) []float64 {
 	rng := randFor(s.opts.Seed + 12345)
-	accs := make([]float64, len(s.dataset.Clients))
+	n := s.dataset.Len()
+	accs := make([]float64, n)
 	suite := s.runtime.Suite()
-	for c := range s.dataset.Clients {
-		compatible := assign.Compatible(suite, s.trace.Devices[c].CapacityMACs)
+	var cur data.ClientCursor
+	for c := 0; c < n; c++ {
+		compatible := assign.Compatible(suite, s.trace.At(c).CapacityMACs)
 		m := s.runtime.Manager().Best(c, compatible)
 		if m == nil {
 			continue
 		}
-		_, acc := fl.Personalize(m, &s.dataset.Clients[c], steps, s.opts.LearningRate, rng)
+		_, acc := fl.Personalize(m, s.dataset.Fetch(&cur, c), steps, s.opts.LearningRate, rng)
 		accs[c] = acc
 	}
 	return accs

@@ -40,6 +40,24 @@ type Options struct {
 	Profile string
 	// Clients is the number of federated clients (default 50).
 	Clients int
+	// Population, when > 0, overrides Clients and switches the session to
+	// a generative population: every client's data shard, device-trace
+	// entry, and RNG stream is synthesized deterministically on demand
+	// from (Seed, clientID) instead of being materialized up front, so
+	// session setup cost and resident state are independent of the
+	// population size — O(active clients), not O(Population). Results are
+	// bit-identical to a materialized run with Clients = Population,
+	// which opens the 10⁶-client workload class (see ScaleOptions /
+	// MassiveOptions).
+	Population int
+	// EdgeAggregators ≥ 2 enables hierarchical two-tier aggregation: that
+	// many edge aggregators each own a disjoint slice of every model's
+	// flat parameter space and merge into a root in fixed edge order at
+	// the round boundary. Bit-identical to single-tier aggregation for
+	// every StreamWindow and MaxStaleness setting; only the peak
+	// per-aggregator accumulator memory changes (1/E of the flat space
+	// per edge).
+	EdgeAggregators int
 	// Heterogeneity is the Dirichlet label-skew parameter h; lower is more
 	// heterogeneous (default 1).
 	Heterogeneity float64
@@ -165,7 +183,10 @@ func (c ChaosOptions) enabled() bool {
 // streaming sharded aggregation pipeline (selection, assignment, local
 // training, clip/quantize, accumulator folding) rather than the compute
 // kernels. Peak coordinator memory stays O(StreamWindow × model bytes)
-// even at ClientsPerRound in the thousands.
+// even at ClientsPerRound in the thousands. Set Population to detach
+// the population size from resident memory entirely (generative
+// clients), and EdgeAggregators to shard the round accumulator; both
+// leave results bit-identical.
 func ScaleOptions() Options {
 	o := DefaultOptions()
 	o.Profile = "scale"
@@ -174,6 +195,19 @@ func ScaleOptions() Options {
 	o.Rounds = 10
 	o.LocalSteps = 2
 	o.BatchSize = 8
+	return o
+}
+
+// MassiveOptions is the extended scale profile at production population
+// size: one million generative clients (nothing materialized until a
+// client is sampled) behind four edge aggregators. Note the final
+// evaluation pass still visits every client, so full runs are long;
+// lower Population for CI-sized experiments.
+func MassiveOptions() Options {
+	o := ScaleOptions()
+	o.Population = 1_000_000
+	o.EdgeAggregators = 4
+	o.Rounds = 5
 	return o
 }
 
@@ -259,6 +293,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Seed == 0 {
 		o.Seed = d.Seed
+	}
+	if o.Population > 0 {
+		// A generative population is the client count; Clients only
+		// matters for materialized sessions.
+		o.Clients = o.Population
 	}
 	return o
 }
@@ -361,15 +400,26 @@ func NewSession(opts Options) (*Session, error) {
 		// compute.
 		dcfg.MinSamples, dcfg.MaxSamples, dcfg.TestSamples = 8, 16, 8
 	}
-	ds := data.Generate(dcfg)
+	var ds *data.Dataset
+	if opts.Population > 0 {
+		ds = data.GenerateLazy(dcfg)
+	} else {
+		ds = data.Generate(dcfg)
+	}
 	spec := initialSpec(opts.Profile, ds)
 	base := spec.Build(randFor(opts.Seed)).MACsPerSample()
-	trace := device.NewTrace(device.TraceConfig{
+	tcfg := device.TraceConfig{
 		N:               opts.Clients,
 		MinCapacityMACs: base,
 		MaxCapacityMACs: base * opts.CapacitySpread,
 		Seed:            opts.Seed + 100,
-	})
+	}
+	var trace *device.Trace
+	if opts.Population > 0 {
+		trace = device.NewTraceLazy(tcfg)
+	} else {
+		trace = device.NewTrace(tcfg)
+	}
 	cfg := fl.DefaultConfig()
 	cfg.Rounds = opts.Rounds
 	cfg.ClientsPerRound = opts.ClientsPerRound
@@ -388,6 +438,7 @@ func NewSession(opts Options) (*Session, error) {
 	cfg.StreamWindow = opts.StreamWindow
 	cfg.MaxStaleness = opts.MaxStaleness
 	cfg.AsyncConcurrency = opts.AsyncConcurrency
+	cfg.EdgeAggregators = opts.EdgeAggregators
 	cfg.Seed = opts.Seed
 	cfg.Quorum = opts.Quorum
 	cfg.RetryBudget = opts.RetryBudget

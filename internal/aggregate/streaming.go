@@ -50,15 +50,22 @@ var ErrNonFinite = errors.New("aggregate: non-finite value in update")
 // the next round while keeping the buffer allocated.
 type StreamingFedAvg struct {
 	shardSize int
-	accs      map[int]*modelAcc
+	// edge/edges restrict the aggregator to its contiguous, shard-aligned
+	// slice of each model's flat parameter space (two-tier aggregation);
+	// edge 0 of 1 — the default — owns everything.
+	edge, edges int
+	accs        map[int]*modelAcc
 }
 
 // modelAcc is one model's accumulator state.
 type modelAcc struct {
 	params  []*tensor.Tensor
-	offsets []int     // offsets[i] is params[i]'s start in the flat space
-	total   int       // total scalar parameters
-	sum     []float64 // flat weighted sum, len == total
+	offsets []int // offsets[i] is params[i]'s start in the flat space
+	total   int   // total scalar parameters
+	// lo/hi bound the owned flat range; sum[j] accumulates flat position
+	// lo+j. Full-space aggregators have lo=0, hi=total.
+	lo, hi  int
+	sum     []float64 // owned slice of the flat weighted sum, len == hi-lo
 	weight  float64   // Σ sample weights
 	lossSum float64   // Σ loss × weight
 	count   int       // updates folded this round
@@ -71,10 +78,31 @@ func NewStreaming() *StreamingFedAvg { return NewStreamingSharded(DefaultShardSi
 // NewStreamingSharded returns an empty streaming aggregator whose
 // accumulators are reduced in shards of the given width (clamped to ≥ 1).
 func NewStreamingSharded(shardSize int) *StreamingFedAvg {
+	return NewStreamingEdge(shardSize, 0, 1)
+}
+
+// NewStreamingEdge returns edge `edge` of an `edges`-way two-tier
+// split: an aggregator that folds only its contiguous, shard-aligned
+// slice of each model's flat parameter space and holds 1/edges of the
+// accumulator memory. Edge slices are disjoint and cover the space, so
+// merging every edge into a full-space root (MergeFrom, ascending edge
+// order) reproduces the single-tier accumulator bit for bit: each flat
+// position is owned by exactly one edge, whose partial sum was computed
+// by the identical sequence of float64 adds the single-tier fold runs.
+func NewStreamingEdge(shardSize, edge, edges int) *StreamingFedAvg {
 	if shardSize < 1 {
 		shardSize = DefaultShardSize
 	}
-	return &StreamingFedAvg{shardSize: shardSize, accs: make(map[int]*modelAcc)}
+	if edges < 1 {
+		edges = 1
+	}
+	if edge < 0 || edge >= edges {
+		edge = 0
+	}
+	return &StreamingFedAvg{
+		shardSize: shardSize, edge: edge, edges: edges,
+		accs: make(map[int]*modelAcc),
+	}
 }
 
 // acc returns (creating on first use) the accumulator for dst. The
@@ -89,7 +117,18 @@ func (s *StreamingFedAvg) acc(dst *model.Model) *modelAcc {
 			a.offsets[i] = a.total
 			a.total += p.Len()
 		}
-		a.sum = make([]float64, a.total)
+		// Owned shard range: shards [edge·ns/edges, (edge+1)·ns/edges),
+		// so consecutive edges tile the flat space without overlap.
+		ns := s.shards(a.total)
+		a.lo = s.edge * ns / s.edges * s.shardSize
+		a.hi = (s.edge + 1) * ns / s.edges * s.shardSize
+		if a.hi > a.total {
+			a.hi = a.total
+		}
+		if a.lo > a.hi {
+			a.lo = a.hi
+		}
+		a.sum = make([]float64, a.hi-a.lo)
 		s.accs[dst.ID] = a
 	}
 	return a
@@ -143,21 +182,25 @@ func (s *StreamingFedAvg) shards(total int) int {
 	return (total + s.shardSize - 1) / s.shardSize
 }
 
-// foldShards runs fold(lo, hi) over every shard range of the flat space,
-// in parallel across idle workers. Shard ranges are disjoint, and each
-// shard sees exactly one contribution per Add call, so parallel shard
-// reduction preserves the deterministic per-shard fold order.
-func (s *StreamingFedAvg) foldShards(total int, fold func(lo, hi int)) {
-	ns := s.shards(total)
+// foldOwned runs fold(lo, hi) over every shard-aligned chunk of the
+// accumulator's owned flat range, in parallel across idle workers.
+// Chunk ranges are disjoint, and each chunk sees exactly one
+// contribution per Add call, so parallel shard reduction preserves the
+// deterministic per-shard fold order.
+func (s *StreamingFedAvg) foldOwned(a *modelAcc, fold func(lo, hi int)) {
+	if a.lo >= a.hi {
+		return
+	}
+	ns := (a.hi - a.lo + s.shardSize - 1) / s.shardSize
 	if ns <= 1 {
-		fold(0, total)
+		fold(a.lo, a.hi)
 		return
 	}
 	par.ForN(ns, func(i int) {
-		lo := i * s.shardSize
+		lo := a.lo + i*s.shardSize
 		hi := lo + s.shardSize
-		if hi > total {
-			hi = total
+		if hi > a.hi {
+			hi = a.hi
 		}
 		fold(lo, hi)
 	})
@@ -202,23 +245,38 @@ func (s *StreamingFedAvg) Add(dst *model.Model, u Update) error {
 	a.weight += w
 	a.lossSum += u.Loss * w
 	a.count++
-	if s.shards(a.total) <= 1 {
-		// Small model: fold directly, no closure or fan-out overhead —
-		// this is the per-participant hot path of massive rounds.
-		a.foldDense(u.Weights, w, 0, a.total)
-		return nil
-	}
-	s.foldShards(a.total, func(lo, hi int) {
-		a.foldDense(u.Weights, w, lo, hi)
-	})
+	s.fold(a, w, u.Weights, nil)
 	return nil
+}
+
+// fold accumulates one validated update (dense weights or quantized qs,
+// exactly one non-nil) over the owned flat range.
+func (s *StreamingFedAvg) fold(a *modelAcc, w float64, weights []*tensor.Tensor, qs []compress.QuantizedTensor) {
+	if a.hi-a.lo <= s.shardSize {
+		// Small model (or narrow edge slice): fold directly, no closure or
+		// fan-out overhead — this is the per-participant hot path of
+		// massive rounds.
+		if weights != nil {
+			a.foldDense(weights, w, a.lo, a.hi)
+		} else {
+			a.foldQuantized(qs, w, a.lo, a.hi)
+		}
+		return
+	}
+	s.foldOwned(a, func(lo, hi int) {
+		if weights != nil {
+			a.foldDense(weights, w, lo, hi)
+		} else {
+			a.foldQuantized(qs, w, lo, hi)
+		}
+	})
 }
 
 // foldDense accumulates weight×(dense update) over flat range [lo, hi).
 func (a *modelAcc) foldDense(weights []*tensor.Tensor, w float64, lo, hi int) {
 	a.forSegments(lo, hi, func(ti, tLo, tHi, flat int) {
 		src := weights[ti].Data[tLo:tHi]
-		acc := a.sum[flat : flat+len(src)]
+		acc := a.sum[flat-a.lo : flat-a.lo+len(src)]
 		for j, v := range src {
 			acc[j] += float64(v) * w
 		}
@@ -233,6 +291,20 @@ func (a *modelAcc) foldDense(weights []*tensor.Tensor, w float64, lo, hi int) {
 // discounts the update's weight exactly as Update.Staleness does.
 func (s *StreamingFedAvg) AddQuantized(dst *model.Model, qs []compress.QuantizedTensor, samples int, loss float64, staleness int) error {
 	a := s.acc(dst)
+	if err := a.validateQuantized(qs); err != nil {
+		return err
+	}
+	w := sampleWeight(samples) * StalenessDiscount(staleness)
+	a.weight += w
+	a.lossSum += loss * w
+	a.count++
+	s.fold(a, w, nil, qs)
+	return nil
+}
+
+// validateQuantized checks a quantized update's arity, per-tensor code
+// lengths, and range finiteness, mirroring validate for dense updates.
+func (a *modelAcc) validateQuantized(qs []compress.QuantizedTensor) error {
 	if len(qs) != len(a.params) {
 		return fmt.Errorf("%w: %d tensors, want %d", ErrUpdateShape, len(qs), len(a.params))
 	}
@@ -251,17 +323,6 @@ func (s *StreamingFedAvg) AddQuantized(dst *model.Model, qs []compress.Quantized
 			return fmt.Errorf("%w: tensor %d quantization range", ErrNonFinite, i)
 		}
 	}
-	w := sampleWeight(samples) * StalenessDiscount(staleness)
-	a.weight += w
-	a.lossSum += loss * w
-	a.count++
-	if s.shards(a.total) <= 1 {
-		a.foldQuantized(qs, w, 0, a.total)
-		return nil
-	}
-	s.foldShards(a.total, func(lo, hi int) {
-		a.foldQuantized(qs, w, lo, hi)
-	})
 	return nil
 }
 
@@ -272,7 +333,7 @@ func (a *modelAcc) foldQuantized(qs []compress.QuantizedTensor, w float64, lo, h
 		q := &qs[ti]
 		step := (q.Max - q.Min) / 255.0
 		codes := q.Codes[tLo:tHi]
-		acc := a.sum[flat : flat+len(codes)]
+		acc := a.sum[flat-a.lo : flat-a.lo+len(codes)]
 		for j, c := range codes {
 			// Round through the wire precision (float32) so streaming
 			// decode matches materialized Dequantize bit-for-bit.
@@ -321,10 +382,10 @@ func (s *StreamingFedAvg) Finalize(dst *model.Model) (meanLoss float64, samples 
 	for _, p := range a.params {
 		p.EnsureOwnedDiscard()
 	}
-	s.foldShards(a.total, func(lo, hi int) {
+	s.foldOwned(a, func(lo, hi int) {
 		a.forSegments(lo, hi, func(ti, tLo, tHi, flat int) {
 			dstSeg := a.params[ti].Data[tLo:tHi]
-			src := a.sum[flat : flat+len(dstSeg)]
+			src := a.sum[flat-a.lo : flat-a.lo+len(dstSeg)]
 			for j := range dstSeg {
 				dstSeg[j] = tensor.Float(src[j] * inv)
 			}
@@ -405,14 +466,45 @@ func (s *StreamingFedAvg) Snapshot() []AccumSnapshot {
 
 // RestoreSnapshot reinstates one model's in-flight accumulator state
 // captured by Snapshot. dst must be the model the snapshot was taken
-// for (same flat parameter length); the snapshot's sum is copied.
+// for (same owned flat length); the snapshot's sum is copied.
 func (s *StreamingFedAvg) RestoreSnapshot(dst *model.Model, snap AccumSnapshot) error {
 	a := s.acc(dst)
-	if len(snap.Sum) != a.total {
-		return fmt.Errorf("%w: snapshot length %d, model flat length %d",
-			ErrUpdateShape, len(snap.Sum), a.total)
+	if len(snap.Sum) != a.hi-a.lo {
+		return fmt.Errorf("%w: snapshot length %d, owned flat length %d",
+			ErrUpdateShape, len(snap.Sum), a.hi-a.lo)
 	}
 	copy(a.sum, snap.Sum)
 	a.weight, a.lossSum, a.count = snap.Weight, snap.LossSum, snap.Count
+	return nil
+}
+
+// MergeFrom folds src's accumulated state for dst into s and resets
+// src's accumulator — the edge→root handoff of two-tier aggregation.
+// src's owned flat range must lie inside s's (the root spans the whole
+// space), and sums add positionally. The scalar totals (weight, loss,
+// update count) add as-is, so a topology must track each update's
+// scalars on exactly one edge; NewTiered gives them all to edge 0.
+// Merging edges in ascending edge order reassembles the single-tier
+// accumulator bit for bit: edge ranges are disjoint, so every flat
+// position receives its one owning edge's partial sum — computed by the
+// identical add sequence the single-tier fold runs — added to zero.
+func (s *StreamingFedAvg) MergeFrom(dst *model.Model, src *StreamingFedAvg) error {
+	sa := src.accs[dst.ID]
+	if sa == nil {
+		return nil
+	}
+	a := s.acc(dst)
+	if sa.total != a.total || sa.lo < a.lo || sa.hi > a.hi {
+		return fmt.Errorf("%w: merge range [%d,%d) outside owned [%d,%d)",
+			ErrUpdateShape, sa.lo, sa.hi, a.lo, a.hi)
+	}
+	dstSeg := a.sum[sa.lo-a.lo : sa.hi-a.lo]
+	for j, v := range sa.sum {
+		dstSeg[j] += v
+	}
+	a.weight += sa.weight
+	a.lossSum += sa.lossSum
+	a.count += sa.count
+	sa.reset()
 	return nil
 }

@@ -1,0 +1,204 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"fedtrans/internal/compress"
+	"fedtrans/internal/model"
+)
+
+// Aggregator is the accumulator surface the round loop drives: fold
+// updates as they arrive, finalize per model at the round boundary, and
+// snapshot/restore in-flight state for mid-round checkpoints. It is
+// implemented by the single-tier StreamingFedAvg and the two-tier
+// TieredFedAvg.
+type Aggregator interface {
+	Add(dst *model.Model, u Update) error
+	AddQuantized(dst *model.Model, qs []compress.QuantizedTensor, samples int, loss float64, staleness int) error
+	Updates(modelID int) int
+	Pending() int
+	Finalize(dst *model.Model) (meanLoss float64, samples int, ok bool)
+	Abort()
+	Drop(modelID int)
+	Snapshot() []AccumSnapshot
+	RestoreSnapshot(dst *model.Model, snap AccumSnapshot) error
+}
+
+var (
+	_ Aggregator = (*StreamingFedAvg)(nil)
+	_ Aggregator = (*TieredFedAvg)(nil)
+)
+
+// TieredFedAvg is hierarchical two-tier streaming FedAvg: E edge
+// aggregators each own a disjoint, contiguous, shard-aligned slice of
+// every model's flat parameter space (1/E of the accumulator memory),
+// and Finalize merges them into a full-space root in fixed ascending
+// edge order before the averaged write.
+//
+// Every committed update folds into every edge's owned slice, so the
+// per-position add sequence on each edge is exactly the one single-tier
+// aggregation runs over that position. Because slices are disjoint, the
+// merged root sum — each position is one edge's partial sum added to
+// zero — is bit-identical to the single-tier accumulator for every
+// window and staleness setting, which keeps the repository's
+// serial ≡ parallel ≡ single-tier determinism guarantee intact. The
+// scalar totals (weight, loss, update count) are tracked once, on
+// edge 0.
+//
+// Like StreamingFedAvg, a TieredFedAvg is not goroutine-safe and is
+// reusable across rounds. Snapshots are merged to single-tier form, so
+// checkpoints carry no trace of the edge topology and a run may resume
+// under a different edge count and stay byte-identical.
+type TieredFedAvg struct {
+	edges []*StreamingFedAvg
+	root  *StreamingFedAvg
+}
+
+// NewTiered returns a two-tier aggregator with n edge aggregators
+// (clamped to ≥ 1) over the default shard width.
+func NewTiered(n int) *TieredFedAvg { return NewTieredSharded(DefaultShardSize, n) }
+
+// NewTieredSharded returns a two-tier aggregator with n edge
+// aggregators over the given shard width.
+func NewTieredSharded(shardSize, n int) *TieredFedAvg {
+	if n < 1 {
+		n = 1
+	}
+	t := &TieredFedAvg{root: NewStreamingSharded(shardSize)}
+	for e := 0; e < n; e++ {
+		t.edges = append(t.edges, NewStreamingEdge(shardSize, e, n))
+	}
+	return t
+}
+
+// Edges reports the edge aggregator count.
+func (t *TieredFedAvg) Edges() int { return len(t.edges) }
+
+// Add validates one dense update (once, on edge 0's accumulator) and
+// folds it into every edge's owned slice. See StreamingFedAvg.Add for
+// the error contract.
+func (t *TieredFedAvg) Add(dst *model.Model, u Update) error {
+	a0 := t.edges[0].acc(dst)
+	if err := a0.validate(u.Weights); err != nil {
+		return err
+	}
+	w := sampleWeight(u.Samples) * StalenessDiscount(u.Staleness)
+	a0.weight += w
+	a0.lossSum += u.Loss * w
+	a0.count++
+	for _, e := range t.edges {
+		e.fold(e.acc(dst), w, u.Weights, nil)
+	}
+	return nil
+}
+
+// AddQuantized validates one quantized update once and decodes it into
+// every edge's owned slice. See StreamingFedAvg.AddQuantized.
+func (t *TieredFedAvg) AddQuantized(dst *model.Model, qs []compress.QuantizedTensor, samples int, loss float64, staleness int) error {
+	a0 := t.edges[0].acc(dst)
+	if err := a0.validateQuantized(qs); err != nil {
+		return err
+	}
+	w := sampleWeight(samples) * StalenessDiscount(staleness)
+	a0.weight += w
+	a0.lossSum += loss * w
+	a0.count++
+	for _, e := range t.edges {
+		e.fold(e.acc(dst), w, nil, qs)
+	}
+	return nil
+}
+
+// Updates returns how many updates have been folded for the model this
+// round (tracked on edge 0).
+func (t *TieredFedAvg) Updates(modelID int) int { return t.edges[0].Updates(modelID) }
+
+// Pending reports the models with at least one folded update this round.
+func (t *TieredFedAvg) Pending() int { return t.edges[0].Pending() }
+
+// Finalize merges every edge's owned slice into the root — fixed
+// ascending edge order — then runs the single-tier averaged write and
+// reset there. Edge accumulators for the model are reset by the merge.
+func (t *TieredFedAvg) Finalize(dst *model.Model) (meanLoss float64, samples int, ok bool) {
+	if t.edges[0].Updates(dst.ID) == 0 {
+		return 0, 0, false
+	}
+	for _, e := range t.edges {
+		if err := t.root.MergeFrom(dst, e); err != nil {
+			// Root and edges share one shard width, so edge ranges lie
+			// inside the root's full space by construction.
+			panic(fmt.Sprintf("aggregate: tiered merge: %v", err))
+		}
+	}
+	return t.root.Finalize(dst)
+}
+
+// Abort discards every tier's in-flight updates without touching model
+// weights. Edge accumulators are reset unconditionally: edges ≥ 1 carry
+// nonzero sums at count == 0 (the scalars live on edge 0), so the
+// count-guarded StreamingFedAvg.Abort would leave them poisoned.
+func (t *TieredFedAvg) Abort() {
+	for _, e := range t.edges {
+		for _, a := range e.accs {
+			a.reset()
+		}
+	}
+	t.root.Abort()
+}
+
+// Drop discards a model's accumulators on every tier.
+func (t *TieredFedAvg) Drop(modelID int) {
+	for _, e := range t.edges {
+		e.Drop(modelID)
+	}
+	t.root.Drop(modelID)
+}
+
+// Snapshot returns the merged, single-tier-equivalent accumulator state
+// of every model with at least one folded update, in ascending model-ID
+// order: each model's full flat sum is reassembled non-destructively
+// from the edges' owned slices, with scalars from edge 0.
+func (t *TieredFedAvg) Snapshot() []AccumSnapshot {
+	var ids []int
+	for id, a := range t.edges[0].accs {
+		if a.count > 0 {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return nil
+	}
+	sort.Ints(ids)
+	out := make([]AccumSnapshot, 0, len(ids))
+	for _, id := range ids {
+		a0 := t.edges[0].accs[id]
+		sum := make([]float64, a0.total)
+		for _, e := range t.edges {
+			if a := e.accs[id]; a != nil {
+				copy(sum[a.lo:a.hi], a.sum)
+			}
+		}
+		out = append(out, AccumSnapshot{
+			ModelID: id, Sum: sum,
+			Weight: a0.weight, LossSum: a0.lossSum, Count: a0.count,
+		})
+	}
+	return out
+}
+
+// RestoreSnapshot scatters a single-tier-form snapshot back across the
+// edges' owned slices, with scalars to edge 0.
+func (t *TieredFedAvg) RestoreSnapshot(dst *model.Model, snap AccumSnapshot) error {
+	a0 := t.edges[0].acc(dst)
+	if len(snap.Sum) != a0.total {
+		return fmt.Errorf("%w: snapshot length %d, model flat length %d",
+			ErrUpdateShape, len(snap.Sum), a0.total)
+	}
+	for _, e := range t.edges {
+		a := e.acc(dst)
+		copy(a.sum, snap.Sum[a.lo:a.hi])
+	}
+	a0.weight, a0.lossSum, a0.count = snap.Weight, snap.LossSum, snap.Count
+	return nil
+}

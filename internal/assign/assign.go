@@ -15,19 +15,21 @@ import (
 // performs assignment.
 type Manager struct {
 	// utilities[c][modelID] — loss-based utility of each model for client
-	// c. Missing entries default to 0 (the paper's initialization).
+	// c. Missing entries default to 0 (the paper's initialization). Maps
+	// are created lazily on first update: reads through a nil map return
+	// zero, so an untouched client costs one pointer, not a map — the
+	// table stays O(clients ever trained) in objects even for generative
+	// million-client populations.
 	utilities []map[int]float64
 	// Temperature scales utilities inside the softmax; 1 matches Eq. 3.
 	Temperature float64
 }
 
-// NewManager returns a Manager for n registered clients.
+// NewManager returns a Manager for n registered clients. Per-client maps
+// are allocated on first update, so construction is one slice whatever
+// the population.
 func NewManager(n int) *Manager {
-	m := &Manager{utilities: make([]map[int]float64, n), Temperature: 1}
-	for i := range m.utilities {
-		m.utilities[i] = make(map[int]float64)
-	}
-	return m
+	return &Manager{utilities: make([]map[int]float64, n), Temperature: 1}
 }
 
 // NumClients returns the number of registered clients.
@@ -39,7 +41,7 @@ func (mg *Manager) NumClients() int { return len(mg.utilities) }
 // shrinks: a departing client keeps its utilities for a later rejoin.
 func (mg *Manager) EnsureClients(n int) {
 	for len(mg.utilities) < n {
-		mg.utilities = append(mg.utilities, make(map[int]float64))
+		mg.utilities = append(mg.utilities, nil)
 	}
 }
 
@@ -157,6 +159,17 @@ func (mg *Manager) Best(c int, compatible []*model.Model) *model.Model {
 // Utility returns client c's utility for a model ID (0 when unexplored).
 func (mg *Manager) Utility(c, modelID int) float64 { return mg.utilities[c][modelID] }
 
+// SetUtility overwrites client c's utility for a model ID, creating the
+// client's lazily-allocated entry if needed.
+func (mg *Manager) SetUtility(c, modelID int, v float64) {
+	u := mg.utilities[c]
+	if u == nil {
+		u = make(map[int]float64, 1)
+		mg.utilities[c] = u
+	}
+	u[modelID] = v
+}
+
 // UpdateJoint applies Eq. 4 after client c trained model trained with the
 // given standardized loss: for every compatible model Mk,
 //
@@ -167,6 +180,10 @@ func (mg *Manager) Utility(c, modelID int) float64 { return mg.utilities[c][mode
 // StandardizeLosses).
 func (mg *Manager) UpdateJoint(c int, trained *model.Model, stdLoss float64, compatible []*model.Model) {
 	u := mg.utilities[c]
+	if u == nil {
+		u = make(map[int]float64, len(compatible))
+		mg.utilities[c] = u
+	}
 	for _, mk := range compatible {
 		sim := model.Sim(mk, trained)
 		if sim <= 0 {

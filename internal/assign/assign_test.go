@@ -40,7 +40,7 @@ func TestSampleRespectsUtilities(t *testing.T) {
 	s := suite(t)
 	mgr := NewManager(1)
 	// Give model 2 a huge utility; sampling should overwhelmingly pick it.
-	mgr.utilities[0][s[2].ID] = 50
+	mgr.SetUtility(0, s[2].ID, 50)
 	rng := rand.New(rand.NewSource(2))
 	picks := map[int]int{}
 	for i := 0; i < 200; i++ {
@@ -82,8 +82,8 @@ func TestSampleEdgeCases(t *testing.T) {
 func TestBestPrefersHighUtility(t *testing.T) {
 	s := suite(t)
 	mgr := NewManager(1)
-	mgr.utilities[0][s[1].ID] = 3
-	mgr.utilities[0][s[2].ID] = 1
+	mgr.SetUtility(0, s[1].ID, 3)
+	mgr.SetUtility(0, s[2].ID, 1)
 	if got := mgr.Best(0, s); got != s[1] {
 		t.Errorf("Best = model %d, want %d", got.ID, s[1].ID)
 	}
@@ -121,7 +121,7 @@ func TestUpdateJointSpreadsBySimilarity(t *testing.T) {
 func TestInheritUtilities(t *testing.T) {
 	s := suite(t)
 	mgr := NewManager(2)
-	mgr.utilities[0][s[1].ID] = 5
+	mgr.SetUtility(0, s[1].ID, 5)
 	mgr.InheritUtilities(s[1].ID, s[2].ID)
 	if mgr.Utility(0, s[2].ID) != 5 {
 		t.Error("child should inherit parent utility")

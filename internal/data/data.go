@@ -15,6 +15,12 @@
 //     by small models — reproducing the "no one-size-fits-all" behaviour
 //     of Figure 1b;
 //   - log-normal per-client sample counts.
+//
+// Populations come in two representations sharing one synthesis routine:
+// Generate materializes every client up front, while GenerateLazy keeps
+// only the shared prototype bank (O(classes×modes), independent of the
+// population size) and synthesizes clients on demand from
+// (Seed, clientID). The two are bit-identical for the same Config.
 package data
 
 import (
@@ -37,14 +43,41 @@ type Client struct {
 }
 
 // Dataset is a federated dataset: a set of clients plus task metadata.
+// Materialized datasets carry every client in Clients; generative ones
+// carry a Generator instead and synthesize clients through Fetch.
 type Dataset struct {
-	Clients    []Client
+	Clients []Client
+	// Gen synthesizes clients on demand when non-nil (generative mode);
+	// Clients is nil and the population size is Population.
+	Gen *Generator
+	// Population is the generative population size (Gen != nil).
+	Population int
 	Classes    int
 	FeatureDim int
 	// InputShape is the per-sample shape models should reshape features
 	// to ([D], [C,H,W] or [T,D]).
 	InputShape []int
 	Profile    string
+}
+
+// Len is the population size in either representation.
+func (d *Dataset) Len() int {
+	if d.Gen != nil {
+		return d.Population
+	}
+	return len(d.Clients)
+}
+
+// Fetch returns client k. On a materialized dataset it points into
+// Clients and cur may be nil. On a generative dataset the client is
+// synthesized into cur's recycled buffers: the returned pointer is
+// invalidated by the cursor's next Fetch, and a cursor must not be
+// shared across goroutines.
+func (d *Dataset) Fetch(cur *ClientCursor, k int) *Client {
+	if d.Gen != nil {
+		return d.Gen.Synth(cur, k)
+	}
+	return &d.Clients[k]
 }
 
 // Config parameterizes synthetic dataset generation.
@@ -107,8 +140,30 @@ func geometry(profile string, classes int) profileGeom {
 	return g
 }
 
-// Generate builds a synthetic federated dataset.
-func Generate(cfg Config) *Dataset {
+// Generator holds the shared, population-independent synthesis state:
+// the normalized Config plus the global prototype bank. Client k's
+// entire shard is a pure function of (cfg.Seed, k), so a Generator
+// serves any population size with O(classes×modes) memory.
+type Generator struct {
+	cfg         Config
+	geom        profileGeom
+	protos      [][]float64
+	maxModes    int
+	imageShaped bool
+}
+
+// ClientCursor is a reusable synthesis buffer for generative datasets.
+// Synth recycles its RNG, client tensors, and per-client scratch slices,
+// so steady-state fetching allocates nothing. One cursor per goroutine.
+type ClientCursor struct {
+	Client                    Client
+	rng                       *rand.Rand
+	scales, biases, labelDist []float64
+}
+
+// NewGenerator normalizes cfg and builds the shared prototype bank.
+// Setup cost depends only on the task geometry, never on cfg.Clients.
+func NewGenerator(cfg Config) *Generator {
 	if cfg.Clients <= 0 {
 		cfg.Clients = 50
 	}
@@ -180,34 +235,79 @@ func Generate(cfg Config) *Dataset {
 		}
 		protos[i] = p
 	}
-
-	ds := &Dataset{
-		Clients:    make([]Client, cfg.Clients),
-		Classes:    g.classes,
-		FeatureDim: g.featureDim,
-		InputShape: g.inputShape,
-		Profile:    cfg.Profile,
+	return &Generator{
+		cfg: cfg, geom: g, protos: protos,
+		maxModes: maxModes, imageShaped: imageShaped,
 	}
+}
+
+// Synth synthesizes client k into cur and returns &cur.Client. The
+// result is bit-identical to ds.Clients[k] of the materialized dataset
+// Generate builds for the same Config: both paths run this routine.
+func (g *Generator) Synth(cur *ClientCursor, k int) *Client {
+	if cur.rng == nil {
+		cur.rng = rand.New(rand.NewSource(0))
+	}
+	crng := cur.rng
+	crng.Seed(g.cfg.Seed + int64(k)*7919 + 1)
+	complexity := crng.Intn(g.cfg.MaxComplexity + 1)
+	cur.scales, cur.biases = clientTransformInto(cur.scales, cur.biases, g.geom.featureDim, crng)
+	cur.labelDist = dirichletInto(cur.labelDist, g.geom.classes, g.cfg.Heterogeneity, crng)
+	nTrain := logUniformInt(g.cfg.MinSamples, g.cfg.MaxSamples, crng)
+	sp := sampleParams{
+		geom: g.geom, protos: g.protos, maxModes: g.maxModes, complexity: complexity,
+		labelDist: cur.labelDist, scales: cur.scales, biases: cur.biases,
+		noise: g.cfg.NoiseStd, imageShaped: g.imageShaped,
+	}
+	cl := &cur.Client
+	if cl.TrainX == nil {
+		cl.TrainX = &tensor.Tensor{}
+	}
+	if cl.TestX == nil {
+		cl.TestX = &tensor.Tensor{}
+	}
+	cl.TrainY = sampleSetInto(cl.TrainX, cl.TrainY, nTrain, sp, crng)
+	cl.TestY = sampleSetInto(cl.TestX, cl.TestY, g.cfg.TestSamples, sp, crng)
+	cl.Complexity = complexity
+	return cl
+}
+
+// Clients is the normalized population size of the Config the generator
+// was built from.
+func (g *Generator) Clients() int { return g.cfg.Clients }
+
+// Generate builds a synthetic federated dataset with every client
+// materialized.
+func Generate(cfg Config) *Dataset {
+	gen := NewGenerator(cfg)
+	ds := gen.metadata()
+	ds.Clients = make([]Client, gen.cfg.Clients)
 	for k := range ds.Clients {
-		crng := rand.New(rand.NewSource(cfg.Seed + int64(k)*7919 + 1))
-		complexity := crng.Intn(cfg.MaxComplexity + 1)
-		scales, biases := clientTransform(g.featureDim, crng)
-		labelDist := dirichlet(g.classes, cfg.Heterogeneity, crng)
-		nTrain := logUniformInt(cfg.MinSamples, cfg.MaxSamples, crng)
-		sp := sampleParams{
-			geom: g, protos: protos, maxModes: maxModes, complexity: complexity,
-			labelDist: labelDist, scales: scales, biases: biases,
-			noise: cfg.NoiseStd, imageShaped: imageShaped,
-		}
-		trainX, trainY := sampleSet(nTrain, sp, crng)
-		testX, testY := sampleSet(cfg.TestSamples, sp, crng)
-		ds.Clients[k] = Client{
-			TrainX: trainX, TrainY: trainY,
-			TestX: testX, TestY: testY,
-			Complexity: complexity,
-		}
+		// A fresh cursor per client so each one owns its buffers.
+		var cur ClientCursor
+		ds.Clients[k] = *gen.Synth(&cur, k)
 	}
 	return ds
+}
+
+// GenerateLazy builds a generative federated dataset: no per-client
+// state is materialized; clients are synthesized on demand through
+// Fetch and are bit-identical to the ones Generate would build.
+func GenerateLazy(cfg Config) *Dataset {
+	gen := NewGenerator(cfg)
+	ds := gen.metadata()
+	ds.Gen = gen
+	ds.Population = gen.cfg.Clients
+	return ds
+}
+
+func (g *Generator) metadata() *Dataset {
+	return &Dataset{
+		Classes:    g.geom.classes,
+		FeatureDim: g.geom.featureDim,
+		InputShape: g.geom.inputShape,
+		Profile:    g.cfg.Profile,
+	}
 }
 
 // sampleParams bundles per-client sampling state.
@@ -223,11 +323,29 @@ type sampleParams struct {
 }
 
 func sampleSet(n int, sp sampleParams, rng *rand.Rand) (*tensor.Tensor, []int) {
+	x := &tensor.Tensor{}
+	y := sampleSetInto(x, nil, n, sp, rng)
+	return x, y
+}
+
+// sampleSetInto fills x/y with n synthesized samples, reusing their
+// buffers when capacity allows, and returns the resized label slice.
+func sampleSetInto(x *tensor.Tensor, y []int, n int, sp sampleParams, rng *rand.Rand) []int {
 	g := sp.geom
-	x := tensor.New(max(n, 1), g.featureDim)
-	y := make([]int, max(n, 1))
+	n = max(n, 1)
+	if need := n * g.featureDim; cap(x.Data) >= need {
+		x.Data = x.Data[:need]
+	} else {
+		x.Data = make([]tensor.Float, need)
+	}
+	x.Shape = append(x.Shape[:0], n, g.featureDim)
+	if cap(y) >= n {
+		y = y[:n]
+	} else {
+		y = make([]int, n)
+	}
 	modes := sp.complexity + 1
-	for i := 0; i < max(n, 1); i++ {
+	for i := 0; i < n; i++ {
 		c := sampleCategorical(sp.labelDist, rng)
 		mode := rng.Intn(modes)
 		p := sp.protos[c*sp.maxModes+mode]
@@ -255,12 +373,16 @@ func sampleSet(n int, sp sampleParams, rng *rand.Rand) (*tensor.Tensor, []int) {
 		}
 		y[i] = c
 	}
-	return x, y
+	return y
 }
 
 func clientTransform(d int, rng *rand.Rand) (scales, biases []float64) {
-	scales = make([]float64, d)
-	biases = make([]float64, d)
+	return clientTransformInto(nil, nil, d, rng)
+}
+
+func clientTransformInto(scales, biases []float64, d int, rng *rand.Rand) ([]float64, []float64) {
+	scales = resize(scales, d)
+	biases = resize(biases, d)
 	for i := range scales {
 		scales[i] = 1 + rng.NormFloat64()*0.12
 		biases[i] = rng.NormFloat64() * 0.08
@@ -271,7 +393,11 @@ func clientTransform(d int, rng *rand.Rand) (scales, biases []float64) {
 // dirichlet samples a categorical distribution from Dirichlet(h,...,h)
 // using Gamma(h) marginals (Marsaglia-Tsang).
 func dirichlet(k int, h float64, rng *rand.Rand) []float64 {
-	out := make([]float64, k)
+	return dirichletInto(nil, k, h, rng)
+}
+
+func dirichletInto(out []float64, k int, h float64, rng *rand.Rand) []float64 {
+	out = resize(out, k)
 	sum := 0.0
 	for i := range out {
 		g := gammaSample(h, rng)
@@ -285,6 +411,13 @@ func dirichlet(k int, h float64, rng *rand.Rand) []float64 {
 		out[i] /= sum
 	}
 	return out
+}
+
+func resize(s []float64, n int) []float64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]float64, n)
 }
 
 func gammaSample(alpha float64, rng *rand.Rand) float64 {
@@ -323,13 +456,24 @@ func sampleCategorical(p []float64, rng *rand.Rand) int {
 	return len(p) - 1
 }
 
+// logUniformInt samples an integer log-uniformly over the inclusive
+// range [lo, hi]. The draw covers [log lo, log(hi+1)) so that every
+// integer in the range — including hi itself — has positive mass;
+// sampling over [log lo, log hi] would reach hi with probability ≈ 0.
 func logUniformInt(lo, hi int, rng *rand.Rand) int {
 	if hi <= lo {
 		return lo
 	}
 	l := math.Log(float64(lo))
-	h := math.Log(float64(hi))
-	return int(math.Exp(l + rng.Float64()*(h-l)))
+	h := math.Log(float64(hi) + 1)
+	n := int(math.Exp(l + rng.Float64()*(h-l)))
+	// Guard the float boundaries: rounding in Exp can land one outside.
+	if n < lo {
+		n = lo
+	} else if n > hi {
+		n = hi
+	}
+	return n
 }
 
 func max(a, b int) int {
@@ -340,16 +484,19 @@ func max(a, b int) int {
 }
 
 // Centralized pools every client's training data into one shuffled set —
-// the hypothetical cloud-ML upper bound of Figure 2.
+// the hypothetical cloud-ML upper bound of Figure 2. Generative datasets
+// are synthesized client by client through a cursor.
 func (d *Dataset) Centralized(seed int64) (*tensor.Tensor, []int) {
+	var cur ClientCursor
 	total := 0
-	for _, c := range d.Clients {
-		total += len(c.TrainY)
+	for k := 0; k < d.Len(); k++ {
+		total += len(d.Fetch(&cur, k).TrainY)
 	}
 	x := tensor.New(total, d.FeatureDim)
 	y := make([]int, total)
 	i := 0
-	for _, c := range d.Clients {
+	for k := 0; k < d.Len(); k++ {
+		c := d.Fetch(&cur, k)
 		for s := range c.TrainY {
 			copy(x.Data[i*d.FeatureDim:(i+1)*d.FeatureDim],
 				c.TrainX.Data[s*d.FeatureDim:(s+1)*d.FeatureDim])

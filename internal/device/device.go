@@ -4,12 +4,18 @@
 // that constrains model assignment. The paper reports a >29× disparity
 // between the most and least capable devices; the synthetic trace
 // reproduces that spread with a log-normal distribution.
+//
+// Every device is a pure function of (Seed, index): NewTrace materializes
+// the whole trace up front, NewTraceLazy keeps only the config and
+// synthesizes devices on demand through At — bit-identical to the
+// materialized entries — so trace setup cost is independent of N.
 package device
 
 import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // Device describes one simulated client device.
@@ -40,13 +46,22 @@ type TraceConfig struct {
 	Seed int64
 }
 
-// Trace is a reproducible set of simulated devices.
+// Trace is a reproducible set of simulated devices. Hand-built traces
+// (populating Devices directly) remain valid; traces from NewTrace or
+// NewTraceLazy additionally know their generating config, which makes
+// CapacityBound population-independent.
 type Trace struct {
 	Devices []Device
+	// cfg is the normalized generating config; cfg.N == 0 for hand-built
+	// traces.
+	cfg TraceConfig
+	// lazy marks generative traces: Devices stays nil and At synthesizes
+	// each device from (cfg.Seed, index) on demand.
+	lazy    bool
+	rngPool sync.Pool
 }
 
-// NewTrace samples a synthetic device trace.
-func NewTrace(cfg TraceConfig) *Trace {
+func normalize(cfg TraceConfig) TraceConfig {
 	if cfg.Sigma <= 0 {
 		cfg.Sigma = 0.8
 	}
@@ -56,48 +71,119 @@ func NewTrace(cfg TraceConfig) *Trace {
 	if cfg.MaxCapacityMACs <= cfg.MinCapacityMACs {
 		cfg.MaxCapacityMACs = cfg.MinCapacityMACs * 32
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	tr := &Trace{Devices: make([]Device, cfg.N)}
+	return cfg
+}
+
+// deviceSeed derives device i's private RNG seed. Each device owns an
+// independent stream — a sequential shared stream could not be entered
+// mid-way because NormFloat64's ziggurat consumes a variable number of
+// draws per sample.
+func deviceSeed(seed int64, i int) int64 {
+	return seed + int64(i)*15485863 + 1
+}
+
+// synthDevice samples device i. rng is reseeded, so any instance works.
+func synthDevice(cfg *TraceConfig, rng *rand.Rand, i int) Device {
+	rng.Seed(deviceSeed(cfg.Seed, i))
 	logMin := math.Log(cfg.MinCapacityMACs)
 	logMax := math.Log(cfg.MaxCapacityMACs)
+	// Capacity: log-uniform base with log-normal jitter, clamped to
+	// the configured range so every device can run at least the
+	// initial model.
+	u := rng.Float64()
+	logCap := logMin + u*(logMax-logMin) + rng.NormFloat64()*cfg.Sigma*0.25
+	if logCap < logMin {
+		logCap = logMin
+	}
+	if logCap > logMax {
+		logCap = logMax
+	}
+	capMACs := math.Exp(logCap)
+	// Compute speed correlates with capacity (big phones are fast);
+	// 1 MFLOP-class spread around capacity/10ms.
+	speed := capMACs / 0.01 * math.Exp(rng.NormFloat64()*cfg.Sigma*0.5)
+	bw := 1e5 * math.Exp(rng.NormFloat64()*cfg.Sigma) // ~100 KB/s median
+	return Device{
+		ComputeMACsPerSec:    speed,
+		BandwidthBytesPerSec: bw,
+		CapacityMACs:         capMACs,
+	}
+}
+
+// NewTrace samples a synthetic device trace with every device
+// materialized.
+func NewTrace(cfg TraceConfig) *Trace {
+	cfg = normalize(cfg)
+	tr := &Trace{Devices: make([]Device, cfg.N), cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := range tr.Devices {
-		// Capacity: log-uniform base with log-normal jitter, clamped to
-		// the configured range so every device can run at least the
-		// initial model.
-		u := rng.Float64()
-		logCap := logMin + u*(logMax-logMin) + rng.NormFloat64()*cfg.Sigma*0.25
-		if logCap < logMin {
-			logCap = logMin
-		}
-		if logCap > logMax {
-			logCap = logMax
-		}
-		capMACs := math.Exp(logCap)
-		// Compute speed correlates with capacity (big phones are fast);
-		// 1 MFLOP-class spread around capacity/10ms.
-		speed := capMACs / 0.01 * math.Exp(rng.NormFloat64()*cfg.Sigma*0.5)
-		bw := 1e5 * math.Exp(rng.NormFloat64()*cfg.Sigma) // ~100 KB/s median
-		tr.Devices[i] = Device{
-			ComputeMACsPerSec:    speed,
-			BandwidthBytesPerSec: bw,
-			CapacityMACs:         capMACs,
-		}
+		tr.Devices[i] = synthDevice(&cfg, rng, i)
 	}
 	return tr
 }
 
-// Disparity returns the max/min capacity ratio across the trace.
-func (t *Trace) Disparity() float64 {
-	if len(t.Devices) == 0 {
-		return 0
+// NewTraceLazy returns a generative trace: no per-device state is
+// stored; At(i) synthesizes entries bit-identical to NewTrace's.
+func NewTraceLazy(cfg TraceConfig) *Trace {
+	return &Trace{cfg: normalize(cfg), lazy: true}
+}
+
+// Len is the number of devices in either representation.
+func (t *Trace) Len() int {
+	if t.lazy {
+		return t.cfg.N
 	}
-	min, max := t.Devices[0].CapacityMACs, t.Devices[0].CapacityMACs
-	for _, d := range t.Devices[1:] {
-		if d.CapacityMACs < min {
-			min = d.CapacityMACs
-		}
+	return len(t.Devices)
+}
+
+// At returns device i. Generative traces synthesize it on demand through
+// a pooled RNG (safe for concurrent use, allocation-free in steady
+// state); materialized traces index Devices.
+func (t *Trace) At(i int) Device {
+	if !t.lazy {
+		return t.Devices[i]
+	}
+	rng, _ := t.rngPool.Get().(*rand.Rand)
+	if rng == nil {
+		rng = rand.New(rand.NewSource(0))
+	}
+	d := synthDevice(&t.cfg, rng, i)
+	t.rngPool.Put(rng)
+	return d
+}
+
+// CapacityBound returns the ceiling on device capacity: synthesis clamps
+// every capacity to the configured [Min, Max] range, so for generated
+// traces this is cfg.MaxCapacityMACs regardless of N. Hand-built traces
+// fall back to the empirical maximum.
+func (t *Trace) CapacityBound() float64 {
+	if t.cfg.N > 0 || t.lazy {
+		return t.cfg.MaxCapacityMACs
+	}
+	max := 0.0
+	for _, d := range t.Devices {
 		if d.CapacityMACs > max {
 			max = d.CapacityMACs
+		}
+	}
+	return max
+}
+
+// Disparity returns the max/min capacity ratio across the trace.
+func (t *Trace) Disparity() float64 {
+	n := t.Len()
+	if n == 0 {
+		return 0
+	}
+	first := t.At(0).CapacityMACs
+	min, max := first, first
+	for i := 1; i < n; i++ {
+		c := t.At(i).CapacityMACs
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
 		}
 	}
 	return max / min
@@ -108,7 +194,7 @@ func (t *Trace) Disparity() float64 {
 // samples and to transfer modelBytes both ways. Backward is costed at 2×
 // forward, the convention used throughout the repository.
 func (t *Trace) TrainingTime(i int, macsPerSample float64, steps, batch int, modelBytes int64) float64 {
-	d := t.Devices[i]
+	d := t.At(i)
 	compute := 3 * macsPerSample * float64(steps*batch) / d.ComputeMACsPerSec
 	network := 2 * float64(modelBytes) / d.BandwidthBytesPerSec
 	return compute + network
@@ -117,14 +203,14 @@ func (t *Trace) TrainingTime(i int, macsPerSample float64, steps, batch int, mod
 // InferenceLatency returns the simulated per-sample inference latency in
 // milliseconds for device i and a model of the given forward MACs.
 func (t *Trace) InferenceLatency(i int, macsPerSample float64) float64 {
-	return macsPerSample / t.Devices[i].ComputeMACsPerSec * 1000
+	return macsPerSample / t.At(i).ComputeMACsPerSec * 1000
 }
 
 // CapacityQuantile returns the q-quantile (0..1) of device capacities.
 func (t *Trace) CapacityQuantile(q float64) float64 {
-	caps := make([]float64, len(t.Devices))
-	for i, d := range t.Devices {
-		caps[i] = d.CapacityMACs
+	caps := make([]float64, t.Len())
+	for i := range caps {
+		caps[i] = t.At(i).CapacityMACs
 	}
 	sort.Float64s(caps)
 	idx := int(q * float64(len(caps)-1))

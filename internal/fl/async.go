@@ -4,7 +4,6 @@ import (
 	"math"
 	"sort"
 
-	"fedtrans/internal/aggregate"
 	"fedtrans/internal/assign"
 	"fedtrans/internal/chaos"
 	"fedtrans/internal/model"
@@ -95,18 +94,58 @@ func (rt *Runtime) attemptChain(version, client int, m *model.Model) float64 {
 	return elapsed
 }
 
+// snapGet returns a COW snapshot of m's current weights for a dispatch:
+// a pooled husk re-armed in place when one is available (zero
+// allocations), a fresh clone otherwise. Runs on the consumer only.
+func (rt *Runtime) snapGet(m *model.Model) *model.Model {
+	if list := rt.snapFree[m.ID]; len(list) > 0 {
+		src := list[len(list)-1]
+		rt.snapFree[m.ID] = list[:len(list)-1]
+		src.ShareWeightsFrom(m)
+		return src
+	}
+	src := m.Clone()
+	// Prime the snapshot's lazy caches on the consumer: the background
+	// task and a concurrent checkpoint snapshot both read them. Pooled
+	// husks keep these caches warm across reuses.
+	src.Params()
+	src.ParamCount()
+	return src
+}
+
+// snapPut retires a dispatch snapshot into the husk pool: each
+// parameter header drops its buffer interest (so pooled husks never
+// force Finalize's copy-on-write detach) but stays allocated for
+// snapGet to re-arm.
+func (rt *Runtime) snapPut(src *model.Model) {
+	for _, p := range src.Params() {
+		p.Release()
+	}
+	if rt.snapFree == nil {
+		rt.snapFree = make(map[int][]*model.Model)
+	}
+	rt.snapFree[src.ID] = append(rt.snapFree[src.ID], src)
+}
+
+// taskGet returns a zeroed asyncTask from the freelist, or a new one.
+func (rt *Runtime) taskGet() *asyncTask {
+	if n := len(rt.atFree); n > 0 {
+		at := rt.atFree[n-1]
+		rt.atFree = rt.atFree[:n-1]
+		*at = asyncTask{}
+		return at
+	}
+	return &asyncTask{}
+}
+
 // dispatch snapshots the model's current weights (COW, O(headers)) and
 // submits the client's first training attempt to the background task
 // stream. The snapshot is what the client trains from: the server may
 // move the live weights several rounds ahead before this update folds.
 func (rt *Runtime) dispatch(round, client int, m *model.Model) {
-	src := m.Clone()
-	// Prime the snapshot's lazy caches on the consumer: the background
-	// task and a concurrent checkpoint snapshot both read them.
-	src.Params()
-	src.ParamCount()
-	at := &asyncTask{
-		slot:       roundTask{client: client, m: m, src: src},
+	at := rt.taskGet()
+	*at = asyncTask{
+		slot:       roundTask{client: client, m: m, src: rt.snapGet(m)},
 		version:    round,
 		seq:        rt.asyncSeq,
 		dispatchAt: rt.asyncNow,
@@ -129,7 +168,7 @@ func (rt *Runtime) dispatch(round, client int, m *model.Model) {
 func (rt *Runtime) runAsyncRound(round int, res *Result) (float64, float64, map[int]int, bool) {
 	cfg := rt.cfg
 	if rt.agg == nil {
-		rt.agg = aggregate.NewStreaming()
+		rt.agg = rt.newAgg()
 	}
 	if rt.asyncStr == nil {
 		rt.asyncStr = par.NewTaskStream(rt.streamWindow())
@@ -158,7 +197,7 @@ func (rt *Runtime) runAsyncRound(round int, res *Result) (float64, float64, map[
 		rt.churn.Step(rt.rng)
 		rt.activeBuf = rt.churn.ActiveInto(rt.activeBuf)
 	} else {
-		for c := range rt.ds.Clients {
+		for c, n := 0, rt.ds.Len(); c < n; c++ {
 			rt.activeBuf = append(rt.activeBuf, c)
 		}
 	}
@@ -187,7 +226,7 @@ func (rt *Runtime) runAsyncRound(round int, res *Result) (float64, float64, map[
 			}
 		}
 		for _, c := range selected {
-			rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[c].CapacityMACs)
+			rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.At(c).CapacityMACs)
 			m := rt.mgr.Sample(c, rt.compatBuf, rt.rng)
 			if m == nil {
 				continue
@@ -258,7 +297,7 @@ func (rt *Runtime) runAsyncRound(round int, res *Result) (float64, float64, map[
 		}
 		rt.uploads.put(u.m.ID, u.up)
 		u.up = nil
-		u.src.Release()
+		rt.snapPut(u.src)
 		u.src = nil
 		if at.arrival > rt.asyncNow {
 			rt.asyncNow = at.arrival
@@ -280,9 +319,13 @@ func (rt *Runtime) runAsyncRound(round int, res *Result) (float64, float64, map[
 	// Retire the committed dispatches, preserving dispatch order.
 	keep := rt.inflight[:0]
 	for _, at := range rt.inflight {
-		if !at.committed {
-			keep = append(keep, at)
+		if at.committed {
+			// The scheduling record is done; its slot contents were
+			// already returned to their pools in the commit loop.
+			rt.atFree = append(rt.atFree, at)
+			continue
 		}
+		keep = append(keep, at)
 	}
 	for i := len(keep); i < len(rt.inflight); i++ {
 		rt.inflight[i] = nil
@@ -320,9 +363,10 @@ func (rt *Runtime) drainAsync() {
 			u.up = nil
 		}
 		if u.src != nil {
-			u.src.Release()
+			rt.snapPut(u.src)
 			u.src = nil
 		}
+		rt.atFree = append(rt.atFree, at)
 	}
 	rt.inflight = rt.inflight[:0]
 }

@@ -64,6 +64,36 @@ func BenchmarkRoundLoop(b *testing.B) {
 			}
 		})
 	}
+	// Generative variant: the same round shape at 10000 participants
+	// drawn from a 100000-client synthesized population. Server state is
+	// O(active), so B/op must stay flat per participant versus the
+	// materialized sub-benchmarks, and setup (GenerateLazy/NewTraceLazy)
+	// is population-independent.
+	b.Run("gen-clients=10000", func(b *testing.B) {
+		model.ResetIDs()
+		ds := data.GenerateLazy(data.Config{
+			Profile: "scale", Clients: 100_000, Heterogeneity: 1,
+			MinSamples: 8, MaxSamples: 16, TestSamples: 8, Seed: 1,
+		})
+		spec := model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+		base := spec.Build(rand.New(rand.NewSource(0))).MACsPerSample()
+		tr := device.NewTraceLazy(device.TraceConfig{
+			N: 100_000, MinCapacityMACs: base, MaxCapacityMACs: base * 32, Seed: 101,
+		})
+		cfg := DefaultConfig()
+		cfg.ClientsPerRound = 10_000
+		cfg.Local = LocalConfig{Steps: 2, BatchSize: 8, LR: 0.05}
+		cfg.DisableTransform = true // fixed suite across iterations
+		cfg.ConvergePatience = 0
+		rt := New(cfg, ds, tr, spec)
+		var res Result
+		rt.runRound(0, &res) // warm pools, sessions, accumulators
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rt.runRound(i+1, &res)
+		}
+	})
 }
 
 // BenchmarkEvaluateAll measures the parallel all-client evaluation that

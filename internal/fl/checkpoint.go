@@ -841,7 +841,7 @@ func (rt *Runtime) snapshot(round int) *ckptSnap {
 	ck.BestAcc = rt.bestAcc
 	ck.Stall = rt.stall
 	ck.ModelCtr, ck.CellCtr = rt.suite[0].IDScope().Counters()
-	ck.Clients = len(rt.ds.Clients)
+	ck.Clients = rt.ds.Len()
 	ck.FeatureDim = rt.ds.FeatureDim
 	ck.Classes = rt.ds.Classes
 	for _, m := range rt.suite {
@@ -982,15 +982,15 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 		return fmt.Errorf("%w: checkpoint trained on %d features / %d classes, dataset has %d / %d",
 			ErrGeometryMismatch, ck.FeatureDim, ck.Classes, rt.ds.FeatureDim, rt.ds.Classes)
 	}
-	if ck.Clients > len(rt.ds.Clients) {
+	if ck.Clients > rt.ds.Len() {
 		return fmt.Errorf("%w: checkpoint covers %d clients, dataset has %d",
-			ErrGeometryMismatch, ck.Clients, len(rt.ds.Clients))
+			ErrGeometryMismatch, ck.Clients, rt.ds.Len())
 	}
 	if len(ck.Inflight) > 0 && cfg.MaxStaleness <= 0 {
 		return errors.New("fl: checkpoint carries in-flight async state but MaxStaleness is 0")
 	}
 	for i := range ck.Inflight {
-		if c := ck.Inflight[i].Client; c < 0 || c >= len(rt.ds.Clients) {
+		if c := ck.Inflight[i].Client; c < 0 || c >= rt.ds.Len() {
 			return fmt.Errorf("%w: in-flight client %d out of range", ErrCkptCorrupt, c)
 		}
 	}
@@ -1042,7 +1042,7 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 	// A checkpoint written against a smaller client population than the
 	// current dataset still restores: later-joined clients start at the
 	// zero-utility initialization.
-	rt.mgr.EnsureClients(len(rt.ds.Clients))
+	rt.mgr.EnsureClients(rt.ds.Len())
 	rt.doc.Restore(ck.DoCLosses)
 	rt.act = make(map[int]*transform.ActivenessTracker, len(ck.Act))
 	for i := range ck.Act {
@@ -1072,15 +1072,15 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 		if rt.churn == nil {
 			return errors.New("fl: checkpoint carries churn state but churn is disabled")
 		}
-		if len(ck.ChurnOnline) != len(rt.ds.Clients) {
+		if len(ck.ChurnOnline) != rt.ds.Len() {
 			return fmt.Errorf("%w: churn bitmap covers %d clients, dataset has %d",
-				ErrCkptCorrupt, len(ck.ChurnOnline), len(rt.ds.Clients))
+				ErrCkptCorrupt, len(ck.ChurnOnline), rt.ds.Len())
 		}
 		rt.churn.Restore(ck.ChurnOnline)
 	}
 	if len(ck.Accums) > 0 {
 		if rt.agg == nil {
-			rt.agg = aggregate.NewStreaming()
+			rt.agg = rt.newAgg()
 		}
 		byID := make(map[int]*model.Model, len(rt.suite))
 		for _, m := range rt.suite {
@@ -1104,7 +1104,7 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 	rt.asyncSeq = ck.AsyncSeq
 	if len(ck.Inflight) > 0 {
 		if rt.agg == nil {
-			rt.agg = aggregate.NewStreaming()
+			rt.agg = rt.newAgg()
 		}
 		if rt.asyncStr == nil {
 			rt.asyncStr = par.NewTaskStream(rt.streamWindow())

@@ -1,0 +1,202 @@
+package fl
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"fedtrans/internal/chaos"
+	"fedtrans/internal/data"
+	"fedtrans/internal/device"
+	"fedtrans/internal/model"
+	"fedtrans/internal/selection"
+)
+
+// genSetup mirrors smokeSetup with a lazy/materialized switch: the same
+// (profile, clients, seeds), synthesized on demand or up front.
+func genSetup(t testing.TB, clients int, lazy bool) (*data.Dataset, *device.Trace, model.Spec) {
+	t.Helper()
+	model.ResetIDs()
+	dcfg := data.Config{Profile: "femnist", Clients: clients, Seed: 7}
+	tcfg := device.TraceConfig{
+		N: clients, MinCapacityMACs: 2_000, MaxCapacityMACs: 200_000, Seed: 3,
+	}
+	var ds *data.Dataset
+	var tr *device.Trace
+	if lazy {
+		ds = data.GenerateLazy(dcfg)
+		tr = device.NewTraceLazy(tcfg)
+	} else {
+		ds = data.Generate(dcfg)
+		tr = device.NewTrace(tcfg)
+	}
+	return ds, tr, model.NASBenchLikeSpec(ds.FeatureDim, ds.Classes)
+}
+
+// genChaosConfig is the kitchen-sink scenario the generative-equality
+// golden runs under: churn + chaos + quantization + retries + quorum, so
+// every stateful subsystem exercises the on-demand client path.
+func genChaosConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Rounds = 10
+	cfg.ClientsPerRound = 6
+	cfg.EvalEvery = 3
+	cfg.ConvergePatience = 0
+	cfg.QuantizeUploads = true
+	cfg.ClipNorm = 5
+	cfg.RecordLog = true
+	cfg.Quorum = 0.5
+	cfg.RetryBudget = 2
+	cfg.RetryBackoff = 2
+	cfg.Chaos = chaos.Config{
+		Seed: 99, CrashRate: 0.1, CorruptRate: 0.05, StragglerRate: 0.1, StragglerDelay: 20,
+	}
+	cfg.Churn = selection.ChurnConfig{JoinRate: 0.3, LeaveRate: 0.2}
+	return cfg
+}
+
+// TestRuntimeGenerativeMatchesMaterialized is the tentpole golden test
+// at the runtime level: a full run over a generative population —
+// synchronous and staleness-bounded asynchronous, under churn + chaos +
+// quantization — must be bit-identical (reflect.DeepEqual on the full
+// Result, including per-client accuracies and RNG-driven logs) to the
+// same run over the materialized dataset and trace.
+func TestRuntimeGenerativeMatchesMaterialized(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		staleness int
+	}{
+		{"sync", 0},
+		{"async-staleness2", 2},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			run := func(lazy bool) Result {
+				ds, tr, spec := genSetup(t, 20, lazy)
+				cfg := genChaosConfig()
+				cfg.MaxStaleness = mode.staleness
+				return New(cfg, ds, tr, spec).Run()
+			}
+			mat := run(false)
+			lazy := run(true)
+			if !reflect.DeepEqual(mat, lazy) {
+				t.Fatalf("generative run diverged from materialized:\nmat:  %+v\nlazy: %+v", mat, lazy)
+			}
+		})
+	}
+}
+
+// TestRuntimeTieredMatchesSingleTierRun pins end-to-end two-tier
+// bit-identity: for every (window, staleness, edges) combination the
+// full Result must reflect.DeepEqual the single-tier run.
+func TestRuntimeTieredMatchesSingleTierRun(t *testing.T) {
+	for _, mode := range []struct {
+		name      string
+		window    int
+		staleness int
+	}{
+		{"serial-window1", 1, 0},
+		{"parallel-window64", 64, 0},
+		{"async-staleness2", 0, 2},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			run := func(edges int) Result {
+				ds, tr, spec := genSetup(t, 20, true)
+				cfg := genChaosConfig()
+				cfg.StreamWindow = mode.window
+				cfg.MaxStaleness = mode.staleness
+				cfg.EdgeAggregators = edges
+				return New(cfg, ds, tr, spec).Run()
+			}
+			single := run(0)
+			for _, edges := range []int{2, 5} {
+				if tiered := run(edges); !reflect.DeepEqual(single, tiered) {
+					t.Fatalf("%d-edge run diverged from single-tier", edges)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeGenerativePopulation is the FTCP kill/resume
+// golden test on a generative population: checkpoints written mid-run
+// restore into a fresh generative runtime — including one with a larger
+// same-shape population (late joiners at zero utility) and one running
+// two-tier aggregation, since tiered snapshots are topology-agnostic —
+// and reproduce the uninterrupted run bit for bit. A smaller population
+// than the checkpoint covers is rejected with ErrGeometryMismatch.
+func TestCheckpointResumeGenerativePopulation(t *testing.T) {
+	mk := func(clients, edges int) *Runtime {
+		ds, tr, spec := genSetup(t, clients, true)
+		cfg := genChaosConfig()
+		cfg.MaxStaleness = 2 // async: in-flight dispatches ride the checkpoint
+		cfg.EdgeAggregators = edges
+		return New(cfg, ds, tr, spec)
+	}
+	expected := mk(20, 0).Run()
+
+	_, blobs := runWithCheckpoints(t, func() *Runtime { return mk(20, 0) }, 1)
+	for round := 1; round < genChaosConfig().Rounds; round++ {
+		blob := blobs[round]
+		if blob == nil {
+			continue
+		}
+		resumed, err := mk(20, 0).Resume(blob)
+		if err != nil {
+			t.Fatalf("resume at round %d: %v", round, err)
+		}
+		if !reflect.DeepEqual(expected, resumed) {
+			t.Fatalf("generative kill/resume at round %d diverged", round)
+		}
+	}
+
+	// Pick one mid-run blob for the geometry-gate variants.
+	blob := blobs[5]
+	if blob == nil {
+		t.Fatal("no checkpoint at round 5")
+	}
+
+	// Tiered resume: the aggregator topology is not part of the
+	// checkpoint, so a two-tier runtime resumes a single-tier blob and
+	// still reproduces the run bit for bit.
+	resumed, err := mk(20, 3).Resume(blob)
+	if err != nil {
+		t.Fatalf("tiered resume: %v", err)
+	}
+	if !reflect.DeepEqual(expected, resumed) {
+		t.Fatal("tiered resume diverged from single-tier run")
+	}
+
+	// Larger same-shape generative population: accepted (the documented
+	// EnsureClients grow path; late joiners start at zero utility) and
+	// must run to completion deterministically. The churn bitmap is
+	// strictly population-sized, so the grow path runs churn-free.
+	mkGrow := func(clients int) *Runtime {
+		ds, tr, spec := genSetup(t, clients, true)
+		cfg := genChaosConfig()
+		cfg.MaxStaleness = 2
+		cfg.Churn = selection.ChurnConfig{}
+		return New(cfg, ds, tr, spec)
+	}
+	_, growBlobs := runWithCheckpoints(t, func() *Runtime { return mkGrow(20) }, 5)
+	growBlob := growBlobs[5]
+	if growBlob == nil {
+		t.Fatal("no churn-free checkpoint at round 5")
+	}
+	big := mkGrow(200)
+	if err := big.Restore(growBlob); err != nil {
+		t.Fatalf("resume into larger population: %v", err)
+	}
+	a := big.Run()
+	big2 := mkGrow(200)
+	if err := big2.Restore(growBlob); err != nil {
+		t.Fatal(err)
+	}
+	if b := big2.Run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("larger-population resume is nondeterministic")
+	}
+
+	// Smaller population than the checkpoint covers: geometry mismatch.
+	if err := mk(10, 0).Restore(blob); !errors.Is(err, ErrGeometryMismatch) {
+		t.Fatalf("smaller-population resume err = %v, want ErrGeometryMismatch", err)
+	}
+}

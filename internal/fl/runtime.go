@@ -89,6 +89,15 @@ type Config struct {
 	// 2×ClientsPerRound; values below ClientsPerRound are clamped up so
 	// a full commit set can exist.
 	AsyncConcurrency int
+	// EdgeAggregators, when ≥ 2, runs hierarchical two-tier aggregation:
+	// that many edge aggregators each own a disjoint shard-aligned slice
+	// of every model's flat parameter space and are merged into a root
+	// in fixed edge order at each round boundary. Results are
+	// bit-identical to single-tier aggregation for every window and
+	// staleness setting (see aggregate.TieredFedAvg); only the peak
+	// per-aggregator accumulator memory changes. ≤ 1 keeps the
+	// single-tier streaming aggregator.
+	EdgeAggregators int
 	// Selector picks each round's participants; nil means uniform random
 	// (the paper's setup). An Oort-style guided selector is available in
 	// internal/selection.
@@ -273,7 +282,7 @@ type Runtime struct {
 	// the per-model sharded accumulators, pooled training sessions and
 	// upload buffers, quantization scratch, and the per-round task /
 	// loss-standardization / compatibility scratch slices.
-	agg        *aggregate.StreamingFedAvg
+	agg        aggregate.Aggregator
 	sessions   sessionPool
 	uploads    uploadPool
 	qscratch   map[int][]compress.QuantizedTensor
@@ -298,6 +307,14 @@ type Runtime struct {
 	sortBuf  []*asyncTask
 	candBuf  []int
 	busyBuf  map[int]bool
+
+	// Dispatch recycling (see PERF.md): retired dispatch-snapshot husks
+	// keyed by model ID, re-armed via ShareWeightsFrom on the next
+	// dispatch of the same model, and a freelist for the asyncTask
+	// scheduling records — together they flatten the async loop's
+	// per-dispatch allocations the way sessions/uploads are pooled.
+	snapFree map[int][]*model.Model
+	atFree   []*asyncTask
 }
 
 // roundTask is one selected, non-dropped participant's slot in the
@@ -369,7 +386,7 @@ func New(cfg Config, ds *data.Dataset, trace *device.Trace, initial model.Spec) 
 		ds:     ds,
 		trace:  trace,
 		suite:  []*model.Model{m0},
-		mgr:    assign.NewManager(len(ds.Clients)),
+		mgr:    assign.NewManager(ds.Len()),
 		doc:    transform.NewDoCTracker(cfg.Transform.Gamma, cfg.Transform.Delta),
 		act:    map[int]*transform.ActivenessTracker{m0.ID: transform.NewActivenessTracker(cfg.Transform.ActWindow)},
 		rng:    rng,
@@ -382,14 +399,22 @@ func New(cfg Config, ds *data.Dataset, trace *device.Trace, initial model.Spec) 
 			// The coordinator needs a full round's worth of candidates.
 			ccfg.MinOnline = cfg.ClientsPerRound
 		}
-		rt.churn = selection.NewChurn(len(ds.Clients), ccfg)
+		rt.churn = selection.NewChurn(ds.Len(), ccfg)
 	}
-	for _, d := range trace.Devices {
-		if d.CapacityMACs > rt.maxCapacity {
-			rt.maxCapacity = d.CapacityMACs
-		}
-	}
+	// The configured capacity ceiling, not an O(N) empirical scan:
+	// synthesis clamps every device to it, so setup cost stays
+	// independent of the population size.
+	rt.maxCapacity = trace.CapacityBound()
 	return rt
+}
+
+// newAgg builds the round aggregator the config asks for: hierarchical
+// two-tier when EdgeAggregators ≥ 2, single-tier streaming otherwise.
+func (rt *Runtime) newAgg() aggregate.Aggregator {
+	if rt.cfg.EdgeAggregators > 1 {
+		return aggregate.NewTiered(rt.cfg.EdgeAggregators)
+	}
+	return aggregate.NewStreaming()
 }
 
 // Suite returns the current model suite (creation order).
@@ -594,7 +619,7 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 			}
 		}
 	} else {
-		selected = cfg.Selector.Select(round, len(rt.ds.Clients), cfg.ClientsPerRound, rt.rng)
+		selected = cfg.Selector.Select(round, rt.ds.Len(), cfg.ClientsPerRound, rt.rng)
 	}
 
 	// Model assignment is sequential (it consumes the round RNG in a
@@ -604,7 +629,7 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	tasks := rt.roundTasks[:0]
 	roundDropouts := 0
 	for _, c := range selected {
-		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[c].CapacityMACs)
+		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.At(c).CapacityMACs)
 		m := rt.mgr.Sample(c, rt.compatBuf, rt.rng)
 		if m == nil {
 			continue
@@ -622,7 +647,7 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	rt.roundTasks = tasks // keep the grown capacity for the next round
 
 	if rt.agg == nil {
-		rt.agg = aggregate.NewStreaming()
+		rt.agg = rt.newAgg()
 	}
 	// Prime each model's lazily built Params and ParamCount caches before
 	// the parallel section: stream workers read suite params concurrently
@@ -763,7 +788,7 @@ func (rt *Runtime) applyCommitted(round int, committed []*roundTask, res *Result
 	rt.stdBuf = assign.StandardizeLossesInto(rt.stdBuf[:0], losses)
 	std := rt.stdBuf
 	for k, u := range committed {
-		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.Devices[u.client].CapacityMACs)
+		rt.compatBuf = assign.CompatibleInto(rt.compatBuf[:0], rt.suite, rt.trace.At(u.client).CapacityMACs)
 		rt.mgr.UpdateJoint(u.client, u.m, std[k], rt.compatBuf)
 		res.Overhead.UtilityUpdates += int64(len(rt.compatBuf))
 	}
@@ -805,7 +830,7 @@ func (rt *Runtime) trainTask(round, attempt int, u *roundTask) {
 	}
 	sess := rt.sessions.get(src)
 	seed := cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919 + int64(attempt)*104729
-	u.loss, u.samples = sess.run(src, &rt.ds.Clients[u.client], cfg.Local, seed, u.up)
+	u.loss, u.samples = sess.run(src, rt.ds.Fetch(&sess.cur, u.client), cfg.Local, seed, u.up)
 	rt.sessions.put(src.ID, sess)
 	if u.fault == chaos.NonFinite {
 		// The client's training diverged: poison the upload so the
@@ -917,12 +942,12 @@ func (rt *Runtime) tryTransform(round int) bool {
 // one weight refresh per (worker, model) pair — a pooled session's
 // weights are stale because Finalize moves the live suite every round.
 func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
-	n := len(rt.ds.Clients)
+	n := rt.ds.Len()
 	accs = make([]float64, n)
 	bestMACs = make([]float64, n)
 	chosen := make([]*model.Model, n)
 	for c := 0; c < n; c++ {
-		compatible := assign.Compatible(rt.suite, rt.trace.Devices[c].CapacityMACs)
+		compatible := assign.Compatible(rt.suite, rt.trace.At(c).CapacityMACs)
 		chosen[c] = rt.mgr.Best(c, compatible)
 	}
 	// Prime the lazily built Params caches before the parallel section:
@@ -933,6 +958,10 @@ func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 	}
 	par.Chunked(n, func(lo, hi int) {
 		local := make(map[int]*localSession)
+		// One synthesis cursor per worker: generative datasets
+		// materialize each client's shard into it on demand, so the
+		// chunk reuses one set of shard buffers.
+		var cur data.ClientCursor
 		for c := lo; c < hi; c++ {
 			m := chosen[c]
 			if m == nil {
@@ -944,7 +973,7 @@ func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 				s.m.SetWeights(m.Params())
 				local[m.ID] = s
 			}
-			accs[c] = EvaluateOn(s.m, &rt.ds.Clients[c])
+			accs[c] = EvaluateOn(s.m, rt.ds.Fetch(&cur, c))
 			bestMACs[c] = m.MACsPerSample()
 		}
 		for id, s := range local {

@@ -26,6 +26,10 @@ type localSession struct {
 	idx []int
 	by  []int
 	bx  *tensor.Tensor
+	// cur is the session's client-synthesis cursor: for generative
+	// datasets, Fetch reuses its RNG and shard buffers so pulling a
+	// client's shard on demand is allocation-free in steady state.
+	cur data.ClientCursor
 }
 
 func newLocalSession(src *model.Model) *localSession {

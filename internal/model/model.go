@@ -323,6 +323,22 @@ func (m *Model) SetWeights(src []*tensor.Tensor) {
 	}
 }
 
+// ShareWeightsFrom re-aliases every parameter of m onto src's current
+// buffers as copy-on-write sharers, reusing m's existing tensor headers
+// instead of allocating new ones. m must be a structural clone of src
+// (same parameter arity; shapes are re-adopted from src). This turns a
+// pooled, previously-Released snapshot back into a live COW snapshot of
+// src in O(headers) with zero allocations.
+func (m *Model) ShareWeightsFrom(src *Model) {
+	dst, s := m.Params(), src.Params()
+	if len(dst) != len(s) {
+		panic(fmt.Sprintf("model: ShareWeightsFrom arity mismatch %d != %d", len(dst), len(s)))
+	}
+	for i := range dst {
+		dst[i].ShareFrom(s[i])
+	}
+}
+
 // CopyWeights returns a copy-on-write snapshot of the parameter tensors:
 // the returned headers alias the current buffers and keep their contents
 // stable even if the model is written afterwards (the write detaches the

@@ -123,3 +123,21 @@ func (t *Tensor) Shared() bool {
 func (t *Tensor) SharesBufferWith(o *Tensor) bool {
 	return len(t.Data) > 0 && len(o.Data) > 0 && &t.Data[0] == &o.Data[0]
 }
+
+// ShareFrom re-points this header at src's buffer as a copy-on-write
+// sharer, reusing the header (and its Shape backing array) instead of
+// allocating a fresh one the way LazyClone does. Any interest the header
+// held in a previous buffer is dropped first, so a Released header can
+// be re-armed in place — the primitive behind pooled dispatch snapshots
+// in the async round loop.
+func (t *Tensor) ShareFrom(src *Tensor) {
+	if s := t.cow.Load(); s != nil {
+		t.cow.Store(nil)
+		s.refs.Add(-1)
+	}
+	s := src.shareState()
+	s.refs.Add(1)
+	t.Shape = append(t.Shape[:0], src.Shape...)
+	t.Data = src.Data
+	t.cow.Store(s)
+}
