@@ -1,6 +1,7 @@
 // Command bench runs the repository's perf-tracking microbenchmarks
-// (GEMM, conv forward/backward, the training step, and all-client
-// evaluation) and writes a machine-readable BENCH_<n>.json so future
+// (GEMM, conv forward/backward, the training step, all-client
+// evaluation, and sustained inference serving) and writes a
+// machine-readable BENCH_<n>.json so future
 // PRs can track the performance trajectory:
 //
 //	go run ./cmd/bench              # writes the next unused BENCH_<n>.json
@@ -47,6 +48,10 @@ var suites = []struct {
 	{"./internal/nn/", "BenchmarkConvForward|BenchmarkConvBackward|BenchmarkAttentionForward|BenchmarkAttentionBackward"},
 	{"./internal/model/", "BenchmarkClone"},
 	{"./internal/fl/", "BenchmarkLocalTrainStep|BenchmarkEvaluateAll|BenchmarkRoundLoop|BenchmarkAsyncRoundLoop|BenchmarkCheckpointSnapshot|BenchmarkCheckpointEncode"},
+	// Serving: sustained predictions/sec through the pooled
+	// InferenceServer vs the per-call Predict baseline. The guard also
+	// pins the >= 2x throughput ratio between the pair.
+	{"./", "BenchmarkPredictDirect|BenchmarkPredictServe"},
 }
 
 // benchLine matches e.g.
@@ -108,6 +113,37 @@ func compareTo(path string, results []BenchResult, maxRegress float64) (regresse
 			p.BytesPerOp, r.BytesPerOp, p.AllocsPerOp, r.AllocsPerOp, flag)
 	}
 	return regressed, missing, nil
+}
+
+// serveSpeedupFloor is the predictions/sec multiple the pooled serving
+// path must sustain over the per-call Predict baseline, at zero
+// steady-state allocations — the serving acceptance this tool guards on
+// every run that measures the pair.
+const serveSpeedupFloor = 2.0
+
+// checkServeGuard enforces the serving-throughput contract when both
+// sides of the pair were measured this run.
+func checkServeGuard(results []BenchResult) error {
+	var direct, serve *BenchResult
+	for i := range results {
+		switch results[i].Op {
+		case "PredictDirect":
+			direct = &results[i]
+		case "PredictServe":
+			serve = &results[i]
+		}
+	}
+	if direct == nil || serve == nil || serve.NsPerOp <= 0 {
+		return nil
+	}
+	if ratio := direct.NsPerOp / serve.NsPerOp; ratio < serveSpeedupFloor {
+		return fmt.Errorf("serving throughput %.2fx the per-call baseline, want >= %.1fx (direct %.0f ns/op, serve %.0f ns/op)",
+			ratio, serveSpeedupFloor, direct.NsPerOp, serve.NsPerOp)
+	}
+	if serve.AllocsPerOp != 0 {
+		return fmt.Errorf("serving path allocates %d allocs/op in steady state, want 0", serve.AllocsPerOp)
+	}
+	return nil
 }
 
 // nextSnapshotName returns the first unused BENCH_<n>.json, so a bare
@@ -174,6 +210,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d ops)\n", *out, len(results))
+	if err := checkServeGuard(results); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
 	if *compare != "" {
 		regressed, missing, err := compareTo(*compare, results, *maxRegress)
 		if err != nil {

@@ -4,6 +4,14 @@
 // Example:
 //
 //	go run ./cmd/fedtrans -profile cifar10 -clients 40 -rounds 100
+//
+// The session can also be split across processes: -serve starts the
+// networked coordinator and -agent joins a coordinator as a client-agent
+// pool. The summary printed by a -serve run is byte-identical to the
+// in-process run with the same flags:
+//
+//	go run ./cmd/fedtrans -serve 127.0.0.1:39217 &
+//	go run ./cmd/fedtrans -agent 127.0.0.1:39217 -agent-workers 2
 package main
 
 import (
@@ -45,14 +53,34 @@ func main() {
 		"write a resumable checkpoint to this file every -checkpoint-every rounds")
 	flag.IntVar(&opts.CheckpointEvery, "checkpoint-every", opts.CheckpointEvery,
 		"checkpoint cadence in rounds (default 10 when -checkpoint is set)")
+	flag.IntVar(&opts.EvalSample, "eval-sample", opts.EvalSample,
+		"evaluate on a fixed deterministic panel of this many clients instead of the full population (0 = everyone)")
+	flag.StringVar(&opts.ServeAddr, "serve", opts.ServeAddr,
+		"run as networked coordinator on this address; training waits for -agent processes and stays byte-identical to the in-process run")
+	agentAddr := flag.String("agent", "",
+		"run as a client-agent pool against the coordinator at this address (no session is created)")
+	agentWorkers := flag.Int("agent-workers", 1, "concurrent connections an -agent process opens")
 	resumePath := flag.String("resume", "",
 		"resume from a checkpoint file written by a previous -checkpoint run")
 	exportPath := flag.String("export", "", "write the largest trained model to this file")
 	flag.Parse()
 
+	if *agentAddr != "" {
+		fmt.Fprintf(os.Stderr, "agent: serving coordinator %s with %d worker(s)\n", *agentAddr, *agentWorkers)
+		if err := fedtrans.RunAgent(*agentAddr, *agentWorkers); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	session, err := fedtrans.NewSession(opts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if opts.ServeAddr != "" {
+		// Notice goes to stderr so stdout stays byte-comparable with the
+		// in-process run.
+		fmt.Fprintf(os.Stderr, "coordinator: listening on %s\n", session.CoordinatorAddr())
 	}
 	clients := opts.Clients
 	if opts.Population > 0 {

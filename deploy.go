@@ -2,6 +2,7 @@ package fedtrans
 
 import (
 	"fmt"
+	"sync"
 
 	"fedtrans/internal/assign"
 	"fedtrans/internal/data"
@@ -21,9 +22,40 @@ func (s *Session) ExportModel(i int) ([]byte, error) {
 	return suite[i].MarshalBinary()
 }
 
-// Deployed is a loaded, inference-only model.
+// Deployed is a loaded, inference-only model. Prediction runs through a
+// pool of inference sessions — each a copy-on-write clone of the model
+// with its own forward workspaces and a reusable input buffer — so
+// concurrent Predict/PredictBatch calls never contend and steady-state
+// calls allocate nothing model-sized.
 type Deployed struct {
-	m *model.Model
+	m   *model.Model
+	dim int
+	// pool holds idle *inferSession values.
+	pool sync.Pool
+}
+
+// inferSession is one pooled forward pipeline: a COW clone (weights
+// shared with the deployed model, workspaces private) plus an input
+// tensor grown once and resliced per request.
+type inferSession struct {
+	m  *model.Model
+	in *tensor.Tensor
+}
+
+// ensureIn shapes the session's input buffer to rows×dim, reusing its
+// backing array whenever capacity suffices.
+func (s *inferSession) ensureIn(rows, dim int) *tensor.Tensor {
+	if s.in == nil {
+		s.in = tensor.New(rows, dim)
+		return s.in
+	}
+	n := rows * dim
+	if cap(s.in.Data) < n {
+		s.in.Data = make([]tensor.Float, n)
+	}
+	s.in.Data = s.in.Data[:n]
+	s.in.Shape[0], s.in.Shape[1] = rows, dim
+	return s.in
 }
 
 // LoadModel deserializes a blob produced by Session.ExportModel.
@@ -34,60 +66,67 @@ func LoadModel(blob []byte) (*Deployed, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Deployed{m: m}, nil
+	dim := 1
+	for _, s := range m.InputShape {
+		dim *= s
+	}
+	return &Deployed{m: m, dim: dim}, nil
 }
 
-func (d *Deployed) inputDim() int {
-	wantDim := 1
-	for _, s := range d.m.InputShape {
-		wantDim *= s
+// InputDim is the flat feature dimension the model expects.
+func (d *Deployed) InputDim() int { return d.dim }
+
+func (d *Deployed) session() *inferSession {
+	if s, ok := d.pool.Get().(*inferSession); ok {
+		return s
 	}
-	return wantDim
+	return &inferSession{m: d.m.Clone()}
 }
+
+func (d *Deployed) release(s *inferSession) { d.pool.Put(s) }
 
 // Predict returns the predicted class for one flat feature vector.
 func (d *Deployed) Predict(features []float64) (int, error) {
-	wantDim := d.inputDim()
-	if len(features) != wantDim {
-		return 0, fmt.Errorf("fedtrans: feature dim %d, model expects %d", len(features), wantDim)
+	if len(features) != d.dim {
+		return 0, fmt.Errorf("fedtrans: feature dim %d, model expects %d", len(features), d.dim)
 	}
-	buf := make([]tensor.Float, len(features))
+	s := d.session()
+	x := s.ensureIn(1, d.dim)
 	for i, v := range features {
-		buf[i] = tensor.Float(v)
+		x.Data[i] = tensor.Float(v)
 	}
-	x := tensor.FromSlice(buf, 1, wantDim)
-	logits := d.m.Forward(x)
-	return logits.ArgMaxRow(0), nil
+	class := s.m.Forward(x).ArgMaxRow(0)
+	d.release(s)
+	return class, nil
 }
 
 // PredictBatch classifies a batch of flat feature vectors in one
-// forward pass: rows are validated up front, converted into a single
-// contiguous batch buffer, and pushed through the strided-batch kernels
-// together — one Forward and two allocations for the whole batch, not
-// one per row.
+// forward pass: rows are validated up front, packed into the session's
+// contiguous input buffer, and pushed through the strided-batch kernels
+// together — one Forward for the whole batch, not one per row.
 func (d *Deployed) PredictBatch(features [][]float64) ([]int, error) {
-	wantDim := d.inputDim()
 	for i, f := range features {
-		if len(f) != wantDim {
-			return nil, fmt.Errorf("fedtrans: row %d feature dim %d, model expects %d", i, len(f), wantDim)
+		if len(f) != d.dim {
+			return nil, fmt.Errorf("fedtrans: row %d feature dim %d, model expects %d", i, len(f), d.dim)
 		}
 	}
 	if len(features) == 0 {
 		return nil, nil
 	}
-	buf := make([]tensor.Float, len(features)*wantDim)
+	s := d.session()
+	x := s.ensureIn(len(features), d.dim)
 	for i, f := range features {
-		row := buf[i*wantDim : (i+1)*wantDim]
+		row := x.Data[i*d.dim : (i+1)*d.dim]
 		for j, v := range f {
 			row[j] = tensor.Float(v)
 		}
 	}
-	x := tensor.FromSlice(buf, len(features), wantDim)
-	logits := d.m.Forward(x)
+	logits := s.m.Forward(x)
 	out := make([]int, len(features))
 	for i := range out {
 		out[i] = logits.ArgMaxRow(i)
 	}
+	d.release(s)
 	return out, nil
 }
 
@@ -100,20 +139,34 @@ func (d *Deployed) Info() ModelInfo {
 // local data for the given number of SGD steps and returns the resulting
 // per-client accuracies — the standard FL personalization pass. The
 // trained suite is not mutated. Call after Session.Run.
+//
+// When Options.EvalSample is set, only the deterministic evaluation
+// panel is fine-tuned and the returned slice has one entry per panel
+// client, in panel (ascending client ID) order.
 func (s *Session) Personalized(steps int) []float64 {
 	rng := randFor(s.opts.Seed + 12345)
-	n := s.dataset.Len()
-	accs := make([]float64, n)
 	suite := s.runtime.Suite()
 	var cur data.ClientCursor
-	for c := 0; c < n; c++ {
+	personalize := func(c int) float64 {
 		compatible := assign.Compatible(suite, s.trace.At(c).CapacityMACs)
 		m := s.runtime.Manager().Best(c, compatible)
 		if m == nil {
-			continue
+			return 0
 		}
 		_, acc := fl.Personalize(m, s.dataset.Fetch(&cur, c), steps, s.opts.LearningRate, rng)
-		accs[c] = acc
+		return acc
+	}
+	if panel := s.runtime.EvalClients(); panel != nil {
+		accs := make([]float64, len(panel))
+		for i, c := range panel {
+			accs[i] = personalize(c)
+		}
+		return accs
+	}
+	n := s.dataset.Len()
+	accs := make([]float64, n)
+	for c := 0; c < n; c++ {
+		accs[c] = personalize(c)
 	}
 	return accs
 }

@@ -26,6 +26,7 @@ import (
 	"fedtrans/internal/fl"
 	"fedtrans/internal/metrics"
 	"fedtrans/internal/model"
+	"fedtrans/internal/netcoord"
 	"fedtrans/internal/selection"
 )
 
@@ -149,6 +150,25 @@ type Options struct {
 	// CheckpointEvery is the checkpoint cadence in rounds (default 10
 	// when CheckpointPath is set).
 	CheckpointEvery int
+	// EvalSample, when > 0 and smaller than the client count, restricts
+	// every full-population evaluation pass (the periodic EvaluateAll,
+	// the final accuracy sweep, and Personalized) to a fixed
+	// deterministic panel of EvalSample clients drawn once from the run
+	// seed. Per-client outputs then have one entry per panel client in
+	// ascending client order. EvalSample >= the population is the
+	// identity: results are bit-identical to an unsampled run.
+	EvalSample int
+	// ServeAddr, when non-empty, runs the session as a networked
+	// coordinator: a TCP server listens on this host:port (port 0 picks
+	// a free port; see Session.CoordinatorAddr) and every client
+	// local-training attempt is dispatched to connected agent processes
+	// (RunAgent) over the FTNC protocol instead of the in-process
+	// session pool. Training is a pure function of (weights, shard,
+	// seed) and the weight codec is lossless, so results — Summary,
+	// checkpoints, everything — are byte-identical to an in-process run
+	// with the same Options. Run blocks until enough agents connect to
+	// serve the round's attempts.
+	ServeAddr string
 }
 
 // ChaosOptions configures seeded fault injection for robustness testing.
@@ -359,6 +379,7 @@ type Session struct {
 	dataset *data.Dataset
 	trace   *device.Trace
 	runtime *fl.Runtime
+	hub     *netcoord.Hub
 
 	sinkMu  sync.Mutex
 	sinkErr error
@@ -465,7 +486,20 @@ func NewSession(opts Options) (*Session, error) {
 			MinOnline: opts.ClientsPerRound,
 		}
 	}
+	cfg.EvalSample = opts.EvalSample
 	s := &Session{opts: opts, dataset: ds, trace: trace}
+	if opts.ServeAddr != "" {
+		hub, err := netcoord.NewHub(opts.ServeAddr, netcoord.RunConfig{
+			Data:       dcfg,
+			Generative: opts.Population > 0,
+			Local:      cfg.Local,
+		})
+		if err != nil {
+			return nil, err
+		}
+		cfg.Trainer = hub
+		s.hub = hub
+	}
 	if opts.CheckpointPath != "" {
 		if opts.CheckpointEvery <= 0 {
 			opts.CheckpointEvery = 10
@@ -495,9 +529,42 @@ func writeFileAtomic(path string, blob []byte) error {
 	return os.Rename(tmp, path)
 }
 
-// Run executes training and returns the summary.
+// Run executes training and returns the summary. A networked session
+// (Options.ServeAddr) stops its coordinator server when training ends,
+// so connected agents exit cleanly.
 func (s *Session) Run() Summary {
-	return s.summarize(s.runtime.Run())
+	sum := s.summarize(s.runtime.Run())
+	s.Close()
+	return sum
+}
+
+// CoordinatorAddr is the actual listen address of a networked session's
+// coordinator server (useful with port 0 in ServeAddr). Empty for
+// in-process sessions.
+func (s *Session) CoordinatorAddr() string {
+	if s.hub == nil {
+		return ""
+	}
+	return s.hub.Addr()
+}
+
+// Close releases the session's network resources (the coordinator
+// server of a ServeAddr session). Idempotent; Run and Resume call it on
+// completion, so explicit Close is only needed for sessions abandoned
+// before running.
+func (s *Session) Close() {
+	if s.hub != nil {
+		s.hub.Close()
+	}
+}
+
+// RunAgent joins a networked coordinator (a session created with
+// Options.ServeAddr, or `fedtrans -serve`) as a pool of workers client
+// agents: each worker downloads models and trains clients over the FTNC
+// protocol until the coordinator finishes. Blocks for the lifetime of
+// the coordinator; returns nil on clean shutdown.
+func RunAgent(addr string, workers int) error {
+	return netcoord.RunAgents(netcoord.AgentConfig{Addr: addr, Workers: workers})
 }
 
 // Resume restores the coordinator from a checkpoint blob previously
@@ -508,7 +575,9 @@ func (s *Session) Resume(checkpoint []byte) (Summary, error) {
 	if err := s.runtime.Restore(checkpoint); err != nil {
 		return Summary{}, err
 	}
-	return s.summarize(s.runtime.Run()), nil
+	sum := s.summarize(s.runtime.Run())
+	s.Close()
+	return sum, nil
 }
 
 // Checkpoint serializes the coordinator's current state (suite weights,

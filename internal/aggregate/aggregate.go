@@ -4,6 +4,12 @@
 // with a round-decaying factor η, cropping tensors to shape as in HeteroFL.
 // Sharing from larger (newer) models into smaller ones ("l2s") is disabled
 // by default, which Table 1 shows is critical for small-model accuracy.
+//
+// The aggregator is transport-agnostic: uploads produced in-process and
+// uploads decoded off the wire by the networked coordinator
+// (internal/netcoord) feed the same streaming/tiered accumulators in
+// the same fold order, which is what keeps a distributed run
+// byte-identical to a local one.
 package aggregate
 
 import (

@@ -280,24 +280,38 @@ func (q QuantizedTensor) Marshal() []byte {
 // huge allocations or mismatched reconstructions.
 func UnmarshalQuantized(b []byte) (QuantizedTensor, error) {
 	var q QuantizedTensor
+	if err := UnmarshalQuantizedInto(&q, b); err != nil {
+		return QuantizedTensor{}, err
+	}
+	return q, nil
+}
+
+// UnmarshalQuantizedInto parses a blob produced by Marshal into q,
+// reusing q's Shape and Codes storage when their capacity suffices —
+// the receiving coordinator funnels every agent's quantized uplink
+// through a handful of recycled records, so decoding allocates nothing
+// in steady state. Validation is identical to UnmarshalQuantized; on
+// error q's contents are unspecified.
+func UnmarshalQuantizedInto(q *QuantizedTensor, b []byte) error {
 	if len(b) < 4 {
-		return q, errors.New("compress: truncated header")
+		return errors.New("compress: truncated header")
 	}
 	rank := binary.BigEndian.Uint32(b)
 	off := 4
 	if rank > 8 || len(b) < off+int(rank)*4+16 {
-		return q, errors.New("compress: truncated shape")
+		return errors.New("compress: truncated shape")
 	}
+	q.Shape = q.Shape[:0]
 	elems := 1
 	for i := uint32(0); i < rank; i++ {
 		d := int(binary.BigEndian.Uint32(b[off:]))
 		if d == 0 || d > maxDim {
-			return QuantizedTensor{}, errors.New("compress: unreasonable dim")
+			return errors.New("compress: unreasonable dim")
 		}
 		q.Shape = append(q.Shape, d)
 		elems *= d
 		if elems > maxDim {
-			return QuantizedTensor{}, errors.New("compress: unreasonable element count")
+			return errors.New("compress: unreasonable element count")
 		}
 		off += 4
 	}
@@ -306,8 +320,8 @@ func UnmarshalQuantized(b []byte) (QuantizedTensor, error) {
 	q.Max = math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
 	off += 8
 	if len(b)-off != elems {
-		return QuantizedTensor{}, errors.New("compress: code count mismatch")
+		return errors.New("compress: code count mismatch")
 	}
-	q.Codes = append(q.Codes, b[off:]...)
-	return q, nil
+	q.Codes = append(q.Codes[:0], b[off:]...)
+	return nil
 }

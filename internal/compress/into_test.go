@@ -1,0 +1,57 @@
+package compress
+
+import (
+	"reflect"
+	"testing"
+
+	"fedtrans/internal/tensor"
+)
+
+// TestUnmarshalQuantizedIntoParity pins the reusing decoder against the
+// allocating one, including reuse across differently shaped blobs.
+func TestUnmarshalQuantizedIntoParity(t *testing.T) {
+	a := tensor.New(4, 3)
+	for i := range a.Data {
+		a.Data[i] = tensor.Float(i)*0.5 - 2
+	}
+	b := tensor.New(7)
+	for i := range b.Data {
+		b.Data[i] = -tensor.Float(i * i)
+	}
+	var q QuantizedTensor
+	for _, src := range []*tensor.Tensor{a, b, a} {
+		blob := Quantize(src).Marshal()
+		want, err := UnmarshalQuantized(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := UnmarshalQuantizedInto(&q, blob); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(q, want) {
+			t.Fatalf("UnmarshalQuantizedInto = %+v, want %+v", q, want)
+		}
+	}
+}
+
+// TestUnmarshalQuantizedIntoAllocs pins that decoding into a warm record
+// allocates nothing.
+func TestUnmarshalQuantizedIntoAllocs(t *testing.T) {
+	src := tensor.New(16, 16)
+	for i := range src.Data {
+		src.Data[i] = tensor.Float(i % 13)
+	}
+	blob := Quantize(src).Marshal()
+	var q QuantizedTensor
+	if err := UnmarshalQuantizedInto(&q, blob); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := UnmarshalQuantizedInto(&q, blob); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("UnmarshalQuantizedInto allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -295,8 +295,7 @@ func (rt *Runtime) runAsyncRound(round int, res *Result) (float64, float64, map[
 			rt.trainTask(at.version, attempt, u)
 			ok = rt.commitAttempt(u, &elapsed, res)
 		}
-		rt.uploads.put(u.m.ID, u.up)
-		u.up = nil
+		rt.releaseUploads(u)
 		rt.snapPut(u.src)
 		u.src = nil
 		if at.arrival > rt.asyncNow {
@@ -358,10 +357,7 @@ func (rt *Runtime) drainAsync() {
 	for _, at := range rt.inflight {
 		rt.asyncStr.Wait(at.tk)
 		u := &at.slot
-		if u.up != nil {
-			rt.uploads.put(u.m.ID, u.up)
-			u.up = nil
-		}
+		rt.releaseUploads(u)
 		if u.src != nil {
 			rt.snapPut(u.src)
 			u.src = nil

@@ -1,0 +1,58 @@
+package fl
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// TestEvalSampleIdentity is the golden test of the sampled-evaluation
+// option: EvalSample ≥ population must reproduce the unsampled run
+// exactly — same panel (everyone), same Result, bit for bit.
+func TestEvalSampleIdentity(t *testing.T) {
+	base := benchRuntime("femnist")
+	want := base.Run()
+
+	covered := benchRuntime("femnist")
+	covered.cfg.EvalSample = covered.ds.Len() // covers the population: identity path
+	got := covered.Run()
+	if covered.EvalClients() != nil {
+		t.Fatal("EvalSample >= population must take the unsampled path (nil panel)")
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("EvalSample >= population changed the run result")
+	}
+}
+
+// TestEvalSampleDeterministic pins the sampled path: a fixed sorted
+// panel of EvalSample clients, the same on every call and across
+// identical runs (EvaluateAll runs in parallel internally, so this is
+// also the serial-vs-parallel bit-stability check).
+func TestEvalSampleDeterministic(t *testing.T) {
+	a := benchRuntime("femnist")
+	a.cfg.EvalSample = 8
+	resA := a.Run()
+
+	panel := a.EvalClients()
+	if len(panel) != 8 {
+		t.Fatalf("panel size %d, want 8", len(panel))
+	}
+	if !sort.IntsAreSorted(panel) {
+		t.Fatalf("panel %v not sorted", panel)
+	}
+	if len(resA.ClientAcc) != 8 {
+		t.Fatalf("ClientAcc has %d entries, want the 8 panel clients", len(resA.ClientAcc))
+	}
+	accs1, macs1 := a.EvaluateAll()
+	accs2, macs2 := a.EvaluateAll()
+	if !reflect.DeepEqual(accs1, accs2) || !reflect.DeepEqual(macs1, macs2) {
+		t.Fatal("repeated sampled EvaluateAll calls disagree")
+	}
+
+	b := benchRuntime("femnist")
+	b.cfg.EvalSample = 8
+	resB := b.Run()
+	if !reflect.DeepEqual(resA, resB) {
+		t.Fatal("identical sampled runs produced different results")
+	}
+}

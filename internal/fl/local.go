@@ -57,6 +57,12 @@ func TrainLocal(m *model.Model, cl *data.Client, cfg LocalConfig, rng *rand.Rand
 		}
 	}
 	n := len(cl.TrainY)
+	if n == 0 {
+		// Nothing to train on: return the downloaded weights with
+		// Samples 0 (zero FedAvg weight) instead of pushing an empty
+		// batch through TrainStep.
+		return LocalResult{Weights: local.CopyWeights(), Loss: 0, Samples: 0}
+	}
 	lossSum := 0.0
 	steps := cfg.Steps
 	if steps < 1 {

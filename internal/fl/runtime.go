@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	stdruntime "runtime"
+	"sort"
 	"sync"
 
 	"fedtrans/internal/aggregate"
@@ -98,6 +99,25 @@ type Config struct {
 	// per-aggregator accumulator memory changes. ≤ 1 keeps the
 	// single-tier streaming aggregator.
 	EdgeAggregators int
+	// Trainer, when non-nil, runs every client local-training attempt
+	// instead of the in-process session pool — the hook the networked
+	// coordinator (internal/netcoord) plugs its agent connections into.
+	// Everything else about the round (chaos draws, seeds, costs, fold
+	// order) is unchanged, so a Trainer that reproduces in-process
+	// training bit-for-bit yields byte-identical results. A Trainer
+	// error fails the attempt at the transport layer and flows through
+	// the normal retry/quorum machinery.
+	Trainer Trainer
+	// EvalSample, when ≥ 1 and smaller than the population, makes
+	// EvaluateAll score a fixed deterministic panel of that many clients
+	// instead of everyone — the O(population) → O(EvalSample) escape
+	// hatch for generative million-client runs. The panel is drawn once
+	// per runtime from a dedicated seeded stream (never the round RNG,
+	// so training draws are unperturbed) and sorted ascending, making
+	// the result bit-stable across serial and parallel evaluation and
+	// across resume. 0, or any value covering the population, evaluates
+	// every client through the exact unsampled code path.
+	EvalSample int
 	// Selector picks each round's participants; nil means uniform random
 	// (the paper's setup). An Oort-style guided selector is available in
 	// internal/selection.
@@ -285,8 +305,13 @@ type Runtime struct {
 	agg        aggregate.Aggregator
 	sessions   sessionPool
 	uploads    uploadPool
+	quploads   quploadPool
 	qscratch   map[int][]compress.QuantizedTensor
 	roundTasks []roundTask
+	// evalPanel is the lazily drawn EvalSample evaluation panel (sorted
+	// client indices); nil means every client. Derived purely from the
+	// config, so it needs no checkpoint state.
+	evalPanel []int
 	lossBuf    []float64
 	stdBuf     []float64
 	compatBuf  []*model.Model
@@ -333,13 +358,20 @@ type roundTask struct {
 	// stale counts the server rounds between dispatch and fold; the
 	// accumulator discounts the update by 1/√(1+stale). Always 0 in
 	// synchronous rounds.
-	stale   int
-	up      []*tensor.Tensor
+	stale int
+	up    []*tensor.Tensor
+	// q holds the on-device-quantized upload when a QuantizedTrainer
+	// serves the attempt (up stays nil — the dense weights never exist
+	// server-side); the codes fold directly via AddQuantized.
+	q       []compress.QuantizedTensor
 	loss    float64
 	samples int
 	fault   chaos.Fault
 	delay   float64
-	ok      bool
+	// err records a Trainer transport failure (wire fault, lost agent):
+	// the attempt failed before any upload arrived.
+	err error
+	ok  bool
 }
 
 // countingSource wraps a rand.Source and counts state advances. It
@@ -687,8 +719,7 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 			rt.trainTask(round, attempt, u)
 			ok = rt.commitAttempt(u, &elapsed, res)
 		}
-		rt.uploads.put(u.m.ID, u.up)
-		u.up = nil
+		rt.releaseUploads(u)
 		if elapsed > roundTime {
 			roundTime = elapsed
 		}
@@ -708,10 +739,7 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	// An abort leaves later tasks produced-but-unconsumed (or never
 	// produced); reclaim any upload buffers they hold.
 	for i := range tasks {
-		if tasks[i].up != nil {
-			rt.uploads.put(tasks[i].m.ID, tasks[i].up)
-			tasks[i].up = nil
-		}
+		rt.releaseUploads(&tasks[i])
 	}
 
 	if need > 0 && (streamErr != nil || folded < need) {
@@ -732,6 +760,19 @@ func (rt *Runtime) runRound(round int, res *Result) (float64, float64, map[int]i
 	rt.commitBuf = committed
 	roundLoss, perModel := rt.applyCommitted(round, committed, res)
 	return roundLoss, roundTime, perModel, true
+}
+
+// releaseUploads returns a task's upload buffers — dense weight sets
+// and/or on-device-quantized record sets — to their pools.
+func (rt *Runtime) releaseUploads(u *roundTask) {
+	if u.up != nil {
+		rt.uploads.put(u.m.ID, u.up)
+		u.up = nil
+	}
+	if u.q != nil {
+		rt.quploads.put(u.m.ID, u.q)
+		u.q = nil
+	}
 }
 
 // applyCommitted runs the post-fold stages of a committed round —
@@ -812,6 +853,7 @@ func (rt *Runtime) trainTask(round, attempt int, u *roundTask) {
 	cfg := rt.cfg
 	u.fault = rt.chaos.Fault(round, u.client, attempt)
 	u.delay = rt.chaos.Delay(round, u.client, attempt)
+	u.err = nil
 	// In asynchronous mode the task trains from its dispatch-time weight
 	// snapshot, and — because this may run concurrently with the
 	// consumer finalizing the live model — all pool lookups key off the
@@ -821,24 +863,61 @@ func (rt *Runtime) trainTask(round, attempt int, u *roundTask) {
 	if u.src != nil {
 		src = u.src
 	}
-	if u.up == nil {
+	quantized := rt.remoteQuantized()
+	if u.up == nil && !quantized {
 		u.up = rt.uploads.get(src)
 	}
 	if u.fault == chaos.Crash {
 		u.loss, u.samples = 0, 0
 		return
 	}
-	sess := rt.sessions.get(src)
 	seed := cfg.Seed + int64(round)*1_000_003 + int64(u.client)*7919 + int64(attempt)*104729
-	u.loss, u.samples = sess.run(src, rt.ds.Fetch(&sess.cur, u.client), cfg.Local, seed, u.up)
-	rt.sessions.put(src.ID, sess)
-	if u.fault == chaos.NonFinite {
-		// The client's training diverged: poison the upload so the
-		// accumulator's finite check must catch it.
-		last := u.up[len(u.up)-1]
-		last.EnsureOwned()
-		last.Data[0] = tensor.Float(math.NaN())
+	if cfg.Trainer != nil {
+		spec := TrainSpec{Round: round, Attempt: attempt, Client: u.client, Seed: seed}
+		if quantized {
+			if u.q == nil {
+				u.q = rt.quploads.get(src)
+			}
+			u.loss, u.samples, u.err = cfg.Trainer.(QuantizedTrainer).TrainQuantized(src, spec, cfg.Local, u.q)
+		} else {
+			u.loss, u.samples, u.err = cfg.Trainer.Train(src, spec, cfg.Local, u.up)
+		}
+		if u.err != nil {
+			u.loss, u.samples = 0, 0
+			return
+		}
+	} else {
+		sess := rt.sessions.get(src)
+		u.loss, u.samples = sess.run(src, rt.ds.Fetch(&sess.cur, u.client), cfg.Local, seed, u.up)
+		rt.sessions.put(src.ID, sess)
 	}
+	if u.fault == chaos.NonFinite && u.samples > 0 {
+		// The client's training diverged: poison the upload so the
+		// accumulator's finite check must catch it. (A zero-sample
+		// client produced no upload to poison.)
+		if quantized {
+			u.q[len(u.q)-1].Min = math.NaN()
+		} else {
+			last := u.up[len(u.up)-1]
+			last.EnsureOwned()
+			last.Data[0] = tensor.Float(math.NaN())
+		}
+	}
+}
+
+// remoteQuantized reports whether attempts ship on-device-quantized
+// uploads: the config wants quantized uplinks, the trainer can produce
+// them, and no server-side clip/noise post-processing needs the dense
+// weights first.
+func (rt *Runtime) remoteQuantized() bool {
+	if rt.cfg.Trainer == nil || !rt.cfg.QuantizeUploads {
+		return false
+	}
+	if rt.cfg.ClipNorm > 0 || rt.cfg.NoiseStd > 0 {
+		return false
+	}
+	_, ok := rt.cfg.Trainer.(QuantizedTrainer)
+	return ok
 }
 
 // commitAttempt folds one attempt's upload into the accumulator,
@@ -854,6 +933,19 @@ func (rt *Runtime) commitAttempt(u *roundTask, elapsed *float64, res *Result) bo
 		res.Costs.NetworkBytes += m.Bytes()
 		return false
 	}
+	if u.err != nil {
+		// The wire failed mid-attempt: the download traveled, nothing
+		// came back. The retry loop redials through a fresh attempt.
+		res.Costs.NetworkBytes += m.Bytes()
+		return false
+	}
+	if u.samples == 0 {
+		// A zero-sample client has nothing to fold. Succeed without
+		// touching the accumulator: sampleWeight clamps weight-0 updates
+		// to 1, so folding one would wrongly count as a contribution.
+		res.Costs.NetworkBytes += m.Bytes()
+		return true
+	}
 	t := rt.trace.TrainingTime(u.client, m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize, m.Bytes()) + u.delay
 	res.Costs.AddTraining(m.MACsPerSample(), cfg.Local.Steps, cfg.Local.BatchSize)
 	if cfg.ClientTimeout > 0 && t > cfg.ClientTimeout {
@@ -867,11 +959,22 @@ func (rt *Runtime) commitAttempt(u *roundTask, elapsed *float64, res *Result) bo
 	}
 	var err error
 	if cfg.QuantizeUploads {
-		qs := rt.quantScratch(m)
+		var qs []compress.QuantizedTensor
 		upBytes := 0
-		for pi, t := range u.up {
-			compress.QuantizeInto(&qs[pi], t)
-			upBytes += qs[pi].Bytes()
+		if u.q != nil {
+			// On-device quantization: the codes that traveled are the
+			// codes that fold — never dequantize-requantize, which would
+			// change bits.
+			qs = u.q
+			for i := range qs {
+				upBytes += qs[i].Bytes()
+			}
+		} else {
+			qs = rt.quantScratch(m)
+			for pi, t := range u.up {
+				compress.QuantizeInto(&qs[pi], t)
+				upBytes += qs[pi].Bytes()
+			}
 		}
 		if u.fault == chaos.CorruptUpload && len(qs) > 0 {
 			qs = qs[:len(qs)-1] // truncated in flight
@@ -941,14 +1044,24 @@ func (rt *Runtime) tryTransform(round int) bool {
 // evaluation allocates nothing beyond the result slices, at the cost of
 // one weight refresh per (worker, model) pair — a pooled session's
 // weights are stale because Finalize moves the live suite every round.
+// When Config.EvalSample is set below the population size, only the
+// fixed deterministic panel returned by EvalClients is scored, and the
+// result slices are indexed by panel position instead of client ID.
 func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
-	n := rt.ds.Len()
-	accs = make([]float64, n)
-	bestMACs = make([]float64, n)
-	chosen := make([]*model.Model, n)
-	for c := 0; c < n; c++ {
+	panel := rt.EvalClients()
+	k := rt.ds.Len()
+	at := func(i int) int { return i }
+	if panel != nil {
+		k = len(panel)
+		at = func(i int) int { return panel[i] }
+	}
+	accs = make([]float64, k)
+	bestMACs = make([]float64, k)
+	chosen := make([]*model.Model, k)
+	for i := 0; i < k; i++ {
+		c := at(i)
 		compatible := assign.Compatible(rt.suite, rt.trace.At(c).CapacityMACs)
-		chosen[c] = rt.mgr.Best(c, compatible)
+		chosen[i] = rt.mgr.Best(c, compatible)
 	}
 	// Prime the lazily built Params caches before the parallel section:
 	// workers read them concurrently for the weight refresh.
@@ -956,14 +1069,14 @@ func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 		m.Params()
 		m.ParamCount()
 	}
-	par.Chunked(n, func(lo, hi int) {
+	par.Chunked(k, func(lo, hi int) {
 		local := make(map[int]*localSession)
 		// One synthesis cursor per worker: generative datasets
 		// materialize each client's shard into it on demand, so the
 		// chunk reuses one set of shard buffers.
 		var cur data.ClientCursor
-		for c := lo; c < hi; c++ {
-			m := chosen[c]
+		for i := lo; i < hi; i++ {
+			m := chosen[i]
 			if m == nil {
 				continue
 			}
@@ -973,14 +1086,38 @@ func (rt *Runtime) EvaluateAll() (accs, bestMACs []float64) {
 				s.m.SetWeights(m.Params())
 				local[m.ID] = s
 			}
-			accs[c] = EvaluateOn(s.m, rt.ds.Fetch(&cur, c))
-			bestMACs[c] = m.MACsPerSample()
+			accs[i] = EvaluateOn(s.m, rt.ds.Fetch(&cur, at(i)))
+			bestMACs[i] = m.MACsPerSample()
 		}
 		for id, s := range local {
 			rt.sessions.put(id, s)
 		}
 	})
 	return accs, bestMACs
+}
+
+// evalPanelSalt offsets the panel-draw seed from every other derived
+// stream (round RNG, chaos, device trace).
+const evalPanelSalt = 424_243
+
+// EvalClients returns the evaluation panel: nil when every client is
+// evaluated (EvalSample unset or ≥ population — the identity fast
+// path), otherwise a fixed sample of EvalSample client indices, drawn
+// once per runtime from a dedicated seeded stream and sorted ascending.
+// Deriving the panel purely from the config keeps sampled evaluation
+// bit-stable across serial/parallel execution and checkpoint resume.
+func (rt *Runtime) EvalClients() []int {
+	n := rt.ds.Len()
+	if rt.cfg.EvalSample <= 0 || rt.cfg.EvalSample >= n {
+		return nil
+	}
+	if rt.evalPanel == nil {
+		rng := rand.New(rand.NewSource(rt.cfg.Seed + evalPanelSalt))
+		panel := SelectClients(n, rt.cfg.EvalSample, rng)
+		sort.Ints(panel)
+		rt.evalPanel = panel
+	}
+	return rt.evalPanel
 }
 
 func (rt *Runtime) yogiLR() float64 {

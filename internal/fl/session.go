@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"fedtrans/internal/compress"
 	"fedtrans/internal/data"
 	"fedtrans/internal/model"
 	"fedtrans/internal/nn"
@@ -59,6 +60,16 @@ func (s *localSession) run(src *model.Model, cl *data.Client, cfg LocalConfig, s
 		}
 	}
 	n := len(cl.TrainY)
+	if n == 0 {
+		// A zero-sample shard has nothing to train on: hand back the
+		// downloaded weights untouched with Samples 0 — zero FedAvg
+		// weight, so the coordinator never folds the update. Without
+		// this guard the batch sampler below panics on Intn(0).
+		for i, p := range s.m.Params() {
+			copy(upload[i].Data, p.Data)
+		}
+		return 0, 0
+	}
 	steps := cfg.Steps
 	if steps < 1 {
 		steps = 1
@@ -154,6 +165,38 @@ func (p *uploadPool) put(modelID int, set []*tensor.Tensor) {
 	p.mu.Lock()
 	if p.free == nil {
 		p.free = make(map[int][][]*tensor.Tensor)
+	}
+	p.free[modelID] = append(p.free[modelID], set)
+	p.mu.Unlock()
+}
+
+// quploadPool recycles quantized-upload record sets (one QuantizedTensor
+// per model parameter) the way uploadPool recycles dense weight sets:
+// remote agents that quantize on-device ship codes the coordinator
+// decodes into these records and folds directly, so the quantized
+// uplink stays allocation-free in steady state.
+type quploadPool struct {
+	mu   sync.Mutex
+	free map[int][][]compress.QuantizedTensor
+}
+
+func (p *quploadPool) get(src *model.Model) []compress.QuantizedTensor {
+	p.mu.Lock()
+	list := p.free[src.ID]
+	if n := len(list); n > 0 {
+		set := list[n-1]
+		p.free[src.ID] = list[:n-1]
+		p.mu.Unlock()
+		return set
+	}
+	p.mu.Unlock()
+	return make([]compress.QuantizedTensor, len(src.Params()))
+}
+
+func (p *quploadPool) put(modelID int, set []compress.QuantizedTensor) {
+	p.mu.Lock()
+	if p.free == nil {
+		p.free = make(map[int][][]compress.QuantizedTensor)
 	}
 	p.free[modelID] = append(p.free[modelID], set)
 	p.mu.Unlock()

@@ -1,0 +1,287 @@
+package netcoord
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"fedtrans/internal/chaos"
+	"fedtrans/internal/codec"
+	"fedtrans/internal/compress"
+	"fedtrans/internal/data"
+	"fedtrans/internal/fl"
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+// AgentConfig describes a client-agent pool.
+type AgentConfig struct {
+	// Addr is the coordinator's host:port.
+	Addr string
+	// Workers is the number of concurrent connections (each one serves
+	// one training attempt at a time). Defaults to 1.
+	Workers int
+	// DialTimeout bounds each (re)connect attempt's total retry budget.
+	// Defaults to 30s.
+	DialTimeout time.Duration
+	// WireChaos injects deterministic transport faults into uploads
+	// (tests): the mangled attempt fails on the coordinator, which
+	// retries it, and this worker redials.
+	WireChaos chaos.WireConfig
+}
+
+// RunAgents connects Workers agent connections to the coordinator,
+// synthesizes the client population the WELCOME frame describes (bit-
+// identical to the coordinator's, since generation is pure in the
+// config), and serves training requests until the coordinator closes.
+// Returns nil on a clean shutdown (coordinator finished), or the first
+// fatal error (handshake or protocol failure; lost connections redial
+// instead).
+func RunAgents(cfg AgentConfig) error {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 30 * time.Second
+	}
+	// The dataset is shared across workers: synthesis can dominate
+	// startup, and shards are read-only during training.
+	var (
+		dsMu sync.Mutex
+		ds   *data.Dataset
+	)
+	getDS := func(rc RunConfig) *data.Dataset {
+		dsMu.Lock()
+		defer dsMu.Unlock()
+		if ds == nil {
+			if rc.Generative {
+				ds = data.GenerateLazy(rc.Data)
+			} else {
+				ds = data.Generate(rc.Data)
+			}
+		}
+		return ds
+	}
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = agentLoop(cfg, getDS)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errReconnect tells agentLoop the connection is gone (injected fault,
+// coordinator-dropped conn) but the run may still be live: redial.
+var errReconnect = errors.New("netcoord: connection lost, reconnecting")
+
+func agentLoop(cfg AgentConfig, getDS func(RunConfig) *data.Dataset) error {
+	winj := chaos.NewWire(cfg.WireChaos)
+	served := false
+	for {
+		c, err := dialRetry(cfg.Addr, cfg.DialTimeout)
+		if err != nil {
+			if served {
+				// The coordinator answered earlier and is now gone: the
+				// run is over.
+				return nil
+			}
+			return err
+		}
+		err = serveConn(c, getDS, winj)
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, errReconnect):
+			served = true
+		default:
+			return err
+		}
+	}
+}
+
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return c, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("netcoord: dial %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// connState is everything one connection accumulates: per-model pooled
+// training harnesses with their recycled upload buffers, all scoped to
+// a connection-local ID generator so redials start clean.
+type connState struct {
+	trainers map[uint32]*fl.ClientTrainer
+	uploads  map[uint32][]*tensor.Tensor
+	qsets    map[uint32][]compress.QuantizedTensor
+	resp     []byte
+}
+
+func serveConn(c net.Conn, getDS func(RunConfig) *data.Dataset, winj *chaos.WireInjector) error {
+	defer c.Close()
+	fc := newFrameConn(c)
+
+	hello := make([]byte, 0, 6)
+	hello = append(hello, helloMagic...)
+	hello = binary.BigEndian.AppendUint16(hello, ProtoVersion)
+	if err := fc.write(ftHello, hello); err != nil {
+		return errReconnect
+	}
+	t, payload, err := fc.read()
+	if err != nil {
+		return errReconnect
+	}
+	if t != ftWelcome || len(payload) < 2 {
+		return fmt.Errorf("%w: expected WELCOME, got frame 0x%02x", ErrBadHandshake, t)
+	}
+	if v := binary.BigEndian.Uint16(payload); v != ProtoVersion {
+		return fmt.Errorf("%w: coordinator speaks FTNC/%d, this agent FTNC/%d", ErrBadHandshake, v, ProtoVersion)
+	}
+	var rc RunConfig
+	if err := json.Unmarshal(payload[2:], &rc); err != nil {
+		return fmt.Errorf("%w: WELCOME config: %v", ErrBadHandshake, err)
+	}
+	ds := getDS(rc)
+
+	gen := model.NewIDGen()
+	st := &connState{
+		trainers: make(map[uint32]*fl.ClientTrainer),
+		uploads:  make(map[uint32][]*tensor.Tensor),
+		qsets:    make(map[uint32][]compress.QuantizedTensor),
+	}
+	for {
+		t, payload, err := fc.read()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // clean close at a frame boundary: run over
+			}
+			return errReconnect
+		}
+		switch t {
+		case ftModel:
+			if err := st.handleModel(payload, ds, gen); err != nil {
+				return err
+			}
+		case ftTrain:
+			if err := st.handleTrain(fc, payload, winj); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("%w: unexpected frame 0x%02x", ErrProtocol, t)
+		}
+	}
+}
+
+func (st *connState) handleModel(payload []byte, ds *data.Dataset, gen *model.IDGen) error {
+	if len(payload) < 4 {
+		return fmt.Errorf("%w: short MODEL frame", ErrProtocol)
+	}
+	id := binary.BigEndian.Uint32(payload)
+	m, err := model.UnmarshalModelScoped(payload[4:], gen)
+	if err != nil {
+		return fmt.Errorf("netcoord: MODEL frame: %w", err)
+	}
+	st.trainers[id] = fl.NewClientTrainer(ds, m)
+	params := m.Params()
+	up := make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		up[i] = tensor.New(p.Shape...)
+	}
+	st.uploads[id] = up
+	st.qsets[id] = make([]compress.QuantizedTensor, len(params))
+	return nil
+}
+
+// trainHdrLen is the fixed TRAIN prefix: model ID, client, seed, flags,
+// steps, batch, lr, proxMu.
+const trainHdrLen = 4 + 4 + 8 + 1 + 4 + 4 + 8 + 8
+
+func (st *connState) handleTrain(fc *frameConn, payload []byte, winj *chaos.WireInjector) error {
+	if len(payload) < trainHdrLen {
+		return fmt.Errorf("%w: short TRAIN frame", ErrProtocol)
+	}
+	id := binary.BigEndian.Uint32(payload)
+	client := int(binary.BigEndian.Uint32(payload[4:]))
+	seed := int64(binary.BigEndian.Uint64(payload[8:]))
+	flags := payload[16]
+	lcfg := fl.LocalConfig{
+		Steps:     int(binary.BigEndian.Uint32(payload[17:])),
+		BatchSize: int(binary.BigEndian.Uint32(payload[21:])),
+		LR:        math.Float64frombits(binary.BigEndian.Uint64(payload[25:])),
+		ProxMu:    math.Float64frombits(binary.BigEndian.Uint64(payload[33:])),
+	}
+	tr := st.trainers[id]
+	if tr == nil {
+		return st.respondErr(fc, winj, seed, fmt.Sprintf("unknown model %d", id))
+	}
+	if err := codec.DecodeInto(tr.Model().Params(), payload[trainHdrLen:]); err != nil {
+		return st.respondErr(fc, winj, seed, fmt.Sprintf("weights: %v", err))
+	}
+	loss, samples := tr.Train(client, lcfg, seed, st.uploads[id])
+
+	b := st.resp[:0]
+	b = append(b, 0) // status ok
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(loss))
+	b = binary.BigEndian.AppendUint32(b, uint32(samples))
+	if flags&1 != 0 {
+		b = append(b, 1)
+		qs := st.qsets[id]
+		b = binary.BigEndian.AppendUint32(b, uint32(len(qs)))
+		for i := range qs {
+			compress.QuantizeInto(&qs[i], st.uploads[id][i])
+			qb := qs[i].Marshal()
+			b = binary.BigEndian.AppendUint32(b, uint32(len(qb)))
+			b = append(b, qb...)
+		}
+	} else {
+		b = append(b, 0)
+		b = codec.AppendEncode(b, st.uploads[id])
+	}
+	st.resp = b
+	return st.send(fc, winj, seed, b)
+}
+
+func (st *connState) respondErr(fc *frameConn, winj *chaos.WireInjector, seed int64, msg string) error {
+	b := append(st.resp[:0], 1)
+	b = append(b, msg...)
+	st.resp = b
+	return st.send(fc, winj, seed, b)
+}
+
+// send writes the TRAINRES frame, applying any wire fault drawn for
+// this attempt's seed. An injected fault poisons the connection, so the
+// worker redials; the coordinator retries the attempt elsewhere.
+func (st *connState) send(fc *frameConn, winj *chaos.WireInjector, seed int64, payload []byte) error {
+	if f := winj.Fault(seed); f != chaos.WireNone {
+		fc.mangle = f
+		fc.write(ftTrainRes, payload)
+		fc.mangle = chaos.WireNone
+		return errReconnect
+	}
+	if err := fc.write(ftTrainRes, payload); err != nil {
+		return errReconnect
+	}
+	return nil
+}

@@ -1,0 +1,322 @@
+package netcoord
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+
+	"fedtrans/internal/codec"
+	"fedtrans/internal/compress"
+	"fedtrans/internal/fl"
+	"fedtrans/internal/model"
+	"fedtrans/internal/tensor"
+)
+
+// Hub is the coordinator's side of the wire: it accepts agent
+// connections and serves the FL runtime as its fl.Trainer, farming each
+// local-training attempt out to an idle connection. Connections are
+// checked out per attempt, so up to StreamWindow attempts ride the pool
+// concurrently while each connection stays lock-stepped.
+//
+// A connection that fails mid-attempt is dropped and the typed wire
+// error is returned to the runtime, which retries the attempt (same
+// seed, next attempt salt) through another connection — determinism
+// holds because training depends only on (weights, shard, seed), never
+// on which connection carried it.
+type Hub struct {
+	ln      net.Listener
+	welcome []byte
+	idle    chan *agentConn
+
+	mu       sync.Mutex
+	conns    map[*agentConn]struct{}
+	wireErrs []error
+
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// Hub must satisfy the runtime's remote-training hooks.
+var _ fl.QuantizedTrainer = (*Hub)(nil)
+
+// agentConn is one checked-out-able agent connection, with its
+// per-connection model cache and a reusable request-payload buffer.
+type agentConn struct {
+	fc     *frameConn
+	sent   map[int]bool
+	reqBuf []byte
+}
+
+// NewHub listens on addr (host:port; port 0 picks a free port — see
+// Addr) and starts accepting agents. cfg is sent to every agent in the
+// WELCOME frame so it can synthesize the coordinator's exact client
+// population.
+func NewHub(addr string, cfg RunConfig) (*Hub, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netcoord: listen %s: %w", addr, err)
+	}
+	js, err := json.Marshal(cfg)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("netcoord: marshal run config: %w", err)
+	}
+	welcome := make([]byte, 0, 2+len(js))
+	welcome = binary.BigEndian.AppendUint16(welcome, ProtoVersion)
+	welcome = append(welcome, js...)
+	h := &Hub{
+		ln:      ln,
+		welcome: welcome,
+		idle:    make(chan *agentConn, 1024),
+		conns:   make(map[*agentConn]struct{}),
+		closed:  make(chan struct{}),
+	}
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr is the hub's actual listen address (useful with port 0).
+func (h *Hub) Addr() string { return h.ln.Addr().String() }
+
+// Close stops accepting agents and drops every connection. Agents see a
+// clean EOF at a frame boundary and exit. Safe to call more than once.
+func (h *Hub) Close() {
+	h.closeOnce.Do(func() {
+		close(h.closed)
+		h.ln.Close()
+		h.mu.Lock()
+		for ac := range h.conns {
+			ac.fc.close()
+		}
+		h.conns = make(map[*agentConn]struct{})
+		h.mu.Unlock()
+	})
+}
+
+// WireErrors returns the wire faults the hub has absorbed so far (each
+// one cost an attempt retry). For tests and diagnostics.
+func (h *Hub) WireErrors() []error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]error(nil), h.wireErrs...)
+}
+
+func (h *Hub) recordErr(err error) {
+	h.mu.Lock()
+	h.wireErrs = append(h.wireErrs, err)
+	h.mu.Unlock()
+}
+
+func (h *Hub) acceptLoop() {
+	for {
+		c, err := h.ln.Accept()
+		if err != nil {
+			return
+		}
+		go h.admit(c)
+	}
+}
+
+// admit runs the handshake and parks the connection in the idle pool.
+func (h *Hub) admit(c net.Conn) {
+	ac := &agentConn{fc: newFrameConn(c), sent: make(map[int]bool)}
+	t, payload, err := ac.fc.read()
+	if err != nil || t != ftHello || len(payload) != 6 ||
+		string(payload[:4]) != helloMagic ||
+		binary.BigEndian.Uint16(payload[4:]) != ProtoVersion {
+		h.recordErr(fmt.Errorf("%w from %s", ErrBadHandshake, c.RemoteAddr()))
+		c.Close()
+		return
+	}
+	if err := ac.fc.write(ftWelcome, h.welcome); err != nil {
+		c.Close()
+		return
+	}
+	h.mu.Lock()
+	select {
+	case <-h.closed:
+		h.mu.Unlock()
+		c.Close()
+		return
+	default:
+	}
+	h.conns[ac] = struct{}{}
+	h.mu.Unlock()
+	h.checkin(ac)
+}
+
+func (h *Hub) checkout() (*agentConn, error) {
+	select {
+	case ac := <-h.idle:
+		return ac, nil
+	case <-h.closed:
+		return nil, ErrClosed
+	}
+}
+
+func (h *Hub) checkin(ac *agentConn) {
+	select {
+	case h.idle <- ac:
+	case <-h.closed:
+		h.drop(ac)
+	}
+}
+
+func (h *Hub) drop(ac *agentConn) {
+	h.mu.Lock()
+	delete(h.conns, ac)
+	h.mu.Unlock()
+	ac.fc.close()
+}
+
+// Train implements fl.Trainer: one attempt over the wire, dense reply.
+func (h *Hub) Train(m *model.Model, spec fl.TrainSpec, cfg fl.LocalConfig, upload []*tensor.Tensor) (float64, int, error) {
+	return h.do(m, spec, cfg, upload, nil)
+}
+
+// TrainQuantized implements fl.QuantizedTrainer: the agent quantizes
+// on-device and the returned records are the exact codes that traveled.
+func (h *Hub) TrainQuantized(m *model.Model, spec fl.TrainSpec, cfg fl.LocalConfig, qs []compress.QuantizedTensor) (float64, int, error) {
+	return h.do(m, spec, cfg, nil, qs)
+}
+
+func (h *Hub) do(m *model.Model, spec fl.TrainSpec, cfg fl.LocalConfig, upload []*tensor.Tensor, qs []compress.QuantizedTensor) (float64, int, error) {
+	ac, err := h.checkout()
+	if err != nil {
+		return 0, 0, err
+	}
+	loss, samples, err := h.trainOn(ac, m, spec, cfg, upload, qs)
+	if err != nil {
+		h.recordErr(fmt.Errorf("round %d client %d attempt %d: %w",
+			spec.Round, spec.Client, spec.Attempt, err))
+		h.drop(ac)
+		return 0, 0, err
+	}
+	h.checkin(ac)
+	return loss, samples, nil
+}
+
+func (h *Hub) trainOn(ac *agentConn, m *model.Model, spec fl.TrainSpec, cfg fl.LocalConfig, upload []*tensor.Tensor, qs []compress.QuantizedTensor) (float64, int, error) {
+	if !ac.sent[m.ID] {
+		blob, err := m.MarshalBinary()
+		if err != nil {
+			return 0, 0, fmt.Errorf("marshal model %d: %w", m.ID, err)
+		}
+		p := ac.reqBuf[:0]
+		p = binary.BigEndian.AppendUint32(p, uint32(m.ID))
+		p = append(p, blob...)
+		ac.reqBuf = p
+		if err := ac.fc.write(ftModel, p); err != nil {
+			return 0, 0, asWireErr(err)
+		}
+		ac.sent[m.ID] = true
+	}
+
+	p := ac.reqBuf[:0]
+	p = binary.BigEndian.AppendUint32(p, uint32(m.ID))
+	p = binary.BigEndian.AppendUint32(p, uint32(spec.Client))
+	p = binary.BigEndian.AppendUint64(p, uint64(spec.Seed))
+	var flags byte
+	if qs != nil {
+		flags |= 1
+	}
+	p = append(p, flags)
+	p = binary.BigEndian.AppendUint32(p, uint32(cfg.Steps))
+	p = binary.BigEndian.AppendUint32(p, uint32(cfg.BatchSize))
+	p = binary.BigEndian.AppendUint64(p, math.Float64bits(cfg.LR))
+	p = binary.BigEndian.AppendUint64(p, math.Float64bits(cfg.ProxMu))
+	p = codec.AppendEncode(p, m.Params())
+	ac.reqBuf = p
+	if err := ac.fc.write(ftTrain, p); err != nil {
+		return 0, 0, asWireErr(err)
+	}
+
+	t, payload, err := ac.fc.read()
+	if err != nil {
+		return 0, 0, asWireErr(err)
+	}
+	if t != ftTrainRes {
+		return 0, 0, fmt.Errorf("%w: frame 0x%02x where TRAINRES was due", ErrProtocol, t)
+	}
+	if len(payload) < 1 {
+		return 0, 0, fmt.Errorf("%w: empty TRAINRES", ErrProtocol)
+	}
+	if payload[0] != 0 {
+		return 0, 0, fmt.Errorf("%w: agent error: %s", ErrProtocol, payload[1:])
+	}
+	if len(payload) < 14 {
+		return 0, 0, fmt.Errorf("%w: short TRAINRES (%d bytes)", ErrProtocol, len(payload))
+	}
+	loss := math.Float64frombits(binary.BigEndian.Uint64(payload[1:9]))
+	samples := int(binary.BigEndian.Uint32(payload[9:13]))
+	kind, body := payload[13], payload[14:]
+	switch {
+	case kind == 0 && upload != nil:
+		if err := codec.DecodeInto(upload, body); err != nil {
+			return 0, 0, err
+		}
+	case kind == 1 && qs != nil:
+		if err := decodeQuantized(qs, body); err != nil {
+			return 0, 0, err
+		}
+	default:
+		return 0, 0, fmt.Errorf("%w: TRAINRES kind %d does not match request flags", ErrProtocol, kind)
+	}
+	return loss, samples, nil
+}
+
+// decodeQuantized unpacks a quantized TRAINRES body into the runtime's
+// recycled records: uint32 count, then per record uint32 length +
+// compress.Marshal bytes.
+func decodeQuantized(qs []compress.QuantizedTensor, body []byte) error {
+	if len(body) < 4 {
+		return fmt.Errorf("%w: short quantized body", ErrProtocol)
+	}
+	n := int(binary.BigEndian.Uint32(body))
+	if n != len(qs) {
+		return fmt.Errorf("%w: %d quantized records, want %d", ErrProtocol, n, len(qs))
+	}
+	off := 4
+	for i := 0; i < n; i++ {
+		if len(body)-off < 4 {
+			return fmt.Errorf("%w: quantized record %d header truncated", ErrProtocol, i)
+		}
+		l := int(binary.BigEndian.Uint32(body[off:]))
+		off += 4
+		if l < 0 || len(body)-off < l {
+			return fmt.Errorf("%w: quantized record %d truncated", ErrProtocol, i)
+		}
+		if err := compress.UnmarshalQuantizedInto(&qs[i], body[off:off+l]); err != nil {
+			return fmt.Errorf("%w: quantized record %d: %v", ErrProtocol, i, err)
+		}
+		off += l
+	}
+	if off != len(body) {
+		return fmt.Errorf("%w: %d trailing bytes after quantized records", ErrProtocol, len(body)-off)
+	}
+	return nil
+}
+
+// asWireErr normalizes connection failures: typed frame errors pass
+// through; everything else (including a clean EOF where a response was
+// due) becomes ErrAgentGone.
+func asWireErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrTruncatedFrame),
+		errors.Is(err, ErrFrameCRC),
+		errors.Is(err, ErrFrameSize),
+		errors.Is(err, ErrProtocol):
+		return err
+	case errors.Is(err, io.EOF):
+		return fmt.Errorf("%w (EOF with a response due)", ErrAgentGone)
+	default:
+		return fmt.Errorf("%w: %v", ErrAgentGone, err)
+	}
+}

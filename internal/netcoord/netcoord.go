@@ -1,0 +1,215 @@
+// Package netcoord is the networked coordinator: it moves the FL
+// runtime's client local-training (and, separately, model inference)
+// across a TCP process boundary while preserving the repository's
+// byte-identical-results guarantee. The coordinator side (Hub) plugs
+// into the runtime as its fl.Trainer; the agent side (RunAgents) is a
+// pool of worker connections that download weights, train through the
+// same pooled session harness the in-process path uses, and upload
+// trained (optionally quantized) updates. Training is a pure function
+// of (weights, architecture, client shard, seed), and the FTW1 weight
+// codec is lossless, so a loopback run commits exactly the bits an
+// in-process run commits.
+//
+// # Connection protocol (FTNC/1)
+//
+// Every connection carries a stream of length-prefixed frames
+// (big-endian, like the FTW1/FTCP formats in internal/codec):
+//
+//	length  uint32  bytes that follow (type + crc + payload)
+//	type    uint8   frame type (below)
+//	crc32   uint32  IEEE checksum of payload
+//	payload length−5 bytes
+//
+// A frame whose CRC does not match is rejected with ErrFrameCRC; a
+// connection that dies inside a frame surfaces ErrTruncatedFrame. Both
+// fail only the in-flight attempt — the runtime's retry/quorum
+// machinery redials through the remaining connections.
+//
+// Handshake: the connecting agent sends HELLO ("FTNC" + uint16
+// version); the coordinator replies WELCOME (uint16 version + a JSON
+// RunConfig describing the dataset geometry the agent must synthesize).
+// Version mismatches are rejected with ErrBadHandshake on whichever
+// side noticed — the version is a hard gate, not a negotiation, because
+// both ends must agree bit-for-bit about every payload layout.
+//
+// Frame types:
+//
+//	0x01 HELLO       agent → coord   "FTNC", uint16 version
+//	0x02 WELCOME     coord → agent   uint16 version, RunConfig JSON
+//	                 (inference endpoints reply uint16 version,
+//	                 uint32 featureDim instead)
+//	0x03 MODEL       coord → agent   uint32 model ID, model blob
+//	                 (model.MarshalBinary: arch JSON + FTW1 weights),
+//	                 sent once per (connection, model)
+//	0x04 TRAIN       coord → agent   uint32 model ID, uint32 client,
+//	                 uint64 seed, uint8 flags (bit 0: reply quantized),
+//	                 uint32 steps, uint32 batch, float64 lr,
+//	                 float64 proxMu, FTW1 current weights
+//	0x05 TRAINRES    agent → coord   uint8 status (0 ok; else the rest
+//	                 is an error message), float64 loss, uint32 samples,
+//	                 uint8 kind (0 dense, 1 quantized), then an FTW1
+//	                 blob or uint32 count + per-tensor (uint32 length,
+//	                 compress.Marshal bytes)
+//	0x06 PREDICT     client → server uint32 rows, uint32 dim,
+//	                 rows×dim float32 features
+//	0x07 PREDICTRES  server → client uint8 status (0 ok; else message),
+//	                 uint32 rows, rows × uint32 class
+//
+// Connections are lock-stepped (one outstanding request each);
+// concurrency comes from the runtime's stream window fanning out over
+// the connection pool, so no request IDs are needed.
+package netcoord
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net"
+
+	"fedtrans/internal/chaos"
+	"fedtrans/internal/data"
+	"fedtrans/internal/fl"
+)
+
+// ProtoVersion is the FTNC connection-protocol version. Both ends must
+// match exactly.
+const ProtoVersion = 1
+
+const (
+	helloMagic = "FTNC"
+	// maxFrame bounds a frame's length field so a corrupted or hostile
+	// header cannot drive a huge allocation.
+	maxFrame = 1 << 28
+)
+
+// Frame types.
+const (
+	ftHello      = 0x01
+	ftWelcome    = 0x02
+	ftModel      = 0x03
+	ftTrain      = 0x04
+	ftTrainRes   = 0x05
+	ftPredict    = 0x06
+	ftPredictRes = 0x07
+)
+
+// Typed wire errors. Frame-level failures (truncation, checksum, size,
+// protocol violations) identify what the peer sent; ErrAgentGone marks
+// a connection that died between frames with a request outstanding.
+var (
+	ErrTruncatedFrame = errors.New("netcoord: truncated frame")
+	ErrFrameCRC       = errors.New("netcoord: frame checksum mismatch")
+	ErrFrameSize      = errors.New("netcoord: frame exceeds size bound")
+	ErrBadHandshake   = errors.New("netcoord: bad handshake")
+	ErrProtocol       = errors.New("netcoord: protocol violation")
+	ErrAgentGone      = errors.New("netcoord: agent connection lost")
+	// ErrClosed reports a request against a closed Hub.
+	ErrClosed = errors.New("netcoord: hub closed")
+)
+
+// RunConfig is what a connecting agent needs to reconstruct the
+// coordinator's client population bit-for-bit: the dataset geometry
+// (every field of data.Config is deterministic given its Seed) and
+// whether to synthesize clients generatively. It travels as JSON in the
+// WELCOME frame.
+type RunConfig struct {
+	Data data.Config `json:"data"`
+	// Generative selects data.GenerateLazy over data.Generate. The two
+	// are bit-identical; lazy synthesis keeps a million-client agent's
+	// memory O(active).
+	Generative bool `json:"generative,omitempty"`
+	// Local mirrors the coordinator's training parameters for
+	// observability; the authoritative per-attempt values travel in
+	// each TRAIN frame.
+	Local fl.LocalConfig `json:"local"`
+}
+
+// frameConn is one FTNC connection: buffered reads, a reusable write
+// buffer (header + payload coalesced into one Write), and a reusable
+// read buffer. Lock-stepped use only — the returned read payload
+// aliases the read buffer until the next read.
+type frameConn struct {
+	c    net.Conn
+	r    *bufio.Reader
+	wbuf []byte
+	rbuf []byte
+	// mangle injects a transport fault into the next write (the agent's
+	// wire-chaos hook); the connection is unusable afterwards.
+	mangle chaos.WireFault
+}
+
+func newFrameConn(c net.Conn) *frameConn {
+	return &frameConn{c: c, r: bufio.NewReaderSize(c, 1<<16)}
+}
+
+// errWireInjected marks a write that deliberately broke the connection.
+var errWireInjected = errors.New("netcoord: injected wire fault")
+
+func (fc *frameConn) write(t byte, payload []byte) error {
+	n := 1 + 4 + len(payload)
+	if n > maxFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameSize, n)
+	}
+	if cap(fc.wbuf) < 4+n {
+		fc.wbuf = make([]byte, 0, 4+n)
+	}
+	b := fc.wbuf[:0]
+	b = binary.BigEndian.AppendUint32(b, uint32(n))
+	b = append(b, t)
+	b = binary.BigEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	b = append(b, payload...)
+	fc.wbuf = b
+	switch fc.mangle {
+	case chaos.WireTruncate:
+		// Cut the frame mid-payload and drop the connection: the peer
+		// sees an unexpected EOF inside the frame.
+		fc.c.Write(b[:len(b)/2])
+		fc.c.Close()
+		return errWireInjected
+	case chaos.WireCorrupt:
+		// Flip a payload bit after the CRC was computed: the peer's
+		// checksum must reject the frame.
+		b[len(b)-1] ^= 0x40
+		fc.c.Write(b)
+		return errWireInjected
+	case chaos.WireDrop:
+		fc.c.Close()
+		return errWireInjected
+	}
+	_, err := fc.c.Write(b)
+	return err
+}
+
+// read returns the next frame. io.EOF is returned only for a clean
+// close at a frame boundary; a connection lost mid-frame surfaces
+// ErrTruncatedFrame.
+func (fc *frameConn) read() (byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < 5 || n > maxFrame {
+		return 0, nil, fmt.Errorf("%w: frame length %d", ErrFrameSize, n)
+	}
+	if cap(fc.rbuf) < int(n) {
+		fc.rbuf = make([]byte, n)
+	}
+	buf := fc.rbuf[:n]
+	if _, err := io.ReadFull(fc.r, buf); err != nil {
+		return 0, nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
+	}
+	t, crc, payload := buf[0], binary.BigEndian.Uint32(buf[1:5]), buf[5:]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return 0, nil, fmt.Errorf("%w: frame type 0x%02x, %d bytes", ErrFrameCRC, t, len(payload))
+	}
+	return t, payload, nil
+}
+
+func (fc *frameConn) close() error { return fc.c.Close() }

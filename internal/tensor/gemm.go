@@ -271,7 +271,16 @@ func Ref64Dot(a, b []float64) float64 { return dot(a, b) }
 // axis is consumed four steps at a time through axpy4 (one destination
 // pass per quad); the all-zero quad skip keeps ReLU-masked gradient
 // rows cheap, matching the zero-skip of the scalar tail.
+//
+// On the float32 SIMD path, batches of four or more rows route through
+// the register-tiled kernel instead: single-row products (m < 4) have
+// no row reuse to exploit and stay on the axpy formulation, which is
+// exactly why a batched forward out-throughputs per-row inference.
 func gemmAcc[E elem](c, a, b []E, m, k, n int) {
+	if isF32[E]() && simdF32 && m >= 4 && n >= 8 && k >= 4 {
+		gemmAccF32Tiled(f32s(c), f32s(a), f32s(b), m, k, n)
+		return
+	}
 	for j0 := 0; j0 < n; j0 += gemmBlockJ {
 		jmax := j0 + gemmBlockJ
 		if jmax > n {
@@ -302,6 +311,92 @@ func gemmAcc[E elem](c, a, b []E, m, k, n int) {
 						continue
 					}
 					axpy(crow, b[p*n+j0:p*n+jmax], av)
+				}
+			}
+		}
+	}
+}
+
+// gemmAccF32Tiled is the m-blocked float32 fast path of gemmAcc: rows
+// are consumed four at a time by gemm4RowsAsm, which keeps the four
+// destination rows in YMM registers across the whole reduction block so
+// every B panel row is loaded once per four C rows instead of once per
+// row. Column and reduction remainders (n%8, k%4) and the m%4 trailing
+// rows drain through the per-row kernels. Per destination element the
+// accumulation order is unchanged — ascending p, one FMA per step — so
+// a tiled product matches the per-row formulation bit for bit on finite
+// inputs (the tile forgoes only the all-zero quad skip, which is an
+// arithmetic no-op there).
+func gemmAccF32Tiled(c, a, b []float32, m, k, n int) {
+	for j0 := 0; j0 < n; j0 += gemmBlockJ {
+		jmax := j0 + gemmBlockJ
+		if jmax > n {
+			jmax = n
+		}
+		w8 := (jmax - j0) &^ 7
+		for k0 := 0; k0 < k; k0 += gemmBlockK {
+			kmax := k0 + gemmBlockK
+			if kmax > k {
+				kmax = k
+			}
+			kq := (kmax - k0) >> 2
+			i := 0
+			for ; i+4 <= m; i += 4 {
+				if kq > 0 && w8 > 0 {
+					gemm4RowsAsm(&c[i*n+j0], n, &a[i*k+k0], k, &b[k0*n+j0], n, kq, w8)
+				}
+				for r := i; r < i+4; r++ {
+					arow := a[r*k : (r+1)*k]
+					// Reduction remainder over the tiled columns.
+					if crow := c[r*n+j0 : r*n+j0+w8]; len(crow) > 0 {
+						for p := k0 + kq*4; p < kmax; p++ {
+							if av := arow[p]; av != 0 {
+								axpy(crow, b[p*n+j0:p*n+j0+w8], av)
+							}
+						}
+					}
+					// Column tail takes the full reduction strip.
+					ctail := c[r*n+j0+w8 : r*n+jmax]
+					if len(ctail) == 0 {
+						continue
+					}
+					p := k0
+					for ; p+4 <= kmax; p += 4 {
+						a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+						if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+							continue
+						}
+						axpy4(ctail,
+							b[p*n+j0+w8:p*n+jmax], b[(p+1)*n+j0+w8:(p+1)*n+jmax],
+							b[(p+2)*n+j0+w8:(p+2)*n+jmax], b[(p+3)*n+j0+w8:(p+3)*n+jmax],
+							a0, a1, a2, a3)
+					}
+					for ; p < kmax; p++ {
+						if av := arow[p]; av != 0 {
+							axpy(ctail, b[p*n+j0+w8:p*n+jmax], av)
+						}
+					}
+				}
+			}
+			// Trailing rows (m%4) run the per-row formulation.
+			for ; i < m; i++ {
+				crow := c[i*n+j0 : i*n+jmax]
+				arow := a[i*k : (i+1)*k]
+				p := k0
+				for ; p+4 <= kmax; p += 4 {
+					a0, a1, a2, a3 := arow[p], arow[p+1], arow[p+2], arow[p+3]
+					if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+						continue
+					}
+					axpy4(crow,
+						b[p*n+j0:p*n+jmax], b[(p+1)*n+j0:(p+1)*n+jmax],
+						b[(p+2)*n+j0:(p+2)*n+jmax], b[(p+3)*n+j0:(p+3)*n+jmax],
+						a0, a1, a2, a3)
+				}
+				for ; p < kmax; p++ {
+					if av := arow[p]; av != 0 {
+						axpy(crow, b[p*n+j0:p*n+jmax], av)
+					}
 				}
 			}
 		}

@@ -284,3 +284,32 @@ func BenchmarkMatMul(b *testing.B) {
 // the strided-batch family, softmax, and the vector-lane axpy/dot)
 // lives in parity_ref64_test.go, driven by the shared
 // internal/tensor/paritytest harness.
+
+// TestMatMulTiledMatchesPerRow pins the m-blocked fast path: a batched
+// product must equal row-by-row products bit for bit (same ascending-p
+// accumulation order per element), including zero entries in A (the
+// tile skips the all-zero-quad shortcut, which must be an arithmetic
+// no-op on finite data). Shapes cover the n%8, k%4, and m%4 tails.
+func TestMatMulTiledMatchesPerRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sz := range [][3]int{{4, 8, 8}, {9, 37, 19}, {16, 64, 8}, {6, 4, 300}, {13, 259, 487}} {
+		m, k, n := sz[0], sz[1], sz[2]
+		a, b := randTensor(rng, m, k), randTensor(rng, k, n)
+		for i := 0; i < len(a.Data); i += 5 {
+			a.Data[i] = 0 // exercise the quad-skip divergence
+		}
+		batch := New(m, n)
+		MatMulInto(batch, a, b)
+		row := New(1, n)
+		for i := 0; i < m; i++ {
+			ar := &Tensor{Shape: []int{1, k}, Data: a.Data[i*k : (i+1)*k]}
+			MatMulInto(row, ar, b)
+			for j := 0; j < n; j++ {
+				if batch.Data[i*n+j] != row.Data[j] {
+					t.Fatalf("%v: row %d col %d: batched %g != per-row %g",
+						sz, i, j, batch.Data[i*n+j], row.Data[j])
+				}
+			}
+		}
+	}
+}

@@ -254,3 +254,95 @@ dot4reduce:
 	VMOVSS       X3, r3+60(FP)
 	VZEROUPPER
 	RET
+
+// func gemm4RowsAsm(c *float32, cs int, a *float32, as int, b *float32, bs int, kq, w8 int)
+// Register-resident 4-row GEMM tile: C[0:4][0:w8] += A[0:4][0:4*kq] @
+// B[0:4*kq][0:w8] with row strides cs/as/bs in elements. Four YMM
+// accumulators (one per C row) stay live across the whole reduction, so
+// each B panel row is loaded once per four C rows and each C row is
+// loaded and stored exactly once per 8-column group — the BLAS3 reuse
+// a per-row axpy formulation cannot express. Per destination element
+// the reduction still advances in ascending p with one FMA per step,
+// matching axpy4Asm bit for bit on finite inputs.
+TEXT ·gemm4RowsAsm(SB), NOSPLIT, $0-64
+	MOVQ c+0(FP), DI
+	MOVQ cs+8(FP), CX
+	MOVQ a+16(FP), R8
+	MOVQ as+24(FP), DX
+	MOVQ b+32(FP), R9
+	MOVQ bs+40(FP), R13
+	MOVQ w8+56(FP), AX
+
+	// Element strides to byte strides, plus the 3x forms for row 3 of
+	// each operand and the 4-row advance of the B cursor.
+	SHLQ $2, CX
+	SHLQ $2, DX
+	SHLQ $2, R13
+	LEAQ (CX)(CX*2), R12  // 3*cs
+	LEAQ (DX)(DX*2), R11  // 3*as
+	LEAQ (R13)(R13*2), R14 // 3*bs
+	LEAQ (R13)(R13*2), R15
+	ADDQ R13, R15          // 4*bs
+
+gemm4j:
+	VMOVUPS (DI), Y12
+	VMOVUPS (DI)(CX*1), Y13
+	VMOVUPS (DI)(CX*2), Y14
+	VMOVUPS (DI)(R12*1), Y15
+	MOVQ    R8, SI
+	MOVQ    R9, BX
+	MOVQ    kq+48(FP), R10
+
+gemm4p:
+	VMOVUPS      (BX), Y0
+	VMOVUPS      (BX)(R13*1), Y1
+	VMOVUPS      (BX)(R13*2), Y2
+	VMOVUPS      (BX)(R14*1), Y3
+	VBROADCASTSS (SI), Y4
+	VFMADD231PS  Y0, Y4, Y12
+	VBROADCASTSS 4(SI), Y4
+	VFMADD231PS  Y1, Y4, Y12
+	VBROADCASTSS 8(SI), Y4
+	VFMADD231PS  Y2, Y4, Y12
+	VBROADCASTSS 12(SI), Y4
+	VFMADD231PS  Y3, Y4, Y12
+	VBROADCASTSS (SI)(DX*1), Y5
+	VFMADD231PS  Y0, Y5, Y13
+	VBROADCASTSS 4(SI)(DX*1), Y5
+	VFMADD231PS  Y1, Y5, Y13
+	VBROADCASTSS 8(SI)(DX*1), Y5
+	VFMADD231PS  Y2, Y5, Y13
+	VBROADCASTSS 12(SI)(DX*1), Y5
+	VFMADD231PS  Y3, Y5, Y13
+	VBROADCASTSS (SI)(DX*2), Y6
+	VFMADD231PS  Y0, Y6, Y14
+	VBROADCASTSS 4(SI)(DX*2), Y6
+	VFMADD231PS  Y1, Y6, Y14
+	VBROADCASTSS 8(SI)(DX*2), Y6
+	VFMADD231PS  Y2, Y6, Y14
+	VBROADCASTSS 12(SI)(DX*2), Y6
+	VFMADD231PS  Y3, Y6, Y14
+	VBROADCASTSS (SI)(R11*1), Y7
+	VFMADD231PS  Y0, Y7, Y15
+	VBROADCASTSS 4(SI)(R11*1), Y7
+	VFMADD231PS  Y1, Y7, Y15
+	VBROADCASTSS 8(SI)(R11*1), Y7
+	VFMADD231PS  Y2, Y7, Y15
+	VBROADCASTSS 12(SI)(R11*1), Y7
+	VFMADD231PS  Y3, Y7, Y15
+	ADDQ         $16, SI
+	ADDQ         R15, BX
+	DECQ         R10
+	JNZ          gemm4p
+
+	VMOVUPS Y12, (DI)
+	VMOVUPS Y13, (DI)(CX*1)
+	VMOVUPS Y14, (DI)(CX*2)
+	VMOVUPS Y15, (DI)(R12*1)
+	ADDQ    $32, DI
+	ADDQ    $32, R9
+	SUBQ    $8, AX
+	JNZ     gemm4j
+
+	VZEROUPPER
+	RET

@@ -21,3 +21,7 @@ func dotAsm(a, b *float32, n int) float32 { panic("tensor: no simd") }
 func dot4Asm(a, b0, b1, b2, b3 *float32, n int) (r0, r1, r2, r3 float32) {
 	panic("tensor: no simd")
 }
+
+func gemm4RowsAsm(c *float32, cs int, a *float32, as int, b *float32, bs int, kq, w8 int) {
+	panic("tensor: no simd")
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package fedtrans
+
+// raceEnabled reports whether the race detector is active; see
+// race_on_test.go for why alloc-regression tests consult it.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package fedtrans
+
+// raceEnabled reports whether the race detector is active. Under -race,
+// sync.Pool deliberately drops a fraction of Puts to expose unsynchronized
+// reuse, so steady-state allocation counts on pooled paths are
+// nondeterministic and alloc-regression assertions must stand down.
+const raceEnabled = true

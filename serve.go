@@ -1,0 +1,293 @@
+package fedtrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"fedtrans/internal/netcoord"
+	"fedtrans/internal/tensor"
+)
+
+// ErrInferenceClosed reports a prediction submitted to a closed
+// InferenceServer.
+var ErrInferenceClosed = errors.New("fedtrans: inference server closed")
+
+// DefaultMaxBatch is the dispatcher's batch bound when
+// NewInferenceServer is given maxBatch <= 0.
+const DefaultMaxBatch = 64
+
+// InferenceServer turns a Deployed model into a high-throughput
+// prediction service: concurrent Predict calls are coalesced by a
+// dispatcher into one strided batch forward (up to maxBatch rows per
+// pass), so the per-row cost amortizes the weight-matrix traffic that
+// dominates single-row inference. Requests, result buffers, and the
+// batch input are pooled — a steady-state prediction allocates nothing.
+//
+// Serve exposes the same dispatcher over TCP (FTNC PREDICT frames, see
+// internal/netcoord); in-process callers just use Predict/PredictBatch.
+type InferenceServer struct {
+	d        *Deployed
+	maxBatch int
+	reqs     chan *inferReq
+
+	reqPool sync.Pool
+
+	mu       sync.RWMutex
+	closed   bool
+	inflight sync.WaitGroup
+	done     chan struct{}
+}
+
+// inferReq is one queued prediction: rows to classify, the class slot
+// per row, and a reusable ready channel the dispatcher signals.
+type inferReq struct {
+	rows  [][]float64
+	class []int
+	err   error
+	ready chan struct{}
+}
+
+// NewInferenceServer starts the batching dispatcher for the model.
+// maxBatch bounds the rows folded into one forward pass (<= 0 uses
+// DefaultMaxBatch). Close releases the dispatcher.
+func NewInferenceServer(d *Deployed, maxBatch int) *InferenceServer {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	s := &InferenceServer{
+		d:        d,
+		maxBatch: maxBatch,
+		reqs:     make(chan *inferReq, 4*maxBatch),
+		done:     make(chan struct{}),
+	}
+	go s.dispatch()
+	return s
+}
+
+func (s *InferenceServer) getReq() *inferReq {
+	if r, ok := s.reqPool.Get().(*inferReq); ok {
+		return r
+	}
+	return &inferReq{ready: make(chan struct{}, 1)}
+}
+
+// submit enqueues a request unless the server is closed. The RLock /
+// WaitGroup pair lets Close wait for every enqueue to land before it
+// closes the channel.
+func (s *InferenceServer) submit(r *inferReq) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrInferenceClosed
+	}
+	s.inflight.Add(1)
+	s.mu.RUnlock()
+	s.reqs <- r
+	s.inflight.Done()
+	return nil
+}
+
+// Predict classifies one feature vector through the batching
+// dispatcher. Safe for concurrent use; steady-state calls allocate
+// nothing.
+func (s *InferenceServer) Predict(features []float64) (int, error) {
+	if len(features) != s.d.dim {
+		return 0, errDim(len(features), s.d.dim)
+	}
+	r := s.getReq()
+	r.rows = append(r.rows[:0], features)
+	r.class = append(r.class[:0], 0)
+	r.err = nil
+	if err := s.submit(r); err != nil {
+		s.reqPool.Put(r)
+		return 0, err
+	}
+	<-r.ready
+	class, err := r.class[0], r.err
+	s.reqPool.Put(r)
+	return class, err
+}
+
+// PredictBatch classifies a batch of feature vectors as one request
+// (the rows stay contiguous in the dispatcher's forward pass).
+func (s *InferenceServer) PredictBatch(features [][]float64) ([]int, error) {
+	if len(features) == 0 {
+		return nil, nil
+	}
+	out := make([]int, len(features))
+	if err := s.PredictBatchInto(features, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PredictBatchInto classifies a batch into a caller-owned class slice
+// (len(out) must equal len(features)). This is the zero-allocation form
+// of PredictBatch: a steady-state caller reusing its row and class
+// buffers allocates nothing per request, which is what lets a serving
+// frontend sustain its predictions/sec ceiling.
+func (s *InferenceServer) PredictBatchInto(features [][]float64, out []int) error {
+	for _, f := range features {
+		if len(f) != s.d.dim {
+			return errDim(len(f), s.d.dim)
+		}
+	}
+	if len(out) != len(features) {
+		return fmt.Errorf("fedtrans: class slice len %d, batch len %d", len(out), len(features))
+	}
+	if len(features) == 0 {
+		return nil
+	}
+	r := s.getReq()
+	r.rows = append(r.rows[:0], features...)
+	if cap(r.class) < len(features) {
+		r.class = make([]int, len(features))
+	}
+	r.class = r.class[:len(features)]
+	r.err = nil
+	if err := s.submit(r); err != nil {
+		s.reqPool.Put(r)
+		return err
+	}
+	<-r.ready
+	copy(out, r.class)
+	err := r.err
+	s.reqPool.Put(r)
+	return err
+}
+
+// dispatch drains the request queue, coalescing waiting requests into
+// one forward pass of at most maxBatch rows. The dispatcher owns one
+// inference session; it is warmed at maxBatch rows so every later pass
+// reuses its workspaces.
+func (s *InferenceServer) dispatch() {
+	sess := s.d.session()
+	// Warm the forward workspaces at the widest batch the dispatcher
+	// will ever run, so steady-state passes of any size reuse them.
+	warm := sess.ensureIn(s.maxBatch, s.d.dim)
+	warm.Zero()
+	sess.m.Forward(warm)
+
+	batch := make([]*inferReq, 0, s.maxBatch)
+	for first := range s.reqs {
+		batch = append(batch[:0], first)
+		rows := len(first.rows)
+		// Yield once before sealing the batch: a send to the blocked
+		// dispatcher schedules it immediately, so without this the
+		// concurrent producers never get to queue behind the first
+		// request and every batch collapses to one row. When nothing
+		// else is runnable the yield is a no-op.
+		runtime.Gosched()
+		// Coalesce whatever else is already waiting, up to maxBatch rows.
+	fill:
+		for rows < s.maxBatch {
+			select {
+			case r := <-s.reqs:
+				batch = append(batch, r)
+				rows += len(r.rows)
+			default:
+				break fill
+			}
+		}
+		x := sess.ensureIn(rows, s.d.dim)
+		i := 0
+		for _, r := range batch {
+			for _, row := range r.rows {
+				dst := x.Data[i*s.d.dim : (i+1)*s.d.dim]
+				for j, v := range row {
+					dst[j] = tensor.Float(v)
+				}
+				i++
+			}
+		}
+		logits := sess.m.Forward(x)
+		i = 0
+		for _, r := range batch {
+			for k := range r.rows {
+				r.class[k] = logits.ArgMaxRow(i)
+				i++
+			}
+			r.ready <- struct{}{}
+		}
+	}
+	s.d.release(sess)
+	close(s.done)
+}
+
+// Close stops the dispatcher after every in-flight request is answered.
+// Subsequent predictions return ErrInferenceClosed. Safe to call more
+// than once.
+func (s *InferenceServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	close(s.reqs)
+	<-s.done
+}
+
+// Serve answers FTNC PREDICT frames on ln through the batching
+// dispatcher until the listener closes: each connection is its own
+// goroutine, so concurrent remote clients coalesce into shared forward
+// passes exactly like concurrent in-process callers. Blocks; run it in
+// a goroutine and close ln (and then the server) to stop.
+func (s *InferenceServer) Serve(ln net.Listener) error {
+	return netcoord.ServeInference(ln, s.d.dim, func(rows [][]float64) ([]int, error) {
+		return s.PredictBatch(rows)
+	})
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *InferenceServer) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// InferenceClient is a connection to an InferenceServer.Serve endpoint.
+// Not safe for concurrent use; open one per goroutine (the server
+// batches across connections).
+type InferenceClient struct {
+	c *netcoord.InferClient
+}
+
+// DialInference connects to a remote inference endpoint.
+func DialInference(addr string) (*InferenceClient, error) {
+	c, err := netcoord.DialInference(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &InferenceClient{c: c}, nil
+}
+
+// InputDim is the feature dimension the remote model expects.
+func (c *InferenceClient) InputDim() int { return c.c.Dim() }
+
+// Predict classifies one feature vector remotely. Features travel as
+// float32 — the backend element type — so the remote prediction equals
+// the local one.
+func (c *InferenceClient) Predict(features []float64) (int, error) {
+	return c.c.Predict(features)
+}
+
+// PredictBatch classifies a batch remotely in one exchange.
+func (c *InferenceClient) PredictBatch(rows [][]float64) ([]int, error) {
+	return c.c.PredictBatch(rows)
+}
+
+// Close shuts the connection down.
+func (c *InferenceClient) Close() error { return c.c.Close() }
+
+func errDim(got, want int) error {
+	return fmt.Errorf("fedtrans: feature dim %d, model expects %d", got, want)
+}
