@@ -23,6 +23,41 @@ import (
 	"fedtrans"
 )
 
+// validateFlags rejects numeric flag values that the runtime would
+// otherwise accept unchecked (a zero-worker agent pool spins uselessly;
+// negative counts corrupt derived sizes downstream). Violations exit
+// with code 2, the same code the flag package uses for unparseable
+// values.
+func validateFlags(opts fedtrans.Options, agentWorkers int) error {
+	checks := []struct {
+		bad bool
+		msg string
+	}{
+		{opts.Clients < 1, fmt.Sprintf("-clients must be >= 1 (got %d)", opts.Clients)},
+		{opts.Population < 0, fmt.Sprintf("-population must be >= 0 (got %d)", opts.Population)},
+		{opts.EdgeAggregators < 0, fmt.Sprintf("-edge-aggregators must be >= 0 (got %d)", opts.EdgeAggregators)},
+		{opts.Rounds < 0, fmt.Sprintf("-rounds must be >= 0 (got %d)", opts.Rounds)},
+		{opts.ClientsPerRound < 1, fmt.Sprintf("-participants must be >= 1 (got %d)", opts.ClientsPerRound)},
+		{opts.Heterogeneity <= 0, fmt.Sprintf("-h must be > 0 (got %g)", opts.Heterogeneity)},
+		{opts.Gamma < 1, fmt.Sprintf("-gamma must be >= 1 (got %d)", opts.Gamma)},
+		{opts.Delta < 1, fmt.Sprintf("-delta must be >= 1 (got %d)", opts.Delta)},
+		{opts.DeepenCells < 0, fmt.Sprintf("-deepen must be >= 0 (got %d)", opts.DeepenCells)},
+		{opts.CapacitySpread < 1, fmt.Sprintf("-spread must be >= 1 (got %g)", opts.CapacitySpread)},
+		{opts.MaxStaleness < 0, fmt.Sprintf("-max-staleness must be >= 0 (got %d)", opts.MaxStaleness)},
+		{opts.AsyncConcurrency < 0, fmt.Sprintf("-async-concurrency must be >= 0 (got %d)", opts.AsyncConcurrency)},
+		{opts.CheckpointEvery < 0, fmt.Sprintf("-checkpoint-every must be >= 0 (got %d)", opts.CheckpointEvery)},
+		{opts.EvalSample < 0, fmt.Sprintf("-eval-sample must be >= 0 (got %d)", opts.EvalSample)},
+		{opts.AttentionHeads < 0, fmt.Sprintf("-heads must be >= 0 (got %d)", opts.AttentionHeads)},
+		{agentWorkers < 1, fmt.Sprintf("-agent-workers must be >= 1 (got %d)", agentWorkers)},
+	}
+	for _, c := range checks {
+		if c.bad {
+			return fmt.Errorf("invalid flag: %s", c.msg)
+		}
+	}
+	return nil
+}
+
 func main() {
 	opts := fedtrans.DefaultOptions()
 	flag.StringVar(&opts.Profile, "profile", opts.Profile,
@@ -55,6 +90,8 @@ func main() {
 		"checkpoint cadence in rounds (default 10 when -checkpoint is set)")
 	flag.IntVar(&opts.EvalSample, "eval-sample", opts.EvalSample,
 		"evaluate on a fixed deterministic panel of this many clients instead of the full population (0 = everyone)")
+	flag.IntVar(&opts.AttentionHeads, "heads", opts.AttentionHeads,
+		"attention head count for the vit profile's initial model (0 or 1 = single-head; must divide the model dimension)")
 	flag.StringVar(&opts.ServeAddr, "serve", opts.ServeAddr,
 		"run as networked coordinator on this address; training waits for -agent processes and stays byte-identical to the in-process run")
 	agentAddr := flag.String("agent", "",
@@ -64,6 +101,11 @@ func main() {
 		"resume from a checkpoint file written by a previous -checkpoint run")
 	exportPath := flag.String("export", "", "write the largest trained model to this file")
 	flag.Parse()
+
+	if err := validateFlags(opts, *agentWorkers); err != nil {
+		fmt.Fprintf(os.Stderr, "fedtrans: %v\n", err)
+		os.Exit(2) // match the flag package's bad-usage exit code
+	}
 
 	if *agentAddr != "" {
 		fmt.Fprintf(os.Stderr, "agent: serving coordinator %s with %d worker(s)\n", *agentAddr, *agentWorkers)

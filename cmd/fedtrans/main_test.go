@@ -1,0 +1,93 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"fedtrans"
+)
+
+// TestMain doubles as the CLI harness: when FEDTRANS_CLI_MAIN is set the
+// test binary runs the real main() against its own arguments, so tests
+// can exercise flag parsing, validation, and exit codes without a
+// separate build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("FEDTRANS_CLI_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI executes this test binary as the fedtrans CLI with the given
+// arguments, returning its exit code and combined stderr.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "FEDTRANS_CLI_MAIN=1")
+	var stderr strings.Builder
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), stderr.String()
+	}
+	t.Fatalf("running CLI: %v", err)
+	return -1, ""
+}
+
+func TestCLIRejectsInvalidNumericFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"zero agent workers", []string{"-agent", "127.0.0.1:1", "-agent-workers", "0"}, "-agent-workers"},
+		{"negative population", []string{"-population", "-5"}, "-population"},
+		{"negative edge aggregators", []string{"-edge-aggregators", "-1"}, "-edge-aggregators"},
+		{"negative eval sample", []string{"-eval-sample", "-2"}, "-eval-sample"},
+		{"zero clients", []string{"-clients", "0"}, "-clients"},
+		{"zero participants", []string{"-participants", "0"}, "-participants"},
+		{"negative rounds", []string{"-rounds", "-1"}, "-rounds"},
+		{"zero heterogeneity", []string{"-h", "0"}, "-h "},
+		{"negative staleness", []string{"-max-staleness", "-1"}, "-max-staleness"},
+		{"negative checkpoint cadence", []string{"-checkpoint-every", "-3"}, "-checkpoint-every"},
+		{"negative heads", []string{"-heads", "-2"}, "-heads"},
+		{"non-numeric flag value", []string{"-clients", "many"}, "invalid value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stderr := runCLI(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code = %d, want 2 (stderr: %s)", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr %q does not mention %q", stderr, tc.want)
+			}
+		})
+	}
+}
+
+func TestCLIValidationPassesDefaults(t *testing.T) {
+	// Validation itself must not reject the default option set.
+	if err := validateFlags(fedtrans.DefaultOptions(), 1); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+}
+
+func TestCLIHeadsRequiresAttentionProfile(t *testing.T) {
+	// -heads on a non-attention profile passes flag validation but is
+	// rejected by NewSession with a clear error (still a clean exit,
+	// not a panic deep in the runtime).
+	code, stderr := runCLI(t, "-profile", "femnist", "-heads", "4", "-rounds", "1")
+	if code == 0 {
+		t.Fatalf("expected failure, got exit 0 (stderr: %s)", stderr)
+	}
+	if !strings.Contains(stderr, "AttentionHeads") {
+		t.Errorf("stderr %q does not mention AttentionHeads", stderr)
+	}
+}

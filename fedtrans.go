@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"fedtrans/internal/chaos"
 	"fedtrans/internal/data"
@@ -129,7 +130,11 @@ type Options struct {
 	RetryBackoff float64
 	// ClientTimeout drops any client whose simulated round time exceeds
 	// this many seconds (0 = no timeout). Timed-out clients still charge
-	// their training compute and download bytes.
+	// their training compute and download bytes. In a networked session
+	// (ServeAddr) the same figure also bounds each wire frame exchange
+	// in wall-clock seconds, so a stalled agent surfaces a typed timeout
+	// instead of hanging the coordinator; when 0, the wire falls back to
+	// a 2-minute frame deadline.
 	ClientTimeout float64
 	// Chaos configures the deterministic fault-injection harness. All
 	// rates zero (the default) leaves the run fault-free.
@@ -158,6 +163,13 @@ type Options struct {
 	// ascending client order. EvalSample >= the population is the
 	// identity: results are bit-identical to an unsampled run.
 	EvalSample int
+	// AttentionHeads sets the head count of every attention cell in the
+	// initial model (0 and 1 both mean single-head attention, the
+	// pre-multi-head behavior, and are bit-identical to it). Only the
+	// "vit" profile builds attention cells; setting this on any other
+	// profile is an error, as is a head count that does not divide the
+	// model dimension.
+	AttentionHeads int
 	// ServeAddr, when non-empty, runs the session as a networked
 	// coordinator: a TCP server listens on this host:port (port 0 picks
 	// a free port; see Session.CoordinatorAddr) and every client
@@ -428,6 +440,20 @@ func NewSession(opts Options) (*Session, error) {
 		ds = data.Generate(dcfg)
 	}
 	spec := initialSpec(opts.Profile, ds)
+	if opts.AttentionHeads < 0 {
+		return nil, fmt.Errorf("fedtrans: negative AttentionHeads %d", opts.AttentionHeads)
+	}
+	if opts.AttentionHeads > 1 {
+		if spec.Family != "attention" {
+			return nil, fmt.Errorf("fedtrans: AttentionHeads requires the vit profile (profile %q builds %s cells)",
+				opts.Profile, spec.Family)
+		}
+		if d := spec.Input[1]; d%opts.AttentionHeads != 0 {
+			return nil, fmt.Errorf("fedtrans: AttentionHeads %d does not divide the model dimension %d",
+				opts.AttentionHeads, d)
+		}
+		spec.Heads = opts.AttentionHeads
+	}
 	base := spec.Build(randFor(opts.Seed)).MACsPerSample()
 	tcfg := device.TraceConfig{
 		N:               opts.Clients,
@@ -493,6 +519,7 @@ func NewSession(opts Options) (*Session, error) {
 			Data:       dcfg,
 			Generative: opts.Population > 0,
 			Local:      cfg.Local,
+			IOTimeout:  time.Duration(opts.ClientTimeout * float64(time.Second)),
 		})
 		if err != nil {
 			return nil, err

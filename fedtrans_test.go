@@ -310,3 +310,43 @@ func TestPersonalizedPass(t *testing.T) {
 		t.Errorf("personalization hurt badly: %.3f vs %.3f", Mean(pers), sum.MeanAccuracy)
 	}
 }
+
+// TestAttentionHeadsOption covers the public multi-head knob: a vit run
+// with AttentionHeads set trains end to end (and reports the head count
+// in the arch string), invalid head counts are rejected up front, and
+// heads on a non-attention profile is an error rather than a silent
+// no-op.
+func TestAttentionHeadsOption(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Profile = "vit"
+	opts.Clients = 6
+	opts.ClientsPerRound = 2
+	opts.Rounds = 2
+	opts.LocalSteps = 2
+	opts.AttentionHeads = 2
+	sum, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Models) == 0 {
+		t.Fatal("no models reported")
+	}
+	if !strings.Contains(sum.Models[0].Arch, "heads=2") {
+		t.Errorf("arch string %q does not report the head count", sum.Models[0].Arch)
+	}
+
+	bad := opts
+	bad.AttentionHeads = 3 // vit model dim is 8
+	if _, err := NewSession(bad); err == nil {
+		t.Error("non-dividing head count must be rejected")
+	}
+	bad.AttentionHeads = -1
+	if _, err := NewSession(bad); err == nil {
+		t.Error("negative head count must be rejected")
+	}
+	wrong := DefaultOptions()
+	wrong.AttentionHeads = 2 // femnist builds dense cells
+	if _, err := NewSession(wrong); err == nil {
+		t.Error("heads on a non-attention profile must be rejected")
+	}
+}

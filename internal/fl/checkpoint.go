@@ -1072,11 +1072,14 @@ func (rt *Runtime) restore(ck *Checkpoint) error {
 		if rt.churn == nil {
 			return errors.New("fl: checkpoint carries churn state but churn is disabled")
 		}
-		if len(ck.ChurnOnline) != rt.ds.Len() {
-			return fmt.Errorf("%w: churn bitmap covers %d clients, dataset has %d",
+		if len(ck.ChurnOnline) > rt.ds.Len() {
+			return fmt.Errorf("%w: churn bitmap covers %d clients, dataset has only %d (shrinking the population across a resume is unsupported)",
 				ErrCkptCorrupt, len(ck.ChurnOnline), rt.ds.Len())
 		}
-		rt.churn.Restore(ck.ChurnOnline)
+		// Like the utility table above, a bitmap saved against a smaller
+		// population still restores: clients beyond the saved prefix start
+		// online, mirroring NewChurn's initialization.
+		rt.churn.RestoreResized(ck.ChurnOnline, rt.ds.Len())
 	}
 	if len(ck.Accums) > 0 {
 		if rt.agg == nil {

@@ -422,3 +422,54 @@ func TestRestoreRejectsGeometryMismatch(t *testing.T) {
 		t.Errorf("grown-population resume ran %d rounds, want 6", res.RoundsRun)
 	}
 }
+
+// TestChurnGrowAcrossResume: a checkpoint whose churn bitmap covers a
+// smaller population than the resuming dataset must restore — clients
+// beyond the saved prefix start online, like NewChurn's initialization —
+// instead of being rejected as corrupt. Churn draws one rng value per
+// client per round, so a grown resume is not expected to reproduce the
+// small run; the contract is that it is deterministic (two identical
+// grown resumes agree bit-for-bit) while a same-size resume stays
+// bit-identical to the uninterrupted run.
+func TestChurnGrowAcrossResume(t *testing.T) {
+	mk := func(clients int) *Runtime {
+		ds, tr, spec := smokeSetup(t, clients)
+		cfg := ckptConfig()
+		cfg.Rounds = 8
+		cfg.Churn = selection.ChurnConfig{JoinRate: 0.3, LeaveRate: 0.2, MinOnline: 2}
+		return New(cfg, ds, tr, spec)
+	}
+	small, blobs := runWithCheckpoints(t, func() *Runtime { return mk(12) }, 4)
+	blob := blobs[4]
+
+	ck, err := DecodeCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ck.ChurnOnline) != 12 {
+		t.Fatalf("checkpoint churn bitmap covers %d clients, want 12", len(ck.ChurnOnline))
+	}
+
+	sameSize, err := mk(12).Resume(blob)
+	if err != nil {
+		t.Fatalf("same-size churn resume: %v", err)
+	}
+	if !reflect.DeepEqual(small, sameSize) {
+		t.Fatal("same-size churn resume diverged from the uninterrupted run")
+	}
+
+	grown, err := mk(16).Resume(blob)
+	if err != nil {
+		t.Fatalf("resume onto a grown churning population: %v", err)
+	}
+	if grown.RoundsRun != 8 {
+		t.Errorf("grown resume ran %d rounds, want 8", grown.RoundsRun)
+	}
+	again, err := mk(16).Resume(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(grown, again) {
+		t.Fatal("grown churn resume is not deterministic")
+	}
+}

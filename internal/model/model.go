@@ -498,7 +498,11 @@ func (m *Model) ArchString() string {
 		case *nn.Conv2DCell:
 			s += fmt.Sprintf("conv(%dx%d,%d)", c.K(), c.K(), c.OutCh())
 		case *nn.AttentionCell:
-			s += fmt.Sprintf("attn(d=%d,ff=%d)", c.Dim(), c.FF())
+			if h := c.Heads(); h > 1 {
+				s += fmt.Sprintf("attn(d=%d,ff=%d,heads=%d)", c.Dim(), c.FF(), h)
+			} else {
+				s += fmt.Sprintf("attn(d=%d,ff=%d)", c.Dim(), c.FF())
+			}
 		case *nn.ResidualDenseCell:
 			s += fmt.Sprintf("res(d=%d,h=%d)", c.Dim(), c.Hidden())
 		default:

@@ -28,6 +28,7 @@ type persistHeader struct {
 type cellMeta struct {
 	Kind   string `json:"kind"`
 	Stride int    `json:"stride,omitempty"` // conv2d only
+	Heads  int    `json:"heads,omitempty"`  // attention only; 0 = 1 head
 }
 
 // paramsPerKind maps cell kinds to their parameter-tensor counts in
@@ -60,6 +61,9 @@ func (m *Model) MarshalBinary() ([]byte, error) {
 		case *nn.AttentionCell:
 			if len(m.InputShape) == 2 {
 				h.Tokens = m.InputShape[0]
+			}
+			if c.Heads() > 1 {
+				cm.Heads = c.Heads()
 			}
 		}
 		if _, ok := paramsPerKind[cm.Kind]; !ok {
@@ -187,7 +191,15 @@ func UnmarshalModelScoped(b []byte, gen *IDGen) (*Model, error) {
 			if tokens == 0 && len(h.Input) == 2 {
 				tokens = h.Input[0]
 			}
-			a := nn.NewAttentionCell(ws[0].Shape[0], ws[4].Shape[1], tokens, rng)
+			heads := cm.Heads
+			if heads < 1 {
+				heads = 1 // pre-multi-head blobs carry no heads field
+			}
+			if ws[0].Shape[0]%heads != 0 {
+				return nil, fmt.Errorf("%w: %d heads do not divide model dim %d",
+					ErrCorruptModel, heads, ws[0].Shape[0])
+			}
+			a := nn.NewAttentionCellHeads(ws[0].Shape[0], ws[4].Shape[1], tokens, heads, rng)
 			a.Wq, a.Wk, a.Wv, a.Wo = ws[0], ws[1], ws[2], ws[3]
 			a.W1, a.B1, a.W2, a.B2 = ws[4], ws[5], ws[6], ws[7]
 			cell = a.Clone() // Clone re-allocates gradient buffers

@@ -1,6 +1,9 @@
 package model
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -171,5 +174,63 @@ func TestPersistMultiStrideSpatialTracking(t *testing.T) {
 	}
 	if got, want := back.MACsPerSample(), m.MACsPerSample(); got != want {
 		t.Errorf("MACs after load = %v, want %v", got, want)
+	}
+}
+
+// TestPersistMultiHeadAttention covers the heads field end to end: the
+// round trip preserves the head count and the computed function, a
+// headerless (pre-multi-head) blob decodes as heads=1 with an unchanged
+// byte stream, and a head count that does not divide the model dimension
+// is rejected as corruption.
+func TestPersistMultiHeadAttention(t *testing.T) {
+	spec := Spec{Family: "attention", Input: []int{4, 6}, Hidden: []int{8}, Classes: 3, Heads: 2}
+	roundTrip(t, spec, 24)
+
+	ResetIDs()
+	rng := rand.New(rand.NewSource(7))
+	m := spec.Build(rng)
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalModel(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.SpecLike().Heads; got != 2 {
+		t.Errorf("round-tripped head count = %d, want 2", got)
+	}
+
+	// A single-head model must serialize without a heads field at all, so
+	// its blobs stay byte-identical to the pre-multi-head format.
+	single := Spec{Family: "attention", Input: []int{4, 6}, Hidden: []int{8}, Classes: 3}
+	ResetIDs()
+	sm := single.Build(rand.New(rand.NewSource(7)))
+	sblob, err := sm.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(sblob[:64], []byte("heads")) {
+		t.Error("single-head header mentions heads; legacy blobs would differ")
+	}
+	sback, err := UnmarshalModel(sblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sback.SpecLike().Heads; got != 1 {
+		t.Errorf("single-head blob decoded with heads=%d, want 1", got)
+	}
+
+	// Tampering the header to a non-dividing head count must be rejected.
+	bad := append([]byte(nil), blob...)
+	hlen := int(binary.BigEndian.Uint32(bad))
+	hdr := bad[4 : 4+hlen]
+	fixed := bytes.Replace(hdr, []byte(`"heads":2`), []byte(`"heads":5`), 1)
+	if len(fixed) != len(hdr) {
+		t.Fatal("test setup: header rewrite changed length")
+	}
+	copy(hdr, fixed)
+	if _, err := UnmarshalModel(bad); !errors.Is(err, ErrCorruptModel) {
+		t.Errorf("non-dividing head count gave %v, want ErrCorruptModel", err)
 	}
 }

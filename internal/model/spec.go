@@ -20,6 +20,9 @@ type Spec struct {
 	Hidden []int
 	// Classes is the classifier output dimension.
 	Classes int
+	// Heads is the attention head count (attention family only;
+	// 0 means 1). Must divide the model dimension Input[1].
+	Heads int
 }
 
 // Build instantiates a model from the spec with fresh random weights
@@ -71,8 +74,12 @@ func (s Spec) BuildScoped(rng *rand.Rand, gen *IDGen) *Model {
 		m.Head = nn.NewDenseCell(ch, s.Classes, false, rng)
 	case "attention":
 		t, d := s.Input[0], s.Input[1]
+		heads := s.Heads
+		if heads < 1 {
+			heads = 1
+		}
 		for _, ff := range s.Hidden {
-			m.appendCell(nn.NewAttentionCell(d, ff, t, rng))
+			m.appendCell(nn.NewAttentionCellHeads(d, ff, t, heads, rng))
 		}
 		m.appendCell(nn.NewMeanTokensCell())
 		m.Head = nn.NewDenseCell(d, s.Classes, false, rng)
@@ -149,6 +156,7 @@ func (m *Model) SpecLike() Spec {
 		case *nn.AttentionCell:
 			s.Family = "attention"
 			s.Hidden = append(s.Hidden, c.FF())
+			s.Heads = c.Heads()
 		case *nn.ResidualDenseCell:
 			s.Family = "residual"
 			s.Hidden = append(s.Hidden, c.Hidden())
@@ -161,7 +169,7 @@ func (m *Model) SpecLike() Spec {
 // ratio (minimum 1). HeteroFL / SplitMix / FLuID use it to derive
 // width-reduced submodels.
 func (s Spec) Scaled(ratio float64) Spec {
-	out := Spec{Family: s.Family, Input: append([]int(nil), s.Input...), Classes: s.Classes}
+	out := Spec{Family: s.Family, Input: append([]int(nil), s.Input...), Classes: s.Classes, Heads: s.Heads}
 	for _, h := range s.Hidden {
 		w := int(float64(h)*ratio + 0.5)
 		if w < 1 {

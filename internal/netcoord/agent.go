@@ -30,6 +30,12 @@ type AgentConfig struct {
 	// DialTimeout bounds each (re)connect attempt's total retry budget.
 	// Defaults to 30s.
 	DialTimeout time.Duration
+	// IOTimeout bounds each frame exchange (writes, response reads, and
+	// the body of a request whose header has arrived; idle waits between
+	// requests are never bounded). 0 adopts the coordinator's WELCOME
+	// value (DefaultIOTimeout if it sent none); negative disables
+	// deadlines.
+	IOTimeout time.Duration
 	// WireChaos injects deterministic transport faults into uploads
 	// (tests): the mangled attempt fails on the coordinator, which
 	// retries it, and this worker redials.
@@ -103,7 +109,7 @@ func agentLoop(cfg AgentConfig, getDS func(RunConfig) *data.Dataset) error {
 			}
 			return err
 		}
-		err = serveConn(c, getDS, winj)
+		err = serveConn(c, cfg.IOTimeout, getDS, winj)
 		switch {
 		case err == nil:
 			return nil
@@ -139,9 +145,9 @@ type connState struct {
 	resp     []byte
 }
 
-func serveConn(c net.Conn, getDS func(RunConfig) *data.Dataset, winj *chaos.WireInjector) error {
+func serveConn(c net.Conn, ioTimeout time.Duration, getDS func(RunConfig) *data.Dataset, winj *chaos.WireInjector) error {
 	defer c.Close()
-	fc := newFrameConn(c)
+	fc := newFrameConnTimeout(c, normalizeTimeout(ioTimeout))
 
 	hello := make([]byte, 0, 6)
 	hello = append(hello, helloMagic...)
@@ -163,6 +169,10 @@ func serveConn(c net.Conn, getDS func(RunConfig) *data.Dataset, winj *chaos.Wire
 	if err := json.Unmarshal(payload[2:], &rc); err != nil {
 		return fmt.Errorf("%w: WELCOME config: %v", ErrBadHandshake, err)
 	}
+	if ioTimeout == 0 && rc.IOTimeout != 0 {
+		// No local override: adopt the coordinator's frame deadline.
+		fc.timeout = normalizeTimeout(rc.IOTimeout)
+	}
 	ds := getDS(rc)
 
 	gen := model.NewIDGen()
@@ -172,7 +182,10 @@ func serveConn(c net.Conn, getDS func(RunConfig) *data.Dataset, winj *chaos.Wire
 		qsets:    make(map[uint32][]compress.QuantizedTensor),
 	}
 	for {
-		t, payload, err := fc.read()
+		// Idle read: the gap until the coordinator's next request is
+		// unbounded (rounds can be arbitrarily far apart), but a request
+		// that starts must finish within the frame deadline.
+		t, payload, err := fc.readIdle()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil // clean close at a frame boundary: run over

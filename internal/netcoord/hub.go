@@ -9,6 +9,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"time"
 
 	"fedtrans/internal/codec"
 	"fedtrans/internal/compress"
@@ -31,6 +32,7 @@ import (
 type Hub struct {
 	ln      net.Listener
 	welcome []byte
+	timeout time.Duration
 	idle    chan *agentConn
 
 	mu       sync.Mutex
@@ -72,6 +74,7 @@ func NewHub(addr string, cfg RunConfig) (*Hub, error) {
 	h := &Hub{
 		ln:      ln,
 		welcome: welcome,
+		timeout: normalizeTimeout(cfg.IOTimeout),
 		idle:    make(chan *agentConn, 1024),
 		conns:   make(map[*agentConn]struct{}),
 		closed:  make(chan struct{}),
@@ -124,7 +127,7 @@ func (h *Hub) acceptLoop() {
 
 // admit runs the handshake and parks the connection in the idle pool.
 func (h *Hub) admit(c net.Conn) {
-	ac := &agentConn{fc: newFrameConn(c), sent: make(map[int]bool)}
+	ac := &agentConn{fc: newFrameConnTimeout(c, h.timeout), sent: make(map[int]bool)}
 	t, payload, err := ac.fc.read()
 	if err != nil || t != ftHello || len(payload) != 6 ||
 		string(payload[:4]) != helloMagic ||
@@ -312,7 +315,8 @@ func asWireErr(err error) error {
 	case errors.Is(err, ErrTruncatedFrame),
 		errors.Is(err, ErrFrameCRC),
 		errors.Is(err, ErrFrameSize),
-		errors.Is(err, ErrProtocol):
+		errors.Is(err, ErrProtocol),
+		errors.Is(err, ErrIOTimeout):
 		return err
 	case errors.Is(err, io.EOF):
 		return fmt.Errorf("%w (EOF with a response due)", ErrAgentGone)

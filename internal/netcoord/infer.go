@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"time"
 )
 
 // PredictFunc answers one batch of flat feature rows with one class per
@@ -17,8 +18,19 @@ type PredictFunc func(rows [][]float64) ([]int, error)
 // ServeInference accepts connections on ln and answers PREDICT frames
 // through predict until the listener closes. dim is the model's flat
 // feature dimension, advertised in the WELCOME frame so clients can
-// validate rows before they travel.
+// validate rows before they travel. Frame exchanges are bounded by
+// DefaultIOTimeout; use ServeInferenceTimeout to pick the deadline.
 func ServeInference(ln net.Listener, dim int, predict PredictFunc) error {
+	return ServeInferenceTimeout(ln, dim, predict, DefaultIOTimeout)
+}
+
+// ServeInferenceTimeout is ServeInference with an explicit frame
+// deadline: the handshake, each PREDICT body (once its header arrives),
+// and each PREDICTRES write must complete within timeout, so one
+// stalled client cannot pin its serving goroutine forever. The idle
+// wait between requests on a healthy connection is never bounded.
+// timeout 0 means DefaultIOTimeout; negative disables deadlines.
+func ServeInferenceTimeout(ln net.Listener, dim int, predict PredictFunc, timeout time.Duration) error {
 	for {
 		c, err := ln.Accept()
 		if err != nil {
@@ -27,13 +39,13 @@ func ServeInference(ln net.Listener, dim int, predict PredictFunc) error {
 			}
 			return err
 		}
-		go serveInferConn(c, dim, predict)
+		go serveInferConn(c, dim, predict, normalizeTimeout(timeout))
 	}
 }
 
-func serveInferConn(c net.Conn, dim int, predict PredictFunc) {
+func serveInferConn(c net.Conn, dim int, predict PredictFunc, timeout time.Duration) {
 	defer c.Close()
-	fc := newFrameConn(c)
+	fc := newFrameConnTimeout(c, timeout)
 	t, payload, err := fc.read()
 	if err != nil || t != ftHello || len(payload) != 6 ||
 		string(payload[:4]) != helloMagic ||
@@ -50,7 +62,9 @@ func serveInferConn(c net.Conn, dim int, predict PredictFunc) {
 	var feats []float64
 	var resp []byte
 	for {
-		t, payload, err := fc.read()
+		// Idle read: a quiet client keeps its connection; one that
+		// starts a frame must finish it within the deadline.
+		t, payload, err := fc.readIdle()
 		if err != nil {
 			return
 		}
@@ -116,13 +130,23 @@ type InferClient struct {
 }
 
 // DialInference connects to a ServeInference endpoint and completes the
-// handshake.
+// handshake. Frame exchanges are bounded by DefaultIOTimeout; use
+// DialInferenceTimeout to pick the deadline.
 func DialInference(addr string) (*InferClient, error) {
+	return DialInferenceTimeout(addr, DefaultIOTimeout)
+}
+
+// DialInferenceTimeout is DialInference with an explicit frame
+// deadline applied to every exchange (handshake and each PREDICT /
+// PREDICTRES round trip), so a stalled server surfaces ErrIOTimeout
+// instead of blocking the caller forever. timeout 0 means
+// DefaultIOTimeout; negative disables deadlines.
+func DialInferenceTimeout(addr string, timeout time.Duration) (*InferClient, error) {
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("netcoord: dial inference %s: %w", addr, err)
 	}
-	fc := newFrameConn(c)
+	fc := newFrameConnTimeout(c, normalizeTimeout(timeout))
 	hello := make([]byte, 0, 6)
 	hello = append(hello, helloMagic...)
 	hello = binary.BigEndian.AppendUint16(hello, ProtoVersion)

@@ -68,6 +68,8 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"os"
+	"time"
 
 	"fedtrans/internal/chaos"
 	"fedtrans/internal/data"
@@ -106,9 +108,35 @@ var (
 	ErrBadHandshake   = errors.New("netcoord: bad handshake")
 	ErrProtocol       = errors.New("netcoord: protocol violation")
 	ErrAgentGone      = errors.New("netcoord: agent connection lost")
+	// ErrIOTimeout reports a peer that stalled past the connection's
+	// frame deadline: a write that would not drain, a response that never
+	// arrived, or a frame whose body stopped mid-stream. Like the other
+	// wire errors it fails only the in-flight attempt; the stalled
+	// connection is dropped.
+	ErrIOTimeout = errors.New("netcoord: i/o timeout")
 	// ErrClosed reports a request against a closed Hub.
 	ErrClosed = errors.New("netcoord: hub closed")
 )
+
+// DefaultIOTimeout bounds a single frame exchange (one write, one
+// awaited response, or one frame body) when no explicit timeout is
+// configured. Idle waits — an agent parked between training requests,
+// an inference connection between PREDICT frames — are never bounded;
+// only exchanges where the peer owes bytes are.
+const DefaultIOTimeout = 2 * time.Minute
+
+// normalizeTimeout maps the configuration convention (0 = default,
+// negative = unbounded) onto the frameConn convention (0 = unbounded).
+func normalizeTimeout(d time.Duration) time.Duration {
+	switch {
+	case d == 0:
+		return DefaultIOTimeout
+	case d < 0:
+		return 0
+	default:
+		return d
+	}
+}
 
 // RunConfig is what a connecting agent needs to reconstruct the
 // coordinator's client population bit-for-bit: the dataset geometry
@@ -125,6 +153,11 @@ type RunConfig struct {
 	// observability; the authoritative per-attempt values travel in
 	// each TRAIN frame.
 	Local fl.LocalConfig `json:"local"`
+	// IOTimeout bounds every frame exchange on both ends of the run: the
+	// coordinator applies it to its connections, and agents adopt it
+	// from the WELCOME frame unless their AgentConfig overrides it. 0
+	// means DefaultIOTimeout; negative disables deadlines (tests).
+	IOTimeout time.Duration `json:"ioTimeout,omitempty"`
 }
 
 // frameConn is one FTNC connection: buffered reads, a reusable write
@@ -136,13 +169,21 @@ type frameConn struct {
 	r    *bufio.Reader
 	wbuf []byte
 	rbuf []byte
+	// timeout bounds every write, every awaited read, and the body of an
+	// idle read once its header arrives. 0 leaves the connection
+	// unbounded (tests only; production paths always set one).
+	timeout time.Duration
 	// mangle injects a transport fault into the next write (the agent's
 	// wire-chaos hook); the connection is unusable afterwards.
 	mangle chaos.WireFault
 }
 
 func newFrameConn(c net.Conn) *frameConn {
-	return &frameConn{c: c, r: bufio.NewReaderSize(c, 1<<16)}
+	return newFrameConnTimeout(c, DefaultIOTimeout)
+}
+
+func newFrameConnTimeout(c net.Conn, timeout time.Duration) *frameConn {
+	return &frameConn{c: c, r: bufio.NewReaderSize(c, 1<<16), timeout: timeout}
 }
 
 // errWireInjected marks a write that deliberately broke the connection.
@@ -179,18 +220,51 @@ func (fc *frameConn) write(t byte, payload []byte) error {
 		fc.c.Close()
 		return errWireInjected
 	}
+	if fc.timeout > 0 {
+		fc.c.SetWriteDeadline(time.Now().Add(fc.timeout))
+	}
 	_, err := fc.c.Write(b)
+	if err != nil && errors.Is(err, os.ErrDeadlineExceeded) {
+		return fmt.Errorf("%w: write stalled for %v (frame type 0x%02x)", ErrIOTimeout, fc.timeout, t)
+	}
 	return err
 }
 
-// read returns the next frame. io.EOF is returned only for a clean
-// close at a frame boundary; a connection lost mid-frame surfaces
-// ErrTruncatedFrame.
+// read returns the next frame, with the connection's full deadline over
+// header and body — the form for every exchange where the peer owes a
+// response (TRAINRES, WELCOME, PREDICTRES, an incoming HELLO). io.EOF
+// is returned only for a clean close at a frame boundary; a connection
+// lost mid-frame surfaces ErrTruncatedFrame, and one that stalls past
+// the deadline ErrIOTimeout.
 func (fc *frameConn) read() (byte, []byte, error) {
+	return fc.readFrame(true)
+}
+
+// readIdle waits indefinitely for the next frame header — the form for
+// server loops parked between requests (an agent awaiting the next
+// TRAIN, an inference connection awaiting the next PREDICT), where
+// silence is a legitimate state, not a stall. Once the header arrives
+// the peer has started a frame and owes the rest, so the body read runs
+// under the normal deadline.
+func (fc *frameConn) readIdle() (byte, []byte, error) {
+	return fc.readFrame(false)
+}
+
+func (fc *frameConn) readFrame(bounded bool) (byte, []byte, error) {
+	if fc.timeout > 0 {
+		if bounded {
+			fc.c.SetReadDeadline(time.Now().Add(fc.timeout))
+		} else {
+			fc.c.SetReadDeadline(time.Time{})
+		}
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(fc.r, hdr[:]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF
+		}
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return 0, nil, fmt.Errorf("%w: no response within %v", ErrIOTimeout, fc.timeout)
 		}
 		return 0, nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
 	}
@@ -198,11 +272,17 @@ func (fc *frameConn) read() (byte, []byte, error) {
 	if n < 5 || n > maxFrame {
 		return 0, nil, fmt.Errorf("%w: frame length %d", ErrFrameSize, n)
 	}
+	if fc.timeout > 0 && !bounded {
+		fc.c.SetReadDeadline(time.Now().Add(fc.timeout))
+	}
 	if cap(fc.rbuf) < int(n) {
 		fc.rbuf = make([]byte, n)
 	}
 	buf := fc.rbuf[:n]
 	if _, err := io.ReadFull(fc.r, buf); err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			return 0, nil, fmt.Errorf("%w: %d-byte frame body stalled past %v", ErrIOTimeout, n, fc.timeout)
+		}
 		return 0, nil, fmt.Errorf("%w: %v", ErrTruncatedFrame, err)
 	}
 	t, crc, payload := buf[0], binary.BigEndian.Uint32(buf[1:5]), buf[5:]

@@ -1,13 +1,14 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
 	"fedtrans/internal/tensor"
 )
 
-// AttentionCell is a simplified single-head transformer encoder block:
+// AttentionCell is a simplified multi-head transformer encoder block:
 // self-attention with a residual connection followed by a two-layer
 // feed-forward network with a residual connection. Layer normalization is
 // omitted for tractability of the hand-written backward pass; the block
@@ -18,7 +19,13 @@ import (
 // Inputs and outputs are rank-3 tensors (batch, tokens, dim). The model
 // dimension is fixed; widening is internal (feed-forward hidden width),
 // and deepening inserts an identity block whose projections are zero so
-// the residuals pass the input through unchanged.
+// the residuals pass the input through unchanged. With H heads the
+// projected Q/K/V activations are transposed into head-major
+// (batch·H, tokens, dim/H) buffers so the score/attention products run
+// on the same strided-batch kernels with a leading extent of batch·H
+// and a per-head 1/sqrt(dim/H) score scale; at H = 1 the transposes
+// vanish into pure views and the cell computes bit-identically to the
+// historical single-head block.
 type AttentionCell struct {
 	Wq, Wk, Wv, Wo *tensor.Tensor // (D, D)
 	W1             *tensor.Tensor // (D, F)
@@ -30,27 +37,47 @@ type AttentionCell struct {
 	GW1, GB1, GW2, GB2 *tensor.Tensor
 
 	tokens int // expected sequence length (for MACs accounting)
+	heads  int // head count H (0 behaves as 1 for zero-value compat)
 
 	// Batched forward caches: activations for the whole batch are kept
-	// as single (batch·tokens, dim)-shaped workspace tensors, and the
-	// block-diagonal score/attention matrices as (batch, tokens, tokens)
-	// tensors consumed by the strided-batch GEMM kernels (dS holds the
-	// batched score gradient in Backward).
+	// as single (batch·tokens, dim)-shaped workspace tensors, the
+	// block-diagonal score/attention matrices as (batch·H, tokens,
+	// tokens) tensors consumed by the strided-batch GEMM kernels (dS
+	// holds the batched score gradient in Backward), and — only when
+	// H > 1 — the head-major (batch·H, tokens, dim/H) transposes of the
+	// Q/K/V/context activations and their gradients.
 	x                                *tensor.Tensor
 	q, k, v, attn, h, x1             *tensor.Tensor
+	qh, kh, vh, hh                   *tensor.Tensor
 	pre1, u                          *tensor.Tensor
 	o, f2, out                       *tensor.Tensor
 	dU, dx1, dH, dS, dQ, dK, dV, gin *tensor.Tensor
+	dQh, dKh, dVh, dHh               *tensor.Tensor
 
 	ws    tensor.Workspace
 	views viewSet
 }
 
-// NewAttentionCell returns an attention block with model dim d,
-// feed-forward hidden width ff, operating on sequences of the given
-// length.
+// NewAttentionCell returns a single-head attention block with model dim
+// d and feed-forward hidden width ff, operating on sequences of the
+// given length.
 func NewAttentionCell(d, ff, tokens int, rng *rand.Rand) *AttentionCell {
-	c := &AttentionCell{tokens: tokens}
+	return NewAttentionCellHeads(d, ff, tokens, 1, rng)
+}
+
+// NewAttentionCellHeads returns an attention block with heads attention
+// heads of width d/heads each. heads must be positive and divide the
+// model dimension. Parameter shapes are independent of the head count —
+// heads only changes how the score/attention products partition the
+// projected activations — so any two head counts share the wire format.
+func NewAttentionCellHeads(d, ff, tokens, heads int, rng *rand.Rand) *AttentionCell {
+	if heads < 1 {
+		panic("nn: attention head count must be positive")
+	}
+	if d%heads != 0 {
+		panic(fmt.Sprintf("nn: attention model dim %d not divisible by %d heads", d, heads))
+	}
+	c := &AttentionCell{tokens: tokens, heads: heads}
 	initW := func(r, cc int) *tensor.Tensor {
 		t := tensor.New(r, cc)
 		t.RandNormal(rng, math.Sqrt(1.0/float64(r)))
@@ -91,19 +118,64 @@ func (c *AttentionCell) Dim() int { return c.Wq.Shape[0] }
 // FF returns the feed-forward hidden width.
 func (c *AttentionCell) FF() int { return c.W1.Shape[1] }
 
+// Heads returns the attention head count (1 for a zero-value or
+// legacy-deserialized cell).
+func (c *AttentionCell) Heads() int {
+	if c.heads < 1 {
+		return 1
+	}
+	return c.heads
+}
+
+// splitHeads transposes a head-interleaved (batch·t, H·dh) activation
+// into the head-major (batch·H, t, dh) layout the strided-batch kernels
+// consume: token row (b, s) contributes its h-th dh-wide slice to batch
+// item b·H+h.
+func splitHeads(dst, src []tensor.Float, batch, t, heads, dh int) {
+	d := heads * dh
+	for b := 0; b < batch; b++ {
+		for h := 0; h < heads; h++ {
+			for s := 0; s < t; s++ {
+				so := (b*t+s)*d + h*dh
+				do := ((b*heads+h)*t + s) * dh
+				copy(dst[do:do+dh], src[so:so+dh])
+			}
+		}
+	}
+}
+
+// mergeHeads is the inverse transpose of splitHeads: head-major
+// (batch·H, t, dh) back to head-interleaved (batch·t, H·dh).
+func mergeHeads(dst, src []tensor.Float, batch, t, heads, dh int) {
+	d := heads * dh
+	for b := 0; b < batch; b++ {
+		for h := 0; h < heads; h++ {
+			for s := 0; s < t; s++ {
+				so := ((b*heads+h)*t + s) * dh
+				do := (b*t+s)*d + h*dh
+				copy(dst[do:do+dh], src[so:so+dh])
+			}
+		}
+	}
+}
+
 // Forward implements Cell for input (batch, tokens, dim). The token
 // projections (Q, K, V, output, and both feed-forward layers) are
 // batched into single GEMMs over a (batch·tokens, dim) view of the
 // input, and the block-diagonal score/attention products run as single
-// strided-batch GEMMs over (batch, tokens, ·) views — no per-item
-// loop remains. The 1/sqrt(d) score scale is folded into the batched
-// softmax pass. All scratch is pooled workspace memory.
+// strided-batch GEMMs over (batch·H, tokens, dim/H) head-major views —
+// no per-item loop remains. The per-head 1/sqrt(dim/H) score scale is
+// folded into the batched softmax pass. All scratch is pooled workspace
+// memory; at H = 1 the head transposes collapse to views and the pass
+// is bit-identical to the historical single-head cell.
 func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	batch, t, d := x.Shape[0], x.Shape[1], x.Shape[2]
 	c.tokens = t
 	c.x = x
 	n2 := batch * t
 	ff := c.FF()
+	heads := c.Heads()
+	dh := d / heads
 	c.views.reset()
 	x2 := c.views.of(x.Data, n2, d)
 	q := c.ws.Ensure(&c.q, n2, d)
@@ -112,15 +184,29 @@ func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 	tensor.MatMulInto(q, x2, c.Wq)
 	tensor.MatMulInto(k, x2, c.Wk)
 	tensor.MatMulInto(v, x2, c.Wv)
-	attn := c.ws.Ensure(&c.attn, batch, t, t)
+	attn := c.ws.Ensure(&c.attn, batch*heads, t, t)
 	h := c.ws.Ensure(&c.h, n2, d)
-	q3 := c.views.of(q.Data, batch, t, d)
-	k3 := c.views.of(k.Data, batch, t, d)
-	v3 := c.views.of(v.Data, batch, t, d)
-	h3 := c.views.of(h.Data, batch, t, d)
+	var q3, k3, v3, h3 *tensor.Tensor
+	if heads == 1 {
+		q3 = c.views.of(q.Data, batch, t, d)
+		k3 = c.views.of(k.Data, batch, t, d)
+		v3 = c.views.of(v.Data, batch, t, d)
+		h3 = c.views.of(h.Data, batch, t, d)
+	} else {
+		q3 = c.ws.Ensure(&c.qh, batch*heads, t, dh)
+		k3 = c.ws.Ensure(&c.kh, batch*heads, t, dh)
+		v3 = c.ws.Ensure(&c.vh, batch*heads, t, dh)
+		h3 = c.ws.Ensure(&c.hh, batch*heads, t, dh)
+		splitHeads(q3.Data, q.Data, batch, t, heads, dh)
+		splitHeads(k3.Data, k.Data, batch, t, heads, dh)
+		splitHeads(v3.Data, v.Data, batch, t, heads, dh)
+	}
 	tensor.BatchedMatMulTransBInto(attn, q3, k3)
-	tensor.BatchedSoftmaxInto(attn, attn, 1.0/math.Sqrt(float64(d)))
+	tensor.BatchedSoftmaxInto(attn, attn, 1.0/math.Sqrt(float64(dh)))
 	tensor.BatchedMatMulInto(h3, attn, v3)
+	if heads > 1 {
+		mergeHeads(h.Data, h3.Data, batch, t, heads, dh)
+	}
 	o := c.ws.Ensure(&c.o, n2, d)
 	tensor.MatMulInto(o, h, c.Wo)
 	x1 := c.ws.Ensure(&c.x1, n2, d)
@@ -139,15 +225,18 @@ func (c *AttentionCell) Forward(x *tensor.Tensor) *tensor.Tensor {
 }
 
 // Backward implements Cell. Like Forward, the score/attention gradient
-// products run as strided-batch GEMMs over (batch, tokens, ·) views,
-// and the softmax Jacobian product (with the folded 1/sqrt(d) scale)
-// is one batched kernel call over all score blocks.
+// products run as strided-batch GEMMs over head-major (batch·H, tokens,
+// dim/H) views, and the softmax Jacobian product (with the folded
+// per-head 1/sqrt(dim/H) scale) is one batched kernel call over all
+// score blocks.
 func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	c.ensureGrads()
 	batch, t, d := grad.Shape[0], grad.Shape[1], grad.Shape[2]
 	n2 := batch * t
 	ff := c.FF()
-	invSqrt := 1.0 / math.Sqrt(float64(d))
+	heads := c.Heads()
+	dh := d / heads
+	invSqrt := 1.0 / math.Sqrt(float64(dh))
 	c.views.reset()
 	dy := c.views.of(grad.Data, n2, d)
 	// FFN backward: y = x1 + (relu(x1 W1 + b1)) W2 + b2.
@@ -168,19 +257,36 @@ func (c *AttentionCell) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dQ := c.ws.Ensure(&c.dQ, n2, d)
 	dK := c.ws.Ensure(&c.dK, n2, d)
 	dV := c.ws.Ensure(&c.dV, n2, d)
-	dA := c.ws.Ensure(&c.dS, batch, t, t)
-	q3 := c.views.of(c.q.Data, batch, t, d)
-	k3 := c.views.of(c.k.Data, batch, t, d)
-	v3 := c.views.of(c.v.Data, batch, t, d)
-	dH3 := c.views.of(dH.Data, batch, t, d)
-	dQ3 := c.views.of(dQ.Data, batch, t, d)
-	dK3 := c.views.of(dK.Data, batch, t, d)
-	dV3 := c.views.of(dV.Data, batch, t, d)
+	dA := c.ws.Ensure(&c.dS, batch*heads, t, t)
+	var q3, k3, v3, dH3, dQ3, dK3, dV3 *tensor.Tensor
+	if heads == 1 {
+		q3 = c.views.of(c.q.Data, batch, t, d)
+		k3 = c.views.of(c.k.Data, batch, t, d)
+		v3 = c.views.of(c.v.Data, batch, t, d)
+		dH3 = c.views.of(dH.Data, batch, t, d)
+		dQ3 = c.views.of(dQ.Data, batch, t, d)
+		dK3 = c.views.of(dK.Data, batch, t, d)
+		dV3 = c.views.of(dV.Data, batch, t, d)
+	} else {
+		// Forward cached the head-major Q/K/V transposes; only the
+		// incoming context gradient needs a fresh split.
+		q3, k3, v3 = c.qh, c.kh, c.vh
+		dH3 = c.ws.Ensure(&c.dHh, batch*heads, t, dh)
+		dQ3 = c.ws.Ensure(&c.dQh, batch*heads, t, dh)
+		dK3 = c.ws.Ensure(&c.dKh, batch*heads, t, dh)
+		dV3 = c.ws.Ensure(&c.dVh, batch*heads, t, dh)
+		splitHeads(dH3.Data, dH.Data, batch, t, heads, dh)
+	}
 	tensor.BatchedMatMulTransBInto(dA, dH3, v3)
 	tensor.BatchedMatMulTransAInto(dV3, c.attn, dH3)
 	tensor.BatchedSoftmaxBackwardInto(dA, c.attn, dA, invSqrt)
 	tensor.BatchedMatMulInto(dQ3, dA, k3)
 	tensor.BatchedMatMulTransAInto(dK3, dA, q3)
+	if heads > 1 {
+		mergeHeads(dQ.Data, dQ3.Data, batch, t, heads, dh)
+		mergeHeads(dK.Data, dK3.Data, batch, t, heads, dh)
+		mergeHeads(dV.Data, dV3.Data, batch, t, heads, dh)
+	}
 	x2 := c.views.of(c.x.Data, n2, d)
 	tensor.MatMulTransAAccInto(c.GWq, x2, dQ)
 	tensor.MatMulTransAAccInto(c.GWk, x2, dK)
@@ -215,6 +321,7 @@ func (c *AttentionCell) Clone() Cell {
 		Wq: c.Wq.LazyClone(), Wk: c.Wk.LazyClone(), Wv: c.Wv.LazyClone(), Wo: c.Wo.LazyClone(),
 		W1: c.W1.LazyClone(), B1: c.B1.LazyClone(), W2: c.W2.LazyClone(), B2: c.B2.LazyClone(),
 		tokens: c.tokens,
+		heads:  c.heads,
 	}
 }
 
@@ -223,10 +330,13 @@ func (c *AttentionCell) Clone() Cell {
 // quadratic in the sequence length, unlike every projection):
 //
 //	qkv:    3·t·d²  — Q, K, V token projections
-//	scores:   t²·d  — batched Q·Kᵀ (one t×t block per item)
-//	attnV:    t²·d  — batched A·V
+//	scores:   t²·d  — batched Q·Kᵀ (H blocks of t²·d/H each)
+//	attnV:    t²·d  — batched A·V (likewise head-partitioned)
 //	outPrj:   t·d²  — attention output projection Wo
 //	ffn:    2·t·d·f — the two feed-forward layers
+//
+// The head count does not appear: H heads each cost t²·(d/H) per
+// quadratic product, so the total is t²·d for any H.
 //
 // using the sequence length of the most recent Forward (the
 // construction-time length until then).
@@ -283,7 +393,7 @@ func (c *AttentionCell) WidenSelf(factor float64, rng *rand.Rand) {
 // break symmetry immediately.
 func (c *AttentionCell) IdentityLike() Cell {
 	rng := rand.New(rand.NewSource(int64(c.Dim())*1_000_003 + int64(c.FF())))
-	id := NewAttentionCell(c.Dim(), c.FF(), c.tokens, rng)
+	id := NewAttentionCellHeads(c.Dim(), c.FF(), c.tokens, c.Heads(), rng)
 	id.Wo.Zero()
 	id.W2.Zero()
 	id.B1.Zero()

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -13,23 +14,35 @@ import (
 // quoted at. Both passes must stay at 0 allocs/op: all scratch is
 // pooled workspace memory and the batched score/attention products
 // reuse the same views.
-func benchAttention(b *testing.B) (*AttentionCell, *tensor.Tensor) {
+func benchAttentionHeads(b *testing.B, heads int) (*AttentionCell, *tensor.Tensor) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(42))
 	const batch, tokens, d, ff = 8, 16, 64, 128
-	c := NewAttentionCell(d, ff, tokens, rng)
+	c := NewAttentionCellHeads(d, ff, tokens, heads, rng)
 	x := tensor.New(batch, tokens, d)
 	x.RandNormal(rng, 1)
 	return c, x
 }
 
+func benchAttention(b *testing.B) (*AttentionCell, *tensor.Tensor) {
+	return benchAttentionHeads(b, 1)
+}
+
+// The forward benchmark sweeps the head count: heads=1 is the historical
+// single-head op (pure-view path), heads=4 adds the head-major
+// transposes around narrower score products — the tracked op for the
+// multi-head cost profile.
 func BenchmarkAttentionForward(b *testing.B) {
-	c, x := benchAttention(b)
-	c.Forward(x) // warm the workspace so the loop measures steady state
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		c.Forward(x)
+	for _, heads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("heads=%d", heads), func(b *testing.B) {
+			c, x := benchAttentionHeads(b, heads)
+			c.Forward(x) // warm the workspace so the loop measures steady state
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Forward(x)
+			}
+		})
 	}
 }
 

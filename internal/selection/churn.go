@@ -89,7 +89,23 @@ func (c *Churn) Snapshot() []bool {
 // Restore replaces the online bitmap (checkpoint restore). The length
 // must match the tracked population.
 func (c *Churn) Restore(online []bool) {
+	c.RestoreResized(online, len(online))
+}
+
+// RestoreResized restores a snapshot that may cover fewer clients than
+// the population now holds (a checkpoint written before the dataset
+// grew). The saved prefix is restored verbatim; clients beyond it start
+// online, matching NewChurn's initialization, and take their chances
+// with the leave draws from the next Step like everyone else. total
+// must be at least len(online).
+func (c *Churn) RestoreResized(online []bool, total int) {
+	if total < len(online) {
+		panic("selection: churn snapshot covers more clients than the population")
+	}
 	c.online = append(c.online[:0], online...)
+	for len(c.online) < total {
+		c.online = append(c.online, true)
+	}
 	c.n = 0
 	for _, on := range c.online {
 		if on {

@@ -75,15 +75,66 @@ func isF32[E elem]() bool { return unsafe.Sizeof(E(0)) == 4 }
 
 func f32s[E elem](s []E) []float32 { return *(*[]float32)(unsafe.Pointer(&s)) }
 
-// SetSIMDEnabled toggles the assembly fast paths for the float32
-// backend kernels (a no-op request to enable on hosts without
-// AVX2+FMA). It returns the previous setting. This is a testing and
-// debugging hook — the parity harness uses it to exercise the generic
-// float32 kernels on hosts where the assembly path would otherwise
-// always win the dispatch. Not safe to call concurrently with kernels.
-func SetSIMDEnabled(on bool) bool {
-	prev := simdF32
-	simdF32 = on && hasSIMD
+// SIMDLevel identifies one tier of the float32 kernel dispatch: the
+// chunked generic Go kernels, the 8-lane YMM assembly (AVX2+FMA), or
+// the 16-lane ZMM assembly (AVX-512F). The running level is detected
+// at startup (CPUID/XGETBV on amd64, generic elsewhere) and can be
+// lowered per-process through SetSIMDLevel so parity tests exercise
+// every tier the host can run.
+type SIMDLevel int
+
+const (
+	SIMDGeneric SIMDLevel = iota
+	SIMDAVX2
+	SIMDAVX512
+)
+
+// String names the level the way the parity harness and PERF docs do.
+func (l SIMDLevel) String() string {
+	switch l {
+	case SIMDAVX512:
+		return "avx512"
+	case SIMDAVX2:
+		return "avx2"
+	default:
+		return "generic"
+	}
+}
+
+// Dispatch state. simdF32 gates the assembly fast paths as before and
+// simd512 selects the ZMM forms within them; both derive from the
+// current level so each kernel guard stays a single predictable branch.
+var (
+	simdLevel SIMDLevel
+	simdF32   bool
+	simd512   bool
+)
+
+func init() { SetSIMDLevel(simdMax) }
+
+// SIMDSupported returns the highest dispatch level the host supports —
+// the level the process runs at unless SetSIMDLevel lowered it.
+func SIMDSupported() SIMDLevel { return simdMax }
+
+// CurrentSIMDLevel returns the dispatch level kernels currently run at.
+func CurrentSIMDLevel() SIMDLevel { return simdLevel }
+
+// SetSIMDLevel selects the kernel dispatch tier, clamped to what the
+// host supports (requesting avx512 on an AVX2-only host runs AVX2), and
+// returns the previous level. This is a testing and debugging hook —
+// the parity harness uses it to pin every tier against the float64
+// reference. Not safe to call concurrently with running kernels.
+func SetSIMDLevel(l SIMDLevel) SIMDLevel {
+	prev := simdLevel
+	if l > simdMax {
+		l = simdMax
+	}
+	if l < SIMDGeneric {
+		l = SIMDGeneric
+	}
+	simdLevel = l
+	simdF32 = l >= SIMDAVX2
+	simd512 = l >= SIMDAVX512
 	return prev
 }
 
@@ -98,7 +149,11 @@ func axpy[E elem](dst, src []E, alpha E) {
 	if isF32[E]() && simdF32 && n >= 8 {
 		nn := n &^ 7
 		d, s := f32s(dst), f32s(src)
-		axpyAsm(&d[0], &s[0], float32(alpha), nn)
+		if simd512 {
+			axpyAsm512(&d[0], &s[0], float32(alpha), nn)
+		} else {
+			axpyAsm(&d[0], &s[0], float32(alpha), nn)
+		}
 		for i := nn; i < n; i++ {
 			dst[i] += alpha * src[i]
 		}
@@ -151,8 +206,13 @@ func axpy4[E elem](dst, s0, s1, s2, s3 []E, a0, a1, a2, a3 E) {
 	if isF32[E]() && simdF32 && n >= 8 {
 		nn := n &^ 7
 		d, x0, x1, x2, x3 := f32s(dst), f32s(s0), f32s(s1), f32s(s2), f32s(s3)
-		axpy4Asm(&d[0], &x0[0], &x1[0], &x2[0], &x3[0],
-			float32(a0), float32(a1), float32(a2), float32(a3), nn)
+		if simd512 {
+			axpy4Asm512(&d[0], &x0[0], &x1[0], &x2[0], &x3[0],
+				float32(a0), float32(a1), float32(a2), float32(a3), nn)
+		} else {
+			axpy4Asm(&d[0], &x0[0], &x1[0], &x2[0], &x3[0],
+				float32(a0), float32(a1), float32(a2), float32(a3), nn)
+		}
 		for i := nn; i < n; i++ {
 			dst[i] += a0*s0[i] + a1*s1[i] + a2*s2[i] + a3*s3[i]
 		}
@@ -191,7 +251,12 @@ func dot[E elem](a, b []E) E {
 	if isF32[E]() && simdF32 && n >= 8 {
 		nn := n &^ 7
 		x, y := f32s(a), f32s(b)
-		s := dotAsm(&x[0], &y[0], nn)
+		var s float32
+		if simd512 {
+			s = dotAsm512(&x[0], &y[0], nn)
+		} else {
+			s = dotAsm(&x[0], &y[0], nn)
+		}
 		for i := nn; i < n; i++ {
 			s += float32(a[i] * b[i])
 		}
@@ -224,7 +289,12 @@ func dot4[E elem](a, b0, b1, b2, b3 []E) (r0, r1, r2, r3 E) {
 	if isF32[E]() && simdF32 && n >= 8 {
 		nn := n &^ 7
 		x, y0, y1, y2, y3 := f32s(a), f32s(b0), f32s(b1), f32s(b2), f32s(b3)
-		v0, v1, v2, v3 := dot4Asm(&x[0], &y0[0], &y1[0], &y2[0], &y3[0], nn)
+		var v0, v1, v2, v3 float32
+		if simd512 {
+			v0, v1, v2, v3 = dot4Asm512(&x[0], &y0[0], &y1[0], &y2[0], &y3[0], nn)
+		} else {
+			v0, v1, v2, v3 = dot4Asm(&x[0], &y0[0], &y1[0], &y2[0], &y3[0], nn)
+		}
 		for i := nn; i < n; i++ {
 			v0 += float32(a[i] * b0[i])
 			v1 += float32(a[i] * b1[i])
@@ -318,22 +388,29 @@ func gemmAcc[E elem](c, a, b []E, m, k, n int) {
 }
 
 // gemmAccF32Tiled is the m-blocked float32 fast path of gemmAcc: rows
-// are consumed four at a time by gemm4RowsAsm, which keeps the four
-// destination rows in YMM registers across the whole reduction block so
-// every B panel row is loaded once per four C rows instead of once per
-// row. Column and reduction remainders (n%8, k%4) and the m%4 trailing
-// rows drain through the per-row kernels. Per destination element the
-// accumulation order is unchanged — ascending p, one FMA per step — so
-// a tiled product matches the per-row formulation bit for bit on finite
-// inputs (the tile forgoes only the all-zero quad skip, which is an
-// arithmetic no-op there).
+// are consumed four at a time by the register-tiled kernels, which keep
+// the four destination rows in vector registers across the whole
+// reduction block so every B panel row is loaded once per four C rows
+// instead of once per row. At the avx512 level the leading w16 columns
+// of each block run on the 16-wide ZMM tile and the w8−w16 strip on the
+// 8-wide YMM tile; column and reduction remainders (n%8, k%4) and the
+// m%4 trailing rows drain through the per-row kernels. Per destination
+// element the accumulation order is unchanged — ascending p, one FMA
+// per step — so a tiled product matches the per-row formulation bit for
+// bit on finite inputs regardless of tile width (the tile forgoes only
+// the all-zero quad skip, which is an arithmetic no-op there).
 func gemmAccF32Tiled(c, a, b []float32, m, k, n int) {
+	use512 := simd512
 	for j0 := 0; j0 < n; j0 += gemmBlockJ {
 		jmax := j0 + gemmBlockJ
 		if jmax > n {
 			jmax = n
 		}
 		w8 := (jmax - j0) &^ 7
+		w16 := 0
+		if use512 {
+			w16 = (jmax - j0) &^ 15
+		}
 		for k0 := 0; k0 < k; k0 += gemmBlockK {
 			kmax := k0 + gemmBlockK
 			if kmax > k {
@@ -342,8 +419,11 @@ func gemmAccF32Tiled(c, a, b []float32, m, k, n int) {
 			kq := (kmax - k0) >> 2
 			i := 0
 			for ; i+4 <= m; i += 4 {
-				if kq > 0 && w8 > 0 {
-					gemm4RowsAsm(&c[i*n+j0], n, &a[i*k+k0], k, &b[k0*n+j0], n, kq, w8)
+				if kq > 0 && w16 > 0 {
+					gemm4Rows512Asm(&c[i*n+j0], n, &a[i*k+k0], k, &b[k0*n+j0], n, kq, w16)
+				}
+				if kq > 0 && w8 > w16 {
+					gemm4RowsAsm(&c[i*n+j0+w16], n, &a[i*k+k0], k, &b[k0*n+j0+w16], n, kq, w8-w16)
 				}
 				for r := i; r < i+4; r++ {
 					arow := a[r*k : (r+1)*k]

@@ -8,9 +8,10 @@
 // result through the float64 reference instantiation. The harness
 // replays a fixed number of trials and fails when the max element-wise
 // difference exceeds the kernel's tolerance. Every kernel is exercised
-// under both dispatch modes — the vector-lane assembly path (where the
-// host supports it) and the generic chunked Go path — so a parity bug
-// in either cannot hide behind the other.
+// under every dispatch level the host supports — the avx512 and avx2
+// assembly tiers plus the generic chunked Go path — so a parity bug in
+// one tier cannot hide behind another; tiers above the host's
+// capability are skipped visibly.
 //
 // Seeds derive from the kernel name, so shapes are reproducible per
 // kernel and independent of table order.
@@ -41,17 +42,20 @@ type Kernel struct {
 	Ref func(ref []float64, operands []*tensor.Tensor)
 }
 
-// Run replays every kernel's random-shape trials under both kernel
-// dispatch modes, comparing backend output to the float64 reference.
+// Run replays every kernel's random-shape trials under every kernel
+// dispatch level, comparing backend output to the float64 reference.
+// Levels the host cannot run (avx512 on an AVX2 machine, any assembly
+// tier off amd64) are skipped with a visible skip message.
 func Run(t *testing.T, kernels []Kernel) {
 	t.Helper()
-	for _, mode := range []struct {
-		name string
-		simd bool
-	}{{"simd", true}, {"generic", false}} {
-		t.Run(mode.name, func(t *testing.T) {
-			prev := tensor.SetSIMDEnabled(mode.simd)
-			defer tensor.SetSIMDEnabled(prev)
+	for _, level := range []tensor.SIMDLevel{tensor.SIMDAVX512, tensor.SIMDAVX2, tensor.SIMDGeneric} {
+		level := level
+		t.Run(level.String(), func(t *testing.T) {
+			if level > tensor.SIMDSupported() {
+				t.Skipf("host supports up to %s", tensor.SIMDSupported())
+			}
+			prev := tensor.SetSIMDLevel(level)
+			defer tensor.SetSIMDLevel(prev)
 			for _, k := range kernels {
 				runKernel(t, k)
 			}

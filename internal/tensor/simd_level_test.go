@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSetSIMDLevelClamps pins the test hook's contract: the returned
+// value is the previous level, requests above the host capability clamp
+// to it, and negative requests clamp to generic.
+func TestSetSIMDLevelClamps(t *testing.T) {
+	orig := CurrentSIMDLevel()
+	defer SetSIMDLevel(orig)
+	if prev := SetSIMDLevel(SIMDGeneric); prev != orig {
+		t.Errorf("SetSIMDLevel returned %v, want previous level %v", prev, orig)
+	}
+	if got := CurrentSIMDLevel(); got != SIMDGeneric {
+		t.Errorf("level after SetSIMDLevel(generic) = %v", got)
+	}
+	SetSIMDLevel(SIMDAVX512)
+	if got := CurrentSIMDLevel(); got > SIMDSupported() {
+		t.Errorf("level %v exceeds host capability %v", got, SIMDSupported())
+	}
+	SetSIMDLevel(SIMDLevel(-3))
+	if got := CurrentSIMDLevel(); got != SIMDGeneric {
+		t.Errorf("negative request gave level %v, want generic", got)
+	}
+}
+
+// TestGemmBitIdenticalAcrossAsmTiers pins the dispatch invariant the
+// golden serial≡parallel≡networked tests rely on: the axpy/GEMM family
+// computes each destination element as an ascending-p chain with one
+// FMA per step at every assembly tier, so the avx512 and avx2 forms
+// produce byte-identical products (the dot family reduces across
+// different lane partitions and is pinned against Ref64 instead).
+func TestGemmBitIdenticalAcrossAsmTiers(t *testing.T) {
+	if SIMDSupported() < SIMDAVX512 {
+		t.Skipf("host supports up to %s", SIMDSupported())
+	}
+	orig := CurrentSIMDLevel()
+	defer SetSIMDLevel(orig)
+	rng := rand.New(rand.NewSource(99))
+	at := func(level SIMDLevel, f func()) {
+		SetSIMDLevel(level)
+		f()
+	}
+	for trial := 0; trial < 20; trial++ {
+		m := 1 + rng.Intn(12)
+		k := 1 + rng.Intn(40)
+		n := 1 + rng.Intn(70)
+		a, b := New(m, k), New(k, n)
+		a.RandNormal(rng, 1)
+		b.RandNormal(rng, 1)
+		c512, c256 := New(m, n), New(m, n)
+		at(SIMDAVX512, func() { MatMulInto(c512, a, b) })
+		at(SIMDAVX2, func() { MatMulInto(c256, a, b) })
+		for i := range c512.Data {
+			if c512.Data[i] != c256.Data[i] {
+				t.Fatalf("trial %d (m=%d k=%d n=%d): C[%d] avx512=%x avx2=%x",
+					trial, m, k, n, i, c512.Data[i], c256.Data[i])
+			}
+		}
+		x, y := make([]Float, n), make([]Float, n)
+		for i := range y {
+			x[i] = Float(rng.NormFloat64())
+			y[i] = Float(rng.NormFloat64())
+		}
+		x2 := append([]Float(nil), x...)
+		at(SIMDAVX512, func() { Axpy(x, y, 0.37) })
+		at(SIMDAVX2, func() { Axpy(x2, y, 0.37) })
+		for i := range x {
+			if x[i] != x2[i] {
+				t.Fatalf("trial %d: axpy[%d] avx512=%x avx2=%x", trial, i, x[i], x2[i])
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"fedtrans/internal/netcoord"
 	"fedtrans/internal/tensor"
@@ -238,11 +239,23 @@ func (s *InferenceServer) Close() {
 // dispatcher until the listener closes: each connection is its own
 // goroutine, so concurrent remote clients coalesce into shared forward
 // passes exactly like concurrent in-process callers. Blocks; run it in
-// a goroutine and close ln (and then the server) to stop.
+// a goroutine and close ln (and then the server) to stop. A client that
+// stalls mid-frame is dropped after the default 2-minute frame deadline
+// (see ServeTimeout to pick it), so it cannot pin its goroutine — and
+// the connection's request slot — forever.
 func (s *InferenceServer) Serve(ln net.Listener) error {
-	return netcoord.ServeInference(ln, s.d.dim, func(rows [][]float64) ([]int, error) {
+	return s.ServeTimeout(ln, 0)
+}
+
+// ServeTimeout is Serve with an explicit per-frame I/O deadline: the
+// handshake, each PREDICT body, and each PREDICTRES write must complete
+// within timeout. Idle gaps between requests on a healthy connection
+// are never bounded. timeout 0 uses the netcoord default (2 minutes);
+// negative disables deadlines.
+func (s *InferenceServer) ServeTimeout(ln net.Listener, timeout time.Duration) error {
+	return netcoord.ServeInferenceTimeout(ln, s.d.dim, func(rows [][]float64) ([]int, error) {
 		return s.PredictBatch(rows)
-	})
+	}, timeout)
 }
 
 // ListenAndServe listens on addr and calls Serve.
